@@ -1,0 +1,306 @@
+package adaptnoc_test
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section V), plus microbenchmarks of the substrate. Each figure bench
+// regenerates its experiment at reduced (quick) fidelity and reports the
+// headline comparison as custom metrics, so
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// reproduces the whole evaluation in a few minutes; use
+// cmd/adaptnoc-experiments (without -quick) for full-fidelity tables.
+
+import (
+	"sync"
+	"testing"
+
+	"adaptnoc"
+	"adaptnoc/internal/exp"
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/rl"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/topology"
+)
+
+// quickOpts returns the shared reduced-fidelity settings.
+func quickOpts() exp.Options {
+	return exp.QuickOptions()
+}
+
+// mixedOnce caches the mixed-workload runs shared by Figs. 7 and 10-13.
+var (
+	mixedOnce sync.Once
+	mixedRes  exp.MixedResult
+	mixedErr  error
+)
+
+func mixed(b *testing.B) exp.MixedResult {
+	b.Helper()
+	mixedOnce.Do(func() {
+		mixedRes, mixedErr = exp.RunMixed(quickOpts(), "bfs", "canneal", "ferret")
+	})
+	if mixedErr != nil {
+		b.Fatal(mixedErr)
+	}
+	return mixedRes
+}
+
+// reportNormalized emits metric = value(design)/value(baseline).
+func reportNormalized(b *testing.B, name string, vals []float64, idx int) {
+	if vals[0] != 0 {
+		b.ReportMetric(vals[idx]/vals[0], name)
+	}
+}
+
+const adaptIdx = 6 // adapt-noc position in exp.AllDesigns
+
+func BenchmarkFig07PacketLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := mixed(b)
+		reportNormalized(b, "adapt/base_latency", m.Latency, adaptIdx)
+	}
+}
+
+func BenchmarkFig08CPUHopCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig8(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(t.Rows)), "apps")
+	}
+}
+
+func BenchmarkFig09GPUHopQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig9(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(t.Rows)), "rows")
+	}
+}
+
+func BenchmarkFig10ExecTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := mixed(b)
+		reportNormalized(b, "adapt/base_exec", m.ExecTime, adaptIdx)
+	}
+}
+
+func BenchmarkFig11Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := mixed(b)
+		reportNormalized(b, "adapt/base_energy", m.TotalEnergy, adaptIdx)
+	}
+}
+
+func BenchmarkFig12DynamicEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := mixed(b)
+		reportNormalized(b, "adapt/base_dynamic", m.DynamicEnergy, adaptIdx)
+	}
+}
+
+func BenchmarkFig13StaticEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := mixed(b)
+		reportNormalized(b, "adapt/base_static", m.StaticEnergy, adaptIdx)
+	}
+}
+
+func BenchmarkFig14CPUSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig14(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(t.Rows)-1), "apps")
+	}
+}
+
+func BenchmarkFig15GPUSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig15(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(t.Rows)-1), "apps")
+	}
+}
+
+func BenchmarkFig16SubNoCSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig16(quickOpts(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(t.Rows)), "sizes")
+	}
+}
+
+func BenchmarkFig17EpochSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig17(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18Discount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig18(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19Exploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig19(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTabAreaOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.TabArea()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTabWiring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.TabWiring()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTabTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.TabTiming()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkExtraLatencyThroughput regenerates the latency-throughput
+// characterization (not a paper figure; standard NoC methodology).
+func BenchmarkExtraLatencyThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.CharacterizeTopologies(15000, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkMeshCycle measures one simulated cycle of a loaded 8x8 mesh
+// (cycles/sec throughput of the core model).
+func BenchmarkMeshCycle(b *testing.B) {
+	s, err := adaptnoc.NewSim(adaptnoc.Config{
+		Design: adaptnoc.DesignBaseline,
+		Apps:   adaptnoc.DefaultMixed(0),
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(5000) // warm into steady state
+	b.ResetTimer()
+	s.Run(adaptnoc.Cycle(b.N))
+}
+
+// BenchmarkDQNInference measures one forward pass of the 12-15-15-4
+// policy network (paper: 486 ns in minimal hardware).
+func BenchmarkDQNInference(b *testing.B) {
+	rng := sim.NewRNG(1)
+	n := rl.NewNet([]int{rl.StateSize, 15, 15, rl.NumActions}, rng)
+	x := make([]float64, rl.StateSize)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Forward(x)
+	}
+}
+
+// BenchmarkReconfiguration measures a full cmesh->torus subNoC switch
+// (notification wave + drain + rebuild + Ts) on an otherwise idle region.
+func BenchmarkReconfiguration(b *testing.B) {
+	s, err := adaptnoc.NewSim(adaptnoc.Config{
+		Design: adaptnoc.DesignAdaptNoRL,
+		Apps: []adaptnoc.AppSpec{{
+			Profile: "blackscholes",
+			Region:  adaptnoc.Region{W: 4, H: 4},
+			Static:  adaptnoc.CMesh,
+		}},
+		Seed:        1,
+		EpochCycles: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(2000)
+	kinds := []adaptnoc.Kind{adaptnoc.Torus, adaptnoc.CMesh}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		if err := s.Reconfigure(0, kinds[i%2], func() { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		for !done {
+			s.Run(64)
+		}
+	}
+}
+
+// BenchmarkRoutingTableLookup measures the RC-stage table access.
+func BenchmarkRoutingTableLookup(b *testing.B) {
+	t := noc.NewRoutingTable(64)
+	for d := noc.NodeID(0); d < 64; d++ {
+		t.Set(d, noc.PortEast, noc.ClassKeep)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Lookup(noc.NodeID(i & 63)); !ok {
+			b.Fatal("missing route")
+		}
+	}
+}
+
+// BenchmarkTreeTableBuild measures constructing the tree topology's
+// routing state for a 4x8 region (the most complex builder).
+func BenchmarkTreeTableBuild(b *testing.B) {
+	cfg := noc.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		net := noc.NewNetwork(cfg)
+		topology.ConfigureTreeRegion(net, topology.Region{W: 4, H: 8}, 0, nil)
+	}
+}
+
+// BenchmarkExtraAblations regenerates the design-choice ablation table.
+func BenchmarkExtraAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Ablations(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTabSwitching regenerates the reconfiguration-cost validation.
+func BenchmarkTabSwitching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TabSwitching(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command adaptnoc-experiments regenerates the paper's evaluation tables
+// and figures (Section V) on the simulator.
+//
+// Usage:
+//
+//	adaptnoc-experiments [-quick] [-fig list]
+//
+// -fig selects a comma-separated subset: 7,8,9,10,11,12,13,14,15,16,17,
+// 18,19, area, wiring, timing, chars (latency-throughput curves),
+// ablation (design-choice ablations), switching (reconfiguration cost), or
+// "all" (default, excluding chars).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adaptnoc"
+	"adaptnoc/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-fidelity runs (seconds instead of minutes)")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	figs := flag.String("fig", "all", "comma-separated figures to regenerate")
+	seed := flag.Uint64("seed", 0, "override the random seed (0 keeps the default)")
+	flag.Parse()
+
+	o := exp.DefaultOptions()
+	if *quick {
+		o = exp.QuickOptions()
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	sel := func(k string) bool { return all || want[k] }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "adaptnoc-experiments:", err)
+		os.Exit(1)
+	}
+	emit := func(t exp.Table) {
+		if *csvOut {
+			if err := t.CSV(os.Stdout); err != nil {
+				fail(err)
+			}
+			return
+		}
+		t.Print(os.Stdout)
+	}
+
+	// Figs 7, 10-13 share the mixed-workload runs.
+	if sel("7") || sel("10") || sel("11") || sel("12") || sel("13") {
+		m, err := exp.RunMixed(o, "bfs", "canneal", "ferret")
+		if err != nil {
+			fail(err)
+		}
+		if sel("7") {
+			emit(m.Fig7())
+		}
+		if sel("10") {
+			emit(m.Fig10())
+		}
+		if sel("11") {
+			emit(m.Fig11())
+		}
+		if sel("12") {
+			emit(m.Fig12())
+		}
+		if sel("13") {
+			emit(m.Fig13())
+		}
+	}
+	type figFn struct {
+		key string
+		fn  func() (exp.Table, error)
+	}
+	for _, f := range []figFn{
+		{"8", func() (exp.Table, error) { return exp.Fig8(o) }},
+		{"9", func() (exp.Table, error) { return exp.Fig9(o) }},
+		{"14", func() (exp.Table, error) { return exp.Fig14(o) }},
+		{"15", func() (exp.Table, error) { return exp.Fig15(o) }},
+		{"16", func() (exp.Table, error) { return exp.Fig16(o, *quick) }},
+		{"17", func() (exp.Table, error) { return exp.Fig17(o) }},
+		{"18", func() (exp.Table, error) { return exp.Fig18(o) }},
+		{"19", func() (exp.Table, error) { return exp.Fig19(o) }},
+	} {
+		if !sel(f.key) {
+			continue
+		}
+		t, err := f.fn()
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if sel("switching") {
+		tab, err := exp.TabSwitching()
+		if err != nil {
+			fail(err)
+		}
+		emit(tab)
+	}
+	if sel("ablation") {
+		tab, err := exp.Ablations(o)
+		if err != nil {
+			fail(err)
+		}
+		emit(tab)
+	}
+	if sel("chars") {
+		cycles := 60000
+		if *quick {
+			cycles = 20000
+		}
+		tab, err := exp.CharacterizeTopologies(adaptnoc.Cycle(cycles), o.Seed)
+		if err != nil {
+			fail(err)
+		}
+		emit(tab)
+	}
+	if sel("area") {
+		emit(exp.TabArea())
+	}
+	if sel("wiring") {
+		emit(exp.TabWiring())
+	}
+	if sel("timing") {
+		emit(exp.TabTiming())
+	}
+}

@@ -1,0 +1,118 @@
+// Command adaptnoc-sim runs a single simulation configuration and prints
+// per-application and energy results.
+//
+// Usage:
+//
+//	adaptnoc-sim [-design name] [-gpu profile] [-cpu1 profile] [-cpu2 profile]
+//	             [-apps "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh"]
+//	             [-cycles N | -budget N] [-epoch N] [-seed N] [-share N]
+//	             [-trace] [-layout] [-json]
+//
+// Designs: baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc.
+// Topologies for -apps: mesh, cmesh, torus, tree, torus+tree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adaptnoc"
+	"adaptnoc/internal/traffic"
+)
+
+func main() {
+	design := flag.String("design", "adapt-noc", "network design to simulate")
+	gpu := flag.String("gpu", "bfs", "GPU application profile (4x8 region)")
+	cpu1 := flag.String("cpu1", "canneal", "first CPU application profile (4x4 region)")
+	cpu2 := flag.String("cpu2", "ferret", "second CPU application profile (4x4 region)")
+	cycles := flag.Int64("cycles", 500000, "cycles to simulate (latency mode)")
+	budget := flag.Int64("budget", 0, "per-core instruction budget (execution-time mode)")
+	epoch := flag.Int("epoch", 50000, "control epoch in cycles")
+	seed := flag.Uint64("seed", 2021, "random seed")
+	share := flag.Int("share", 0, "foreign MCs shared to the GPU application")
+	appsFlag := flag.String("apps", "", `explicit workload, e.g. "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh" (overrides -gpu/-cpu1/-cpu2)`)
+	trace := flag.Bool("trace", false, "print the per-epoch controller trace (Adapt designs)")
+	layout := flag.Bool("layout", false, "render each subNoC's final physical configuration")
+	jsonOut := flag.Bool("json", false, "emit results as JSON")
+	listProfiles := flag.Bool("profiles", false, "list available application profiles and exit")
+	flag.Parse()
+
+	if *listProfiles {
+		fmt.Println(strings.Join(traffic.Names(), "\n"))
+		return
+	}
+	d, err := adaptnoc.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+		os.Exit(1)
+	}
+
+	apps := adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
+	apps[0].ShareMCs = *share
+	if *appsFlag != "" {
+		apps, err = adaptnoc.ParseAppSpecs(*appsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
+		for i := range apps {
+			apps[i].InstrBudget = *budget
+		}
+	}
+	cfg := adaptnoc.Config{
+		Design:      d,
+		Apps:        apps,
+		Seed:        *seed,
+		EpochCycles: *epoch,
+	}
+	if d == adaptnoc.DesignAdaptNoC {
+		cfg.RL.Pretrained = adaptnoc.DefaultPolicy()
+		if cfg.RL.Pretrained == nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim: no embedded policy; training online")
+			cfg.RL.Train = true
+		}
+	}
+	s, err := adaptnoc.NewSim(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+		os.Exit(1)
+	}
+	if *budget > 0 {
+		if !s.RunUntilFinished(adaptnoc.Cycle(100 * *cycles)) {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim: workload did not finish; raise -cycles")
+			os.Exit(1)
+		}
+	} else {
+		s.Run(adaptnoc.Cycle(*cycles))
+	}
+	res := s.Results()
+	if *jsonOut {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(blob))
+	} else {
+		fmt.Print(res)
+	}
+
+	if *layout {
+		for i := range apps {
+			fmt.Printf("\n# app %d (%s), final topology %v\n%s",
+				i, apps[i].Profile, s.Topology(i), s.Layout(i))
+		}
+	}
+	if *trace && s.Ctl != nil {
+		for i, b := range s.Ctl.Bindings() {
+			fmt.Printf("\n# epoch trace, app %d (%s)\n", i, apps[i].Profile)
+			for _, rec := range b.Trace {
+				fmt.Printf("ep%-3d kind=%-5v chose=%-5v net=%6.1f queue=%7.1f power=%5.0fmW reward=%6.2f\n",
+					rec.Epoch, rec.Kind, rec.Chosen, rec.AvgNetLat, rec.AvgQueueLat, rec.PowerMW, rec.Reward)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command adaptnoc-train runs the offline DQN training of Section III-E
+// and writes the trained prediction network as JSON.
+//
+// Usage:
+//
+//	adaptnoc-train [-rounds N] [-cycles N] [-epoch N] [-seed N] [-o weights.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptnoc/internal/train"
+)
+
+func main() {
+	o := train.DefaultOptions()
+	rounds := flag.Int("rounds", o.Rounds, "passes over the training curriculum")
+	cycles := flag.Int64("cycles", o.EpisodeCycles, "simulated cycles per episode")
+	epoch := flag.Int("epoch", o.EpochCycles, "control epoch during training (cycles)")
+	seed := flag.Uint64("seed", o.Seed, "random seed")
+	out := flag.String("o", "weights.json", "output path for the trained network")
+	quiet := flag.Bool("q", false, "suppress per-episode progress")
+	flag.Parse()
+
+	o.Rounds = *rounds
+	o.EpisodeCycles = *cycles
+	o.EpochCycles = *epoch
+	o.Seed = *seed
+	if !*quiet {
+		o.Log = os.Stderr
+	}
+
+	agent, err := train.Train(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptnoc-train:", err)
+		os.Exit(1)
+	}
+	blob, err := json.Marshal(agent.Prediction)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptnoc-train:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptnoc-train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained network written to %s (%d bytes, %d inferences, replay %d)\n",
+		*out, len(blob), agent.Inferences, agent.Replay.Len())
+}

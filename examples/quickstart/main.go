@@ -1,0 +1,60 @@
+// Quickstart: simulate the paper's mixed workload (one GPU application and
+// two CPU applications on an 8x8 chip) under the full Adapt-NoC design —
+// reconfigurable fabric plus the pretrained per-subNoC RL policy — and
+// compare it against the plain mesh baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptnoc"
+)
+
+func main() {
+	const cycles = 300000
+
+	run := func(design adaptnoc.Design) adaptnoc.Results {
+		cfg := adaptnoc.Config{
+			Design: design,
+			// bfs is a memory-hungry Rodinia-like GPU code on a 4x8
+			// region; canneal and ferret are Parsec-like CPU codes on 4x4
+			// regions. Each region has one memory controller per 2x4
+			// block, as the paper provisions.
+			Apps:        adaptnoc.DefaultMixed(0),
+			Seed:        42,
+			EpochCycles: 10000,
+		}
+		if design == adaptnoc.DesignAdaptNoC {
+			cfg.RL.Pretrained = adaptnoc.DefaultPolicy()
+		}
+		sim, err := adaptnoc.NewSim(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(cycles)
+		return sim.Results()
+	}
+
+	base := run(adaptnoc.DesignBaseline)
+	adapt := run(adaptnoc.DesignAdaptNoC)
+
+	fmt.Println("== baseline (8x8 mesh)")
+	fmt.Print(base)
+	fmt.Println("\n== adapt-noc (reconfigurable subNoCs + RL policy)")
+	fmt.Print(adapt)
+
+	fmt.Printf("\nnetwork latency: %.1f -> %.1f cycles (%.0f%% lower)\n",
+		netLat(base), netLat(adapt), 100*(1-netLat(adapt)/netLat(base)))
+}
+
+func netLat(r adaptnoc.Results) float64 {
+	var lat, n float64
+	for _, a := range r.Apps {
+		lat += a.AvgNetLatency * float64(a.DeliveredPackets)
+		n += float64(a.DeliveredPackets)
+	}
+	return lat / n
+}

@@ -1,0 +1,3 @@
+module adaptnoc
+
+go 1.22

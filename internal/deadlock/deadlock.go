@@ -1,0 +1,236 @@
+// Package deadlock statically verifies freedom from routing-induced
+// deadlock on a configured noc.Network by building the channel dependency
+// graph (CDG) and checking it for cycles, the standard Dally/Towles
+// criterion the paper relies on (Section II-C.3).
+//
+// The checker walks every (source, destination) route exactly as the
+// routers would execute it — including torus dateline class transitions —
+// and records a dependency edge between each consecutive pair of (channel,
+// VC-class) resources. Because the Adapt-NoC reconfiguration protocol
+// requires every intermediate routing state to be deadlock-free (Lysne's
+// methodology), the fabric tests run this checker on each stage of the
+// reconfiguration sequence, not just the endpoints.
+package deadlock
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptnoc/internal/noc"
+)
+
+// resource is a CDG node: a directed channel together with the virtual
+// network and the dateline VC class a packet would occupy on it. The vnet
+// matters because a channel's buffering is partitioned into per-vnet VCs
+// (request packets can never block reply VCs), so a combined-topology
+// design like torus+tree is cycle-free exactly because its two virtual
+// networks never share buffer resources. Channels into routers that do not
+// use dateline classing collapse to class 0 (all VCs of the vnet shared).
+type resource struct {
+	ch    *noc.Channel
+	vnet  noc.VNet
+	class int
+}
+
+// Checker accumulates route walks into a channel dependency graph.
+type Checker struct {
+	net   *noc.Network
+	edges map[resource]map[resource]bool
+	// walkedPairs guards against quadratic rebuilds in property tests.
+	walks int
+}
+
+// NewChecker returns an empty checker for the network's current tables.
+func NewChecker(net *noc.Network) *Checker {
+	return &Checker{net: net, edges: make(map[resource]map[resource]bool)}
+}
+
+// maxPathLen bounds route walks; a longer walk means the routing function
+// does not make progress (livelock), reported as an error.
+func (c *Checker) maxPathLen() int { return 4 * c.net.Cfg.NumNodes() }
+
+// WalkRoute traces the route of a (src, dst, vnet) triple through the
+// current tables, adding its dependencies. It returns the channels
+// traversed so tests can assert path properties.
+func (c *Checker) WalkRoute(src, dst noc.NodeID, vnet noc.VNet) ([]*noc.Channel, error) {
+	c.walks++
+	start := c.net.ServingRouter(src)
+	target := c.net.ServingRouter(dst)
+	if start < 0 || target < 0 {
+		return nil, fmt.Errorf("deadlock: unattached tile (src %d -> %d, dst %d -> %d)", src, start, dst, target)
+	}
+	var path []*noc.Channel
+	var prev *resource
+	cur := start
+	class := 0
+	lastDim := int8(-1)
+	for steps := 0; ; steps++ {
+		if steps > c.maxPathLen() {
+			return nil, fmt.Errorf("deadlock: route %d->%d (%s) does not terminate (walked %d hops)",
+				src, dst, vnet, steps)
+		}
+		r := c.net.Router(cur)
+		if r.Disabled() {
+			return nil, fmt.Errorf("deadlock: route %d->%d (%s) enters disabled router %d", src, dst, vnet, cur)
+		}
+		tbl := r.Table(vnet)
+		if tbl == nil {
+			return nil, fmt.Errorf("deadlock: router %d has no %s table on route %d->%d", cur, vnet, src, dst)
+		}
+		e, ok := tbl.Lookup(dst)
+		if !ok {
+			return nil, fmt.Errorf("deadlock: router %d has no %s route to %d (from %d)", cur, vnet, dst, src)
+		}
+		ch := r.OutputChannel(int(e.OutPort))
+		if ch == nil {
+			return nil, fmt.Errorf("deadlock: router %d port %d routed but unattached (route %d->%d %s)",
+				cur, e.OutPort, src, dst, vnet)
+		}
+		if ch.To.Kind == noc.EndNI {
+			// Ejection port: the route terminates here.
+			if cur != target {
+				return nil, fmt.Errorf("deadlock: route %d->%d (%s) ejects at %d, not serving router %d",
+					src, dst, vnet, cur, target)
+			}
+			return path, nil
+		}
+		if !ch.Active() {
+			return nil, fmt.Errorf("deadlock: route %d->%d (%s) uses inactive channel %v->%v",
+				src, dst, vnet, ch.From, ch.To)
+		}
+		// Dateline class transition exactly as Router.stageRC computes it.
+		dim := portDim(int(e.OutPort))
+		base := class
+		if dim != lastDim {
+			base = 0
+		}
+		switch e.Class {
+		case noc.ClassKeep:
+			class = base
+		case noc.ClassSet1:
+			class = 1
+		case noc.ClassSet0:
+			class = 0
+		}
+		lastDim = dim
+
+		downClass := class
+		if ch.To.Kind == noc.EndRouter && !c.net.Router(ch.To.Router).UsesDateline(vnet) {
+			downClass = 0
+		}
+		res := resource{ch: ch, vnet: vnet, class: downClass}
+		if prev != nil {
+			c.addEdge(*prev, res)
+		}
+		prev = &res
+		path = append(path, ch)
+
+		if ch.To.Kind != noc.EndRouter {
+			return nil, fmt.Errorf("deadlock: route %d->%d (%s) leaves the router graph at %v",
+				src, dst, vnet, ch.To)
+		}
+		cur = ch.To.Router
+	}
+}
+
+func (c *Checker) addEdge(a, b resource) {
+	m := c.edges[a]
+	if m == nil {
+		m = make(map[resource]bool)
+		c.edges[a] = m
+	}
+	m[b] = true
+}
+
+// FindCycle returns a description of a dependency cycle, or "" if acyclic.
+func (c *Checker) FindCycle() string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[resource]int)
+	var stack []resource
+
+	var visit func(r resource) string
+	visit = func(r resource) string {
+		color[r] = grey
+		stack = append(stack, r)
+		for next := range c.edges[r] {
+			switch color[next] {
+			case grey:
+				// Found a cycle; format it from the stack.
+				var b strings.Builder
+				start := 0
+				for i, s := range stack {
+					if s == next {
+						start = i
+						break
+					}
+				}
+				for _, s := range stack[start:] {
+					fmt.Fprintf(&b, "%v->%v[%s c%d] ", s.ch.From, s.ch.To, s.vnet, s.class)
+				}
+				return b.String()
+			case white:
+				if cyc := visit(next); cyc != "" {
+					return cyc
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[r] = black
+		return ""
+	}
+	for r := range c.edges {
+		if color[r] == white {
+			if cyc := visit(r); cyc != "" {
+				return cyc
+			}
+		}
+	}
+	return ""
+}
+
+// CheckAllPairs walks every attached (src, dst) pair restricted to the
+// given tiles on both virtual networks and verifies the combined CDG is
+// acyclic. tiles == nil means every attached tile.
+func CheckAllPairs(net *noc.Network, tiles []noc.NodeID) error {
+	if tiles == nil {
+		for t := noc.NodeID(0); int(t) < net.Cfg.NumNodes(); t++ {
+			if net.ServingRouter(t) >= 0 {
+				tiles = append(tiles, t)
+			}
+		}
+	}
+	c := NewChecker(net)
+	for _, s := range tiles {
+		for _, d := range tiles {
+			if s == d {
+				continue
+			}
+			for _, v := range []noc.VNet{noc.VNetRequest, noc.VNetReply} {
+				if _, err := c.WalkRoute(s, d, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if cyc := c.FindCycle(); cyc != "" {
+		return fmt.Errorf("deadlock: channel dependency cycle: %s", cyc)
+	}
+	return nil
+}
+
+// portDim mirrors noc's port-dimension convention (East/West and the row
+// adaptable ports are X; North/South and column adaptable ports are Y).
+func portDim(port int) int8 {
+	switch port {
+	case noc.PortEast, noc.PortWest, 5, 6:
+		return 0
+	case noc.PortNorth, noc.PortSouth, 7, 8:
+		return 1
+	default:
+		return int8(10 + port)
+	}
+}

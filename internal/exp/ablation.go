@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+
+	"adaptnoc"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out by removing
+// or perturbing one at a time on the memory-intensive GPU reference
+// workload and reporting latency/energy relative to the full design:
+//
+//   - no injection bypass (Section II-A.1's bypass at the NI's VCs)
+//   - tabular Q-learning instead of the DQN (Section III-A's motivation)
+//   - 3 VCs/vnet (giving back the buffers the paper trades for the fabric)
+//   - 10x the Ts connection-setup time (reconfiguration cost sensitivity)
+//
+// Not a paper figure; it substantiates the paper's individual claims.
+func Ablations(o Options) (Table, error) {
+	reg := adaptnoc.Region{W: 4, H: 8}
+	spec := adaptnoc.AppSpec{Profile: "bfs", Region: reg, MCTiles: adaptnoc.BlockMCs(reg)}
+
+	type variant struct {
+		name  string
+		apply func(*adaptnoc.Config)
+	}
+	variants := []variant{
+		{"full design", func(*adaptnoc.Config) {}},
+		{"no injection bypass", func(c *adaptnoc.Config) { c.NoInjectionBypass = true }},
+		{"q-table policy", func(c *adaptnoc.Config) { c.UseQTable = true }},
+		{"3 VCs/vnet", func(c *adaptnoc.Config) { c.VCsPerVNet = 3 }},
+		{"Ts x10 (140 cycles)", func(c *adaptnoc.Config) { c.SetupCycles = 140 }},
+	}
+
+	t := Table{
+		Title:   "Extra — ablation of Adapt-NoC design choices (bfs, 4x8 subNoC; relative to full design)",
+		Columns: []string{"variant", "latency", "energy"},
+		Notes: []string{
+			"latency = mean packet latency ratio, energy = subNoC energy ratio",
+		},
+	}
+	var baseLat, baseE float64
+	for i, v := range variants {
+		cfg := o.buildConfig(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
+		v.apply(&cfg)
+		s, err := adaptnoc.NewSim(cfg)
+		if err != nil {
+			return t, fmt.Errorf("exp: ablation %q: %w", v.name, err)
+		}
+		s.Run(o.Cycles)
+		res := s.Results()
+		lat := res.MeanLatency()
+		e := res.Apps[0].Energy.TotalPJ()
+		if i == 0 {
+			baseLat, baseE = lat, e
+		}
+		t.Rows = append(t.Rows, []string{v.name, f3(lat / baseLat), f3(e / baseE)})
+	}
+	return t, nil
+}

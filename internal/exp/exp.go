@@ -1,0 +1,230 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section V). Each Fig* function runs the required simulations and
+// returns a typed result with the same rows/series the paper reports;
+// Print renders it as an aligned text table. Absolute numbers differ from
+// the paper (different substrate), but the comparisons — who wins, by
+// roughly what factor, where the sweet spots lie — are the reproduction
+// target (see EXPERIMENTS.md).
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"adaptnoc"
+	"adaptnoc/internal/rl"
+	"adaptnoc/internal/topology"
+)
+
+// Options tune experiment cost and reproducibility.
+type Options struct {
+	// Cycles is the measurement window for open-ended runs.
+	Cycles adaptnoc.Cycle
+	// Budget is the per-core instruction budget for execution-time runs.
+	Budget int64
+	// EpochCycles is the control epoch.
+	EpochCycles int
+	// Seed drives all randomness.
+	Seed uint64
+	// Agent supplies pretrained DQN weights; nil trains online during the
+	// run (slower to converge but self-contained).
+	Agent *rl.Net
+	// OracleProbeCycles is the probe window used to pick the statically
+	// best topology for Adapt-NoC-noRL (0 = use heuristic defaults).
+	OracleProbeCycles adaptnoc.Cycle
+}
+
+// DefaultOptions returns full-fidelity settings (tens of minutes for the
+// complete evaluation).
+//
+// The control epoch is 10K cycles rather than the paper's 50K: our
+// synthetic application phases are several times shorter than full
+// Parsec/Rodinia executions' phases, which shifts the epoch sweet spot
+// down proportionally (the Fig. 17 sweep reports the shifted optimum
+// honestly; EXPERIMENTS.md discusses it).
+func DefaultOptions() Options {
+	return Options{
+		Cycles:            600000,
+		Budget:            300000,
+		EpochCycles:       10000,
+		Seed:              2021,
+		Agent:             rl.Pretrained(),
+		OracleProbeCycles: 150000,
+	}
+}
+
+// QuickOptions returns reduced-fidelity settings for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{
+		Cycles:            60000,
+		Budget:            2500,
+		EpochCycles:       10000,
+		Seed:              2021,
+		Agent:             rl.Pretrained(),
+		OracleProbeCycles: 30000,
+	}
+}
+
+// AllDesigns lists the evaluation's seven design points in paper order.
+var AllDesigns = []adaptnoc.Design{
+	adaptnoc.DesignBaseline,
+	adaptnoc.DesignOSCAR,
+	adaptnoc.DesignShortcut,
+	adaptnoc.DesignFTBY,
+	adaptnoc.DesignFTBYPG,
+	adaptnoc.DesignAdaptNoRL,
+	adaptnoc.DesignAdaptNoC,
+}
+
+// buildConfig assembles the Config for one design on a workload.
+func (o Options) buildConfig(d adaptnoc.Design, apps []adaptnoc.AppSpec) adaptnoc.Config {
+	cfg := adaptnoc.Config{
+		Design:      d,
+		Apps:        apps,
+		Seed:        o.Seed,
+		EpochCycles: o.EpochCycles,
+	}
+	if d == adaptnoc.DesignAdaptNoC {
+		if o.Agent != nil {
+			cfg.RL.Pretrained = o.Agent
+		} else {
+			cfg.RL.Train = true
+		}
+	}
+	return cfg
+}
+
+// runDesign executes one design for the options' window (or until budgeted
+// apps finish) and returns results.
+func (o Options) runDesign(d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc.Results, error) {
+	s, err := adaptnoc.NewSim(o.buildConfig(d, apps))
+	if err != nil {
+		return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+	}
+	budgeted := false
+	for _, a := range apps {
+		if a.InstrBudget > 0 {
+			budgeted = true
+			break
+		}
+	}
+	if budgeted {
+		if !s.RunUntilFinished(100 * o.Cycles) {
+			return adaptnoc.Results{}, fmt.Errorf("exp: %v did not finish within %d cycles", d, 100*o.Cycles)
+		}
+	} else {
+		s.Run(o.Cycles)
+	}
+	return s.Results(), nil
+}
+
+// oracleStatics picks the statically best topology per application for the
+// Adapt-NoC-noRL design point by probing each topology in isolation and
+// minimizing the paper's cost power×(Tnet+Tqueue). With no probe budget it
+// keeps the workload's heuristic defaults.
+func (o Options) oracleStatics(apps []adaptnoc.AppSpec) ([]adaptnoc.AppSpec, error) {
+	out := append([]adaptnoc.AppSpec(nil), apps...)
+	if o.OracleProbeCycles <= 0 {
+		return out, nil
+	}
+	for i := range out {
+		best, bestCost := out[i].Static, 0.0
+		first := true
+		for k := topology.Mesh; k < topology.NumKinds; k++ {
+			probe := out[i]
+			probe.Static = k
+			probe.InstrBudget = 0
+			probe.ShareMCs = 0
+			s, err := adaptnoc.NewSim(adaptnoc.Config{
+				Design:      adaptnoc.DesignAdaptNoRL,
+				Apps:        []adaptnoc.AppSpec{probe},
+				Seed:        o.Seed + uint64(k),
+				EpochCycles: o.EpochCycles,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Run(o.OracleProbeCycles)
+			res := s.Results()
+			a := res.Apps[0]
+			powerMW := a.Energy.TotalPJ() / (float64(res.Cycles) / 2.0) // 2 GHz
+			cost := powerMW * (a.AvgNetLatency + a.AvgQueueLatency)
+			if first || cost < bestCost {
+				best, bestCost = k, cost
+				first = false
+			}
+		}
+		out[i].Static = best
+	}
+	return out, nil
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Print writes the table.
+func (t Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV writes the table as RFC-4180 CSV (title and notes as comments).
+func (t Table) CSV(w io.Writer) error {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	return nil
+}
+
+// f2/f3/pct are cell formatters.
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adaptnoc"
+	"adaptnoc/internal/traffic"
+)
+
+// quick returns fast options for CI-grade runs.
+func quick() Options {
+	o := QuickOptions()
+	o.Cycles = 40000
+	o.Budget = 1500
+	o.EpochCycles = 8000
+	return o
+}
+
+func TestRunMixedProducesAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m, err := RunMixed(quick(), "bfs", "canneal", "ferret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Latency) != len(AllDesigns) || len(m.ExecTime) != len(AllDesigns) {
+		t.Fatalf("incomplete metrics: %+v", m)
+	}
+	for i, d := range m.Designs {
+		if m.Latency[i] <= 0 || m.ExecTime[i] <= 0 || m.TotalEnergy[i] <= 0 {
+			t.Errorf("%v: empty metric (lat %v exec %v energy %v)",
+				d, m.Latency[i], m.ExecTime[i], m.TotalEnergy[i])
+		}
+	}
+	for _, tab := range []Table{m.Fig7(), m.Fig10(), m.Fig11(), m.Fig12(), m.Fig13()} {
+		if len(tab.Rows) != len(AllDesigns) {
+			t.Errorf("%s: %d rows, want %d", tab.Title, len(tab.Rows), len(AllDesigns))
+		}
+		tab.Print(os.Stderr)
+	}
+	// Shape checks robust at quick fidelity: the fabric's hop/topology
+	// advantage shows in network latency (total latency additionally
+	// carries epsilon-exploration queuing noise in short windows), and the
+	// oracle-static fabric must beat the baseline outright.
+	base := m.index(adaptnoc.DesignBaseline)
+	ad := m.index(adaptnoc.DesignAdaptNoC)
+	norl := m.index(adaptnoc.DesignAdaptNoRL)
+	if m.NetLatency[ad] >= m.NetLatency[base] {
+		t.Errorf("adapt-noc network latency %.1f not below baseline %.1f",
+			m.NetLatency[ad], m.NetLatency[base])
+	}
+	if m.Latency[norl] > m.Latency[base] {
+		t.Errorf("adapt-norl latency %.1f above baseline %.1f", m.Latency[norl], m.Latency[base])
+	}
+}
+
+func TestSelectionFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := quick()
+	sel, err := RunSelection(o, []string{"blackscholes"}, traffic.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range sel[0].Fractions {
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("selection fractions sum %v", sum)
+	}
+}
+
+func TestOverheadTables(t *testing.T) {
+	for _, tab := range []Table{TabArea(), TabWiring(), TabTiming()} {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty", tab.Title)
+		}
+	}
+	// Key published values must reproduce.
+	area := TabArea()
+	saving := area.Rows[len(area.Rows)-1][1]
+	v, err := strconv.Atoi(strings.TrimSuffix(saving, "%"))
+	if err != nil || v < 5 || v > 25 {
+		t.Errorf("area saving %q out of the paper's ballpark (14%%)", saving)
+	}
+	wiring := TabWiring()
+	if wiring.Rows[3][1] != "true" {
+		t.Error("wiring budget check failed")
+	}
+}
+
+func TestTablePrintAligns(t *testing.T) {
+	tab := Table{
+		Title:   "t",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"xxxxxx", "1"}},
+	}
+	var sb strings.Builder
+	tab.Print(&sb)
+	if !strings.Contains(sb.String(), "xxxxxx") {
+		t.Fatal("row missing")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x,y"}},
+		Notes:   []string{"note"},
+	}
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# demo", "a,b", `"x,y"`, "# note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerAppAndSelectionPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := quick()
+	o.OracleProbeCycles = 15000
+	o.Cycles = 30000
+
+	ms, err := RunPerApp(o, []string{"ferret"}, traffic.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || len(ms[0].Hops) != len(AllDesigns) {
+		t.Fatalf("per-app metrics malformed: %+v", ms)
+	}
+	// Oracle static must not lose to the plain mesh baseline on hops for a
+	// sparse CPU app (cmesh halves them).
+	if ms[0].Hops[5] >= ms[0].Hops[0] {
+		t.Errorf("adapt-norl hops %.2f not below baseline %.2f", ms[0].Hops[5], ms[0].Hops[0])
+	}
+
+	sel, err := RunSelection(o, []string{"heartwall"}, traffic.GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range sel[0].Fractions {
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("selection fractions sum %v", sum)
+	}
+}
+
+func TestFig16Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := quick()
+	o.Cycles = 30000
+	o.OracleProbeCycles = 15000
+	tab, err := Fig16(o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Fig16 rows %d", len(tab.Rows))
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := quick()
+	o.Cycles = 30000
+	tab, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("ablation rows %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "1.000" {
+		t.Fatalf("full-design row not normalized: %v", tab.Rows[0])
+	}
+}

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+
+	"adaptnoc"
+)
+
+// MixedResult bundles the mixed-workload comparison across all seven
+// designs — the data behind Fig. 7 (packet latency), Fig. 10 (execution
+// time), and Figs. 11-13 (energy).
+type MixedResult struct {
+	Designs []adaptnoc.Design
+	// Latency metrics from the open-ended (latency) runs.
+	Latency      []float64 // mean total packet latency (cycles)
+	NetLatency   []float64
+	QueueLatency []float64
+	Hops         []float64
+	// ExecTime from the budgeted runs (cycles, mean across apps).
+	ExecTime []float64
+	// ExecPerApp[d][a] is app a's completion cycle under design d.
+	ExecPerApp [][]float64
+	// Energy from the budgeted runs (pJ).
+	TotalEnergy   []float64
+	DynamicEnergy []float64
+	StaticEnergy  []float64
+}
+
+// index returns the row of a design.
+func (m MixedResult) index(d adaptnoc.Design) int {
+	for i, x := range m.Designs {
+		if x == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// Normalized returns metric[i]/metric[baseline].
+func normalized(xs []float64, base int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if xs[base] != 0 {
+			out[i] = x / xs[base]
+		}
+	}
+	return out
+}
+
+// RunMixed executes the mixed workload across every design: one
+// fixed-window run for latency metrics and one budgeted run for execution
+// time and energy (energy must compare equal work, as the paper does).
+func RunMixed(o Options, gpu, cpu1, cpu2 string) (MixedResult, error) {
+	m := MixedResult{Designs: AllDesigns}
+	latApps := adaptnoc.MixedWorkload(gpu, cpu1, cpu2, 0)
+	execApps := adaptnoc.MixedWorkload(gpu, cpu1, cpu2, o.Budget)
+
+	oracleLat, err := o.oracleStatics(latApps)
+	if err != nil {
+		return m, err
+	}
+	oracleExec := append([]adaptnoc.AppSpec(nil), execApps...)
+	for i := range oracleExec {
+		oracleExec[i].Static = oracleLat[i].Static
+	}
+
+	for _, d := range m.Designs {
+		lApps, eApps := latApps, execApps
+		if d == adaptnoc.DesignAdaptNoRL {
+			lApps, eApps = oracleLat, oracleExec
+		}
+		lr, err := o.runDesign(d, lApps)
+		if err != nil {
+			return m, err
+		}
+		m.Latency = append(m.Latency, lr.MeanLatency())
+		m.Hops = append(m.Hops, lr.MeanHops())
+		var nl, ql, n float64
+		for _, a := range lr.Apps {
+			nl += a.AvgNetLatency * float64(a.DeliveredPackets)
+			ql += a.AvgQueueLatency * float64(a.DeliveredPackets)
+			n += float64(a.DeliveredPackets)
+		}
+		m.NetLatency = append(m.NetLatency, nl/n)
+		m.QueueLatency = append(m.QueueLatency, ql/n)
+
+		er, err := o.runDesign(d, eApps)
+		if err != nil {
+			return m, err
+		}
+		m.ExecTime = append(m.ExecTime, er.MeanExecTime())
+		var perApp []float64
+		for _, a := range er.Apps {
+			perApp = append(perApp, float64(a.ExecTime))
+		}
+		m.ExecPerApp = append(m.ExecPerApp, perApp)
+		m.TotalEnergy = append(m.TotalEnergy, er.TotalEnergy.TotalPJ())
+		m.DynamicEnergy = append(m.DynamicEnergy, er.TotalEnergy.DynamicPJ())
+		m.StaticEnergy = append(m.StaticEnergy, er.TotalEnergy.StaticPJ())
+	}
+	return m, nil
+}
+
+// Fig7 renders the packet-latency comparison, normalized to baseline.
+func (m MixedResult) Fig7() Table {
+	base := m.index(adaptnoc.DesignBaseline)
+	normT := normalized(m.Latency, base)
+	normN := normalized(m.NetLatency, base)
+	normQ := normalized(m.QueueLatency, base)
+	t := Table{
+		Title:   "Fig. 7 — packet latency, mixed workload (normalized to baseline)",
+		Columns: []string{"design", "total", "network", "queuing", "cycles(abs)"},
+	}
+	for i, d := range m.Designs {
+		t.Rows = append(t.Rows, []string{
+			d.String(), f3(normT[i]), f3(normN[i]), f3(normQ[i]), f2(m.Latency[i]),
+		})
+	}
+	ad := m.index(adaptnoc.DesignAdaptNoC)
+	t.Notes = append(t.Notes, fmt.Sprintf("adapt-noc latency reduction vs baseline: %s (paper: 34%%)",
+		pct(1-normT[ad])))
+	return t
+}
+
+// Fig10 renders the execution-time comparison. Each application's
+// completion time is normalized against its own baseline run and the
+// per-app ratios are averaged (the standard speedup methodology — a raw
+// mean would be dominated by whichever application happens to run
+// longest).
+func (m MixedResult) Fig10() Table {
+	base := m.index(adaptnoc.DesignBaseline)
+	norm := make([]float64, len(m.Designs))
+	for i := range m.Designs {
+		var s float64
+		n := 0
+		for a, exec := range m.ExecPerApp[i] {
+			if b := m.ExecPerApp[base][a]; b > 0 {
+				s += exec / b
+				n++
+			}
+		}
+		if n > 0 {
+			norm[i] = s / float64(n)
+		}
+	}
+	t := Table{
+		Title:   "Fig. 10 — execution time, mixed workload (per-app normalized to baseline, averaged)",
+		Columns: []string{"design", "normalized", "mean cycles(abs)"},
+	}
+	for i, d := range m.Designs {
+		t.Rows = append(t.Rows, []string{d.String(), f3(norm[i]), f2(m.ExecTime[i])})
+	}
+	ad := m.index(adaptnoc.DesignAdaptNoC)
+	t.Notes = append(t.Notes, fmt.Sprintf("adapt-noc execution-time reduction vs baseline: %s (paper: 10%%)",
+		pct(1-norm[ad])))
+	return t
+}
+
+// Fig11 renders total NoC energy (equal-work runs).
+func (m MixedResult) Fig11() Table {
+	base := m.index(adaptnoc.DesignBaseline)
+	norm := normalized(m.TotalEnergy, base)
+	t := Table{
+		Title:   "Fig. 11 — total NoC energy, mixed workload (normalized to baseline)",
+		Columns: []string{"design", "normalized", "uJ(abs)"},
+	}
+	for i, d := range m.Designs {
+		t.Rows = append(t.Rows, []string{d.String(), f3(norm[i]), f2(m.TotalEnergy[i] / 1e6)})
+	}
+	ad := m.index(adaptnoc.DesignAdaptNoC)
+	t.Notes = append(t.Notes, fmt.Sprintf("adapt-noc energy saving vs baseline: %s (paper: 53%%)",
+		pct(1-norm[ad])))
+	return t
+}
+
+// Fig12 renders dynamic energy.
+func (m MixedResult) Fig12() Table {
+	base := m.index(adaptnoc.DesignBaseline)
+	norm := normalized(m.DynamicEnergy, base)
+	t := Table{
+		Title:   "Fig. 12 — dynamic energy, mixed workload (normalized to baseline)",
+		Columns: []string{"design", "normalized", "uJ(abs)"},
+	}
+	for i, d := range m.Designs {
+		t.Rows = append(t.Rows, []string{d.String(), f3(norm[i]), f2(m.DynamicEnergy[i] / 1e6)})
+	}
+	return t
+}
+
+// Fig13 renders static energy.
+func (m MixedResult) Fig13() Table {
+	base := m.index(adaptnoc.DesignBaseline)
+	norm := normalized(m.StaticEnergy, base)
+	t := Table{
+		Title:   "Fig. 13 — static energy, mixed workload (normalized to baseline)",
+		Columns: []string{"design", "normalized", "uJ(abs)"},
+	}
+	for i, d := range m.Designs {
+		t.Rows = append(t.Rows, []string{d.String(), f3(norm[i]), f2(m.StaticEnergy[i] / 1e6)})
+	}
+	return t
+}

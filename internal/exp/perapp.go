@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"adaptnoc"
+	"adaptnoc/internal/topology"
+	"adaptnoc/internal/traffic"
+)
+
+// perAppSpec places one application alone on the chip.
+func perAppSpec(name string, class traffic.Class) adaptnoc.AppSpec {
+	reg := adaptnoc.Region{X: 0, Y: 0, W: 4, H: 4} // CPU apps: 4x4 (Fig. 14)
+	static := topology.CMesh                       // sparse CPU default
+	if class == traffic.GPU {
+		reg = adaptnoc.Region{X: 0, Y: 0, W: 4, H: 8} // GPU apps: 4x8 (Fig. 15)
+		static = topology.Tree                        // memory-reply default
+	}
+	return adaptnoc.AppSpec{
+		Profile: name,
+		Region:  reg,
+		MCTiles: adaptnoc.BlockMCs(reg),
+		Static:  static,
+	}
+}
+
+// PerAppMetrics holds one application's metrics across designs.
+type PerAppMetrics struct {
+	App      string
+	Hops     []float64 // per design, paper order
+	QueueLat []float64
+	NetLat   []float64
+}
+
+// RunPerApp measures each named application alone under every design.
+func RunPerApp(o Options, names []string, class traffic.Class) ([]PerAppMetrics, error) {
+	var out []PerAppMetrics
+	for _, name := range names {
+		spec := perAppSpec(name, class)
+		specs := []adaptnoc.AppSpec{spec}
+		oracle, err := o.oracleStatics(specs)
+		if err != nil {
+			return nil, err
+		}
+		pm := PerAppMetrics{App: name}
+		for _, d := range AllDesigns {
+			apps := specs
+			if d == adaptnoc.DesignAdaptNoRL {
+				apps = oracle
+			}
+			res, err := o.runDesign(d, apps)
+			if err != nil {
+				return nil, err
+			}
+			a := res.Apps[0]
+			pm.Hops = append(pm.Hops, a.AvgHops)
+			pm.QueueLat = append(pm.QueueLat, a.AvgQueueLatency)
+			pm.NetLat = append(pm.NetLat, a.AvgNetLatency)
+		}
+		out = append(out, pm)
+	}
+	return out, nil
+}
+
+// Fig8 renders the per-CPU-application hop counts, normalized to baseline.
+func Fig8(o Options) (Table, error) {
+	var names []string
+	for _, p := range traffic.CPUProfiles() {
+		names = append(names, p.Name)
+	}
+	ms, err := RunPerApp(o, names, traffic.CPU)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:   "Fig. 8 — hop count, CPU applications (normalized to baseline)",
+		Columns: append([]string{"app"}, designCols()...),
+	}
+	for _, m := range ms {
+		row := []string{m.App}
+		for i := range AllDesigns {
+			row = append(row, f3(m.Hops[i]/m.Hops[0]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper: adapt-noc ~41% below baseline/oscar, ~31% below shortcut, ~9% above ftby")
+	return t, nil
+}
+
+// Fig9 renders GPU hop count and queuing latency, normalized to baseline.
+func Fig9(o Options) (Table, error) {
+	var names []string
+	for _, p := range traffic.GPUProfiles() {
+		names = append(names, p.Name)
+	}
+	ms, err := RunPerApp(o, names, traffic.GPU)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:   "Fig. 9 — hop count / queuing latency, GPU applications (normalized to baseline)",
+		Columns: []string{"app", "metric"},
+	}
+	t.Columns = append(t.Columns, designCols()...)
+	for _, m := range ms {
+		hops := []string{m.App, "hops"}
+		queue := []string{m.App, "queue"}
+		for i := range AllDesigns {
+			hops = append(hops, f3(m.Hops[i]/m.Hops[0]))
+			qBase := m.QueueLat[0]
+			if qBase == 0 {
+				qBase = 1
+			}
+			queue = append(queue, f3(m.QueueLat[i]/qBase))
+		}
+		t.Rows = append(t.Rows, hops, queue)
+	}
+	t.Notes = append(t.Notes,
+		"paper: adapt-noc hops ~46% below baseline, ~10% above ftby; queuing ~39% below baseline")
+	return t, nil
+}
+
+// SelectionResult is one application's topology-selection breakdown.
+type SelectionResult struct {
+	App       string
+	Fractions [int(topology.NumSelectable)]float64
+}
+
+// RunSelection runs DesignAdaptNoC per application and collects the
+// per-epoch topology choices (Figs. 14-15).
+func RunSelection(o Options, names []string, class traffic.Class) ([]SelectionResult, error) {
+	var out []SelectionResult
+	for _, name := range names {
+		spec := perAppSpec(name, class)
+		res, err := o.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SelectionResult{App: name, Fractions: res.Apps[0].Selections})
+	}
+	return out, nil
+}
+
+// Fig14 renders the CPU selection breakdown (4x4 subNoC).
+func Fig14(o Options) (Table, error) {
+	var names []string
+	for _, p := range traffic.CPUProfiles() {
+		names = append(names, p.Name)
+	}
+	sel, err := RunSelection(o, names, traffic.CPU)
+	if err != nil {
+		return Table{}, err
+	}
+	return selectionTable("Fig. 14 — topology selection breakdown, CPU applications (4x4 subNoC)",
+		sel, "paper: cmesh ~85% overall; CA/SW/X264 pick ~8% tree"), nil
+}
+
+// Fig15 renders the GPU selection breakdown (4x8 subNoC).
+func Fig15(o Options) (Table, error) {
+	var names []string
+	for _, p := range traffic.GPUProfiles() {
+		names = append(names, p.Name)
+	}
+	sel, err := RunSelection(o, names, traffic.GPU)
+	if err != nil {
+		return Table{}, err
+	}
+	return selectionTable("Fig. 15 — topology selection breakdown, GPU applications (4x8 subNoC)",
+		sel, "paper: bandwidth-rich topologies (mesh/torus/tree) >49%; cmesh 37-64%"), nil
+}
+
+func selectionTable(title string, sel []SelectionResult, note string) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"app", "mesh", "cmesh", "torus", "tree"},
+		Notes:   []string{note},
+	}
+	var avg [int(topology.NumKinds)]float64
+	for _, s := range sel {
+		row := []string{s.App}
+		for k := 0; k < int(topology.NumKinds); k++ {
+			row = append(row, pct(s.Fractions[k]))
+			avg[k] += s.Fractions[k]
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"(mean)"}
+	for k := 0; k < int(topology.NumKinds); k++ {
+		mean = append(mean, pct(avg[k]/float64(len(sel))))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t
+}
+
+func designCols() []string {
+	var out []string
+	for _, d := range AllDesigns {
+		out = append(out, d.String())
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/topology"
+)
+
+// Allocator places rectangular subNoC regions on the grid, first-fit in
+// row-major order (the OS-level region allocation of Section II-C.1 —
+// cache coloring and page placement keep an application's data inside its
+// region; here only the geometric placement matters).
+type Allocator struct {
+	w, h int
+	used []bool
+}
+
+// NewAllocator returns an allocator for a W×H grid.
+func NewAllocator(w, h int) *Allocator {
+	return &Allocator{w: w, h: h, used: make([]bool, w*h)}
+}
+
+// Place finds a free w×h rectangle, marks it used, and returns it.
+func (a *Allocator) Place(w, h int) (topology.Region, error) {
+	if w <= 0 || h <= 0 || w > a.w || h > a.h {
+		return topology.Region{}, fmt.Errorf("fabric: cannot place %dx%d on %dx%d grid", w, h, a.w, a.h)
+	}
+	for y := 0; y+h <= a.h; y++ {
+		for x := 0; x+w <= a.w; x++ {
+			reg := topology.Region{X: x, Y: y, W: w, H: h}
+			if a.fits(reg) {
+				a.mark(reg, true)
+				return reg, nil
+			}
+		}
+	}
+	return topology.Region{}, fmt.Errorf("fabric: no free %dx%d region", w, h)
+}
+
+// PlaceAt claims a specific rectangle.
+func (a *Allocator) PlaceAt(reg topology.Region) error {
+	if reg.X < 0 || reg.Y < 0 || reg.X+reg.W > a.w || reg.Y+reg.H > a.h {
+		return fmt.Errorf("fabric: region %v outside %dx%d grid", reg, a.w, a.h)
+	}
+	if !a.fits(reg) {
+		return fmt.Errorf("fabric: region %v not free", reg)
+	}
+	a.mark(reg, true)
+	return nil
+}
+
+// Free releases a previously placed rectangle.
+func (a *Allocator) Free(reg topology.Region) {
+	a.mark(reg, false)
+}
+
+// FreeTiles returns the number of unallocated tiles.
+func (a *Allocator) FreeTiles() int {
+	n := 0
+	for _, u := range a.used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *Allocator) fits(reg topology.Region) bool {
+	for y := reg.Y; y < reg.Y+reg.H; y++ {
+		for x := reg.X; x < reg.X+reg.W; x++ {
+			if a.used[y*a.w+x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (a *Allocator) mark(reg topology.Region, v bool) {
+	for y := reg.Y; y < reg.Y+reg.H; y++ {
+		for x := reg.X; x < reg.X+reg.W; x++ {
+			a.used[y*a.w+x] = v
+		}
+	}
+}

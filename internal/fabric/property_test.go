@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"testing"
+
+	"adaptnoc/internal/deadlock"
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/topology"
+)
+
+// allKinds includes the extension topology.
+var allKinds = []topology.Kind{
+	topology.Mesh, topology.CMesh, topology.Torus, topology.Tree, topology.TorusTree,
+}
+
+// randomMosaic places 2-4 disjoint regions by recursive splitting of the
+// 8x8 grid.
+func randomMosaic(rng *sim.RNG) []topology.Region {
+	regions := []topology.Region{{W: 8, H: 8}}
+	splits := 1 + rng.Intn(2)
+	for s := 0; s < splits; s++ {
+		i := rng.Intn(len(regions))
+		r := regions[i]
+		if rng.Bernoulli(0.5) && r.W >= 4 {
+			w := 2 * (1 + rng.Intn(r.W/2/2+1))
+			if w >= r.W {
+				w = r.W / 2
+			}
+			a := topology.Region{X: r.X, Y: r.Y, W: w, H: r.H}
+			b := topology.Region{X: r.X + w, Y: r.Y, W: r.W - w, H: r.H}
+			regions = append(regions[:i], append([]topology.Region{a, b}, regions[i+1:]...)...)
+		} else if r.H >= 4 {
+			h := 2 * (1 + rng.Intn(r.H/2/2+1))
+			if h >= r.H {
+				h = r.H / 2
+			}
+			a := topology.Region{X: r.X, Y: r.Y, W: r.W, H: h}
+			b := topology.Region{X: r.X, Y: r.Y + h, W: r.W, H: r.H - h}
+			regions = append(regions[:i], append([]topology.Region{a, b}, regions[i+1:]...)...)
+		}
+	}
+	return regions
+}
+
+// TestRandomMosaicsAlwaysSafe is the fabric's main property test: random
+// disjoint subNoC mosaics with random topologies and random runtime
+// reconfiguration sequences under live traffic must (1) keep every routing
+// state deadlock-free, (2) respect the adaptable-link wiring discipline,
+// and (3) deliver every injected packet.
+func TestRandomMosaicsAlwaysSafe(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := sim.NewRNG(uint64(9000 + trial))
+		cfg := adaptConfig()
+		net := noc.NewNetwork(cfg)
+		k := sim.NewKernel()
+		k.Register(net)
+		f := New(net, k, DefaultConfig())
+
+		regions := randomMosaic(rng)
+		var subs []*SubNoC
+		for i, reg := range regions {
+			kind := allKinds[rng.Intn(len(allKinds))]
+			mc := noc.Coord{X: reg.X + rng.Intn(reg.W), Y: reg.Y + rng.Intn(reg.H)}.ID(cfg.Width)
+			sn, err := f.Allocate(i, reg, kind, mc)
+			if err != nil {
+				t.Fatalf("trial %d: allocate %v %v: %v", trial, reg, kind, err)
+			}
+			subs = append(subs, sn)
+		}
+
+		check := func(stage string) {
+			if err := CheckWiring(net); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, stage, err)
+			}
+			for _, sn := range subs {
+				if err := deadlock.CheckAllPairs(net, f.RegionOf(sn)); err != nil {
+					t.Fatalf("trial %d %s subNoC %d (%v): %v", trial, stage, sn.ID, sn.Kind, err)
+				}
+			}
+		}
+		check("initial")
+
+		delivered := 0
+		net.SetDeliverFunc(func(*noc.Packet, sim.Cycle) { delivered++ })
+		var sources []*trafficSource
+		for i, sn := range subs {
+			ts := &trafficSource{net: net, tiles: f.RegionOf(sn),
+				rng: sim.NewRNG(uint64(7000 + trial*10 + i)), rate: 0.01}
+			sources = append(sources, ts)
+			k.Register(ts)
+		}
+
+		// Random reconfiguration sequence under load.
+		for step := 0; step < 3; step++ {
+			k.RunFor(3000)
+			sn := subs[rng.Intn(len(subs))]
+			kind := allKinds[rng.Intn(len(allKinds))]
+			if kind == sn.Kind {
+				continue
+			}
+			if err := f.ReconfigureBlocking(sn, kind); err != nil {
+				t.Fatalf("trial %d: reconfigure %d -> %v: %v", trial, sn.ID, kind, err)
+			}
+			check("after reconfigure")
+		}
+
+		for _, ts := range sources {
+			ts.rate = 0
+		}
+		k.RunFor(30000)
+		total := 0
+		for _, ts := range sources {
+			total += ts.injected
+		}
+		if delivered != total {
+			t.Fatalf("trial %d: delivered %d of %d packets", trial, delivered, total)
+		}
+		if err := net.CheckCreditInvariant(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package fabric
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/topology"
+)
+
+// Reconfigure switches a subNoC to a new topology at runtime using the
+// staged protocol of Section II-C.1:
+//
+//  1. Notification wave — (M+N−2)×(Tr+Tl) cycles for the configuration
+//     message to reach every router of the subNoC.
+//  2. Drain — new packet streams are gated at the region's NIs while
+//     in-flight flits complete under the old routing algorithm. (The
+//     paper's Lysne-style staging adds R_mesh before removing R_old so
+//     that the network is never unroutable; our drain achieves the same
+//     safety with the same cost order, charged as gated-injection cycles.
+//     Queued packets are never dropped — they wait at the NI and their
+//     wait is visible as queuing latency.)
+//  3. Setup — links are re-muxed, adaptable-link segments re-programmed,
+//     NI attachments re-clustered, new tables installed; route computation
+//     stalls for the Ts=14-cycle connection-setup window.
+//  4. Injection reopens.
+//
+// Reconfigure is asynchronous: it returns immediately and done (optional)
+// runs when the subNoC is active again. A subNoC mid-reconfiguration
+// rejects further Reconfigure calls.
+func (f *Fabric) Reconfigure(sn *SubNoC, kind topology.Kind, done func()) error {
+	if f.kernel == nil {
+		return fmt.Errorf("fabric: runtime reconfiguration needs a kernel")
+	}
+	if sn.state != StateActive {
+		return fmt.Errorf("fabric: subNoC %d is %v, cannot reconfigure", sn.ID, sn.state)
+	}
+	if kind == sn.Kind {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	sn.state = StateNotifying
+	sn.Reconfigs++
+	wave := f.notificationWave(sn.Region)
+	f.kernel.After(wave, func(now sim.Cycle) {
+		f.beginDrain(sn, kind, now, done)
+	})
+	return nil
+}
+
+// notificationWave returns the cycles for the reconfiguration command to
+// reach the farthest router of the region: (M+N−2)×(Tr+Tl).
+func (f *Fabric) notificationWave(reg topology.Region) sim.Cycle {
+	hops := reg.W + reg.H - 2
+	if hops < 1 {
+		hops = 1
+	}
+	return sim.Cycle(hops * (f.net.Cfg.RouterLatency + f.net.Cfg.LinkLatency))
+}
+
+// beginDrain gates injection and polls for quiescence.
+func (f *Fabric) beginDrain(sn *SubNoC, kind topology.Kind, start sim.Cycle, done func()) {
+	sn.state = StateDraining
+	f.GateRegion(sn.Region, true)
+	deadline := start + f.cfg.DrainTimeout
+	var poll func(now sim.Cycle)
+	poll = func(now sim.Cycle) {
+		if !f.regionQuiescent(sn.Region) || !f.sharesQuiescent(sn) {
+			if now >= deadline {
+				panic(fmt.Sprintf("fabric: subNoC %d failed to drain within %d cycles",
+					sn.ID, f.cfg.DrainTimeout))
+			}
+			f.kernel.After(1, poll)
+			return
+		}
+		f.performSwitch(sn, kind, now, start, done)
+	}
+	f.kernel.After(1, poll)
+}
+
+// performSwitch executes the physical reconfiguration and schedules the
+// injection reopening after the Ts setup window.
+func (f *Fabric) performSwitch(sn *SubNoC, kind topology.Kind, now, gatedSince sim.Cycle, done func()) {
+	sn.state = StateSettingUp
+
+	// Shares touching this region (as requester or owner) are torn down
+	// with it and re-established under the new topology in the same cycle,
+	// so foreign-destination packets elsewhere never observe a routing
+	// hole. A share that cannot be re-established would strand queued
+	// foreign-MC traffic, so it is a hard error — findCrossing is designed
+	// to succeed for every topology pair (bridging powered-off routers).
+	shares := f.sharesTouching(sn.Region)
+	for _, sh := range shares {
+		f.unshare(sn, sh)
+	}
+	f.teardownRegion(sn.Region)
+	f.configureRegion(sn, kind)
+	for _, sh := range shares {
+		if err := f.shareInternal(sh.requester, sh.mcTile, sh.owner); err != nil {
+			panic(fmt.Sprintf("fabric: cannot re-establish MC share after switching subNoC %d to %v: %v",
+				sn.ID, kind, err))
+		}
+	}
+
+	f.kernel.After(sim.Cycle(f.cfg.SetupCycles), func(end sim.Cycle) {
+		f.GateRegion(sn.Region, false)
+		sn.state = StateActive
+		sn.ReconfigCycles += int64(end - gatedSince)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// ReconfigureBlocking runs a reconfiguration to completion by stepping the
+// kernel (other subNoCs keep running normally); a convenience for tests,
+// examples, and the epoch controller.
+func (f *Fabric) ReconfigureBlocking(sn *SubNoC, kind topology.Kind) error {
+	doneFlag := false
+	if err := f.Reconfigure(sn, kind, func() { doneFlag = true }); err != nil {
+		return err
+	}
+	guard := f.kernel.Now() + 4*f.cfg.DrainTimeout
+	for !doneFlag && f.kernel.Now() < guard {
+		f.kernel.Step()
+	}
+	if !doneFlag {
+		return fmt.Errorf("fabric: reconfiguration of subNoC %d did not complete", sn.ID)
+	}
+	return nil
+}
+
+// SwitchLatencyModel returns the fixed (traffic-independent) portion of a
+// reconfiguration's latency in cycles — the notification wave plus Ts —
+// used by the overhead analysis (Section V-B).
+func (f *Fabric) SwitchLatencyModel(reg topology.Region) sim.Cycle {
+	return f.notificationWave(reg) + sim.Cycle(f.cfg.SetupCycles)
+}
+
+// RegionOf exposes a subNoC's region tiles for observers.
+func (f *Fabric) RegionOf(sn *SubNoC) []noc.NodeID {
+	return sn.Region.Tiles(f.net.Cfg.Width)
+}

@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/topology"
+)
+
+func TestAllocatorNeverOverlapsProperty(t *testing.T) {
+	f := func(ws, hs []uint8) bool {
+		a := NewAllocator(8, 8)
+		var placed []topology.Region
+		n := len(ws)
+		if len(hs) < n {
+			n = len(hs)
+		}
+		for i := 0; i < n && i < 12; i++ {
+			w, h := int(ws[i]%5)+1, int(hs[i]%5)+1
+			reg, err := a.Place(w, h)
+			if err != nil {
+				continue // grid full — fine
+			}
+			for _, p := range placed {
+				if p.Overlaps(reg) {
+					return false
+				}
+			}
+			placed = append(placed, reg)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckWiringRejectsOverlap(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	for _, r := range net.Routers() {
+		topology.EnsureAdaptPorts(r)
+	}
+	// Two overlapping east-going segments on row 0's forward wire:
+	// [0,2] and [1,3].
+	for _, id := range []noc.NodeID{1, 3} {
+		r := net.Router(id)
+		for r.NumPorts() < 11 {
+			r.AddPort()
+		}
+	}
+	net.Connect(noc.Endpoint{Kind: noc.EndRouter, Router: 0, Port: topology.PortAdaptEast},
+		noc.Endpoint{Kind: noc.EndRouter, Router: 2, Port: topology.PortAdaptWest},
+		noc.ChanAdaptable, 1, 2)
+	net.Connect(noc.Endpoint{Kind: noc.EndRouter, Router: 1, Port: 9},
+		noc.Endpoint{Kind: noc.EndRouter, Router: 3, Port: 10},
+		noc.ChanAdaptable, 1, 2)
+	err := CheckWiring(net)
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlapping segments accepted: %v", err)
+	}
+}
+
+func TestCheckWiringAllowsSharedEndpointsAndLayers(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	for _, r := range net.Routers() {
+		topology.EnsureAdaptPorts(r)
+	}
+	// Chained segments sharing an endpoint (Fig. 3(b)) are legal.
+	net.Connect(noc.Endpoint{Kind: noc.EndRouter, Router: 0, Port: topology.PortAdaptEast},
+		noc.Endpoint{Kind: noc.EndRouter, Router: 2, Port: topology.PortAdaptWest},
+		noc.ChanAdaptable, 1, 2)
+	net.Connect(noc.Endpoint{Kind: noc.EndRouter, Router: 2, Port: topology.PortAdaptEast},
+		noc.Endpoint{Kind: noc.EndRouter, Router: 4, Port: topology.PortAdaptWest},
+		noc.ChanAdaptable, 1, 2)
+	if err := CheckWiring(net); err != nil {
+		t.Fatalf("chained segments rejected: %v", err)
+	}
+	// The same interval on the intermediate layer is a different wire.
+	r1 := net.Router(1)
+	for r1.NumPorts() < 10 {
+		r1.AddPort()
+	}
+	r3 := net.Router(3)
+	for r3.NumPorts() < 10 {
+		r3.AddPort()
+	}
+	ch := net.Connect(noc.Endpoint{Kind: noc.EndRouter, Router: 1, Port: 9},
+		noc.Endpoint{Kind: noc.EndRouter, Router: 3, Port: 9},
+		noc.ChanAdaptable, 1, 2)
+	ch.Intermediate = true
+	if err := CheckWiring(net); err != nil {
+		t.Fatalf("intermediate-layer segment rejected: %v", err)
+	}
+}
+
+func TestSubNoCStateString(t *testing.T) {
+	for s, want := range map[SubNoCState]string{
+		StateActive: "active", StateNotifying: "notifying",
+		StateDraining: "draining", StateSettingUp: "setting-up",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestSwitchLatencyModel(t *testing.T) {
+	cfg := adaptConfig()
+	net := noc.NewNetwork(cfg)
+	k := sim.NewKernel()
+	k.Register(net)
+	f := New(net, k, DefaultConfig())
+	// (M+N-2)*(Tr+Tl) + Ts = (4+4-2)*(2+1) + 14 = 32.
+	if got := f.SwitchLatencyModel(topology.Region{W: 4, H: 4}); got != 32 {
+		t.Fatalf("SwitchLatencyModel = %d, want 32", got)
+	}
+}
+
+func TestAllocateRejectsBadArguments(t *testing.T) {
+	cfg := adaptConfig()
+	net := noc.NewNetwork(cfg)
+	k := sim.NewKernel()
+	k.Register(net)
+	f := New(net, k, DefaultConfig())
+	if _, err := f.Allocate(0, topology.Region{X: 6, Y: 0, W: 4, H: 4}, topology.Mesh, 6); err == nil {
+		t.Fatal("off-grid region accepted")
+	}
+	if _, err := f.Allocate(0, topology.Region{W: 4, H: 4}, topology.Mesh, 63); err == nil {
+		t.Fatal("MC outside region accepted")
+	}
+}

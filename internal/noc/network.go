@@ -1,0 +1,391 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptnoc/internal/sim"
+)
+
+// DeliverFunc observes every packet at the cycle its tail flit reaches the
+// destination NI.
+type DeliverFunc func(p *Packet, now sim.Cycle)
+
+// Network owns the routers, network interfaces, and channels of one chip
+// and advances them one cycle per Tick. Topology packages wire it; the
+// fabric package rewires it at runtime.
+type Network struct {
+	Cfg Config
+
+	routers  []*Router
+	nis      []*NI
+	channels []*Channel
+
+	// injectors is keyed by (router, local port); a router may have
+	// several local ports (flattened butterfly gives each terminal its
+	// own, Adapt-NoC concentration shares one through the mux). injList
+	// mirrors it in deterministic order for the per-cycle tick.
+	injectors map[injKey]*injector
+	injList   []*injector
+	// attach maps each tile to the router currently serving its NI
+	// (-1 when unattached).
+	attach []NodeID
+
+	onDeliver DeliverFunc
+	nextPkt   uint64
+
+	// Aggregate counters (whole-run, never reset).
+	TotalEnqueued  int64
+	TotalDelivered int64
+}
+
+// NewNetwork creates a W×H network with one 5-port router and one NI per
+// tile and no channels. Topology builders add channels, local attachments,
+// routing tables, and any extra ports.
+func NewNetwork(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{Cfg: cfg}
+	count := cfg.NumNodes()
+	n.routers = make([]*Router, count)
+	n.nis = make([]*NI, count)
+	n.injectors = make(map[injKey]*injector)
+	n.attach = make([]NodeID, count)
+	for i := 0; i < count; i++ {
+		n.routers[i] = newRouter(NodeID(i), 5, &n.Cfg, n)
+		n.nis[i] = newNI(NodeID(i))
+		n.attach[i] = -1
+	}
+	return n
+}
+
+// Router returns the router at a tile.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// NI returns a tile's network interface.
+func (n *Network) NI(id NodeID) *NI { return n.nis[id] }
+
+// Routers returns the router slice (do not mutate).
+func (n *Network) Routers() []*Router { return n.routers }
+
+// NIs returns the NI slice (do not mutate).
+func (n *Network) NIs() []*NI { return n.nis }
+
+// Channels returns the live channel slice (do not mutate).
+func (n *Network) Channels() []*Channel { return n.channels }
+
+// SetDeliverFunc installs the packet delivery observer.
+func (n *Network) SetDeliverFunc(fn DeliverFunc) { n.onDeliver = fn }
+
+// ServingRouter returns the router currently serving a tile's NI, or -1.
+func (n *Network) ServingRouter(tile NodeID) NodeID { return n.attach[tile] }
+
+// Connect wires a directed router-to-router channel and attaches it to the
+// named ports, returning the channel. The downstream credit mirror is sized
+// from the network configuration.
+func (n *Network) Connect(from, to Endpoint, kind ChannelKind, latency, tiles int) *Channel {
+	if from.Kind != EndRouter || to.Kind != EndRouter {
+		panic("noc: Connect is for router-to-router channels; use AttachLocal for NIs")
+	}
+	ch := newChannel(from, to, kind, latency, tiles)
+	src := n.routers[from.Router]
+	dst := n.routers[to.Router]
+	nvc := NumVNets * n.Cfg.VCsPerVNet
+	src.attachOut(from.Port, ch, nvc, n.Cfg.VCDepth)
+	dst.attachIn(to.Port, ch)
+	n.channels = append(n.channels, ch)
+	return ch
+}
+
+// ConnectBidir wires a mesh-style bidirectional link between two routers on
+// complementary ports, with 1-tile span.
+func (n *Network) ConnectBidir(a NodeID, aPort int, b NodeID, bPort int, kind ChannelKind, latency, tiles int) (fwd, rev *Channel) {
+	fwd = n.Connect(Endpoint{Kind: EndRouter, Router: a, Port: aPort},
+		Endpoint{Kind: EndRouter, Router: b, Port: bPort}, kind, latency, tiles)
+	rev = n.Connect(Endpoint{Kind: EndRouter, Router: b, Port: bPort},
+		Endpoint{Kind: EndRouter, Router: a, Port: aPort}, kind, latency, tiles)
+	return fwd, rev
+}
+
+// injKey identifies one local attachment point.
+type injKey struct {
+	router NodeID
+	port   int
+}
+
+// AttachLocal connects the NIs of the given tiles to a router's local
+// port: an injection channel (NIs → local input, arbitrated by the
+// concentration mux when several tiles share it) and an ejection channel
+// (local output → NIs). latency covers the concentration-link distance;
+// 1 for a resident NI.
+func (n *Network) AttachLocal(router NodeID, tiles []NodeID, latency int) {
+	n.AttachLocalPort(router, PortLocal, tiles, latency)
+}
+
+// AttachLocalPort is AttachLocal on an explicit local port, letting
+// high-radix routers (flattened butterfly) give each terminal its own
+// injection/ejection port.
+func (n *Network) AttachLocalPort(router NodeID, port int, tiles []NodeID, latency int) {
+	n.attachLocalPort(router, port, tiles, latency, true)
+}
+
+// AttachInjectionPort adds an injection-only local port for tiles already
+// attached to this router — the tree root's extra injection bandwidth
+// ("maximize the fanout of the root router ... to provide sufficient
+// injection bandwidth", Section II-B.3). No ejection channel is wired and
+// the port never appears in routing tables.
+func (n *Network) AttachInjectionPort(router NodeID, port int, tiles []NodeID, latency int) {
+	n.attachLocalPort(router, port, tiles, latency, false)
+}
+
+func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, latency int, withEjection bool) {
+	r := n.routers[router]
+	kind := ChanLocal
+	if len(tiles) > 1 {
+		kind = ChanConcentration
+	}
+	injCh := newChannel(
+		Endpoint{Kind: EndNI, NI: router, Port: port},
+		Endpoint{Kind: EndRouter, Router: router, Port: port},
+		kind, latency, 1)
+	n.channels = append(n.channels, injCh)
+	r.attachIn(port, injCh)
+	if withEjection {
+		ejCh := newChannel(
+			Endpoint{Kind: EndRouter, Router: router, Port: port},
+			Endpoint{Kind: EndNI, NI: router, Port: port},
+			kind, latency, 1)
+		n.channels = append(n.channels, ejCh)
+		nvc := NumVNets * n.Cfg.VCsPerVNet
+		r.attachOut(port, ejCh, nvc, n.Cfg.VCDepth)
+	}
+
+	nis := make([]*NI, len(tiles))
+	for i, t := range tiles {
+		nis[i] = n.nis[t]
+		n.attach[t] = router
+	}
+	inj := newInjector(r, port, injCh, nis, withEjection)
+	n.injectors[injKey{router, port}] = inj
+	n.injList = append(n.injList, inj)
+	sort.Slice(n.injList, func(i, j int) bool {
+		a, b := n.injList[i], n.injList[j]
+		if a.router.ID != b.router.ID {
+			return a.router.ID < b.router.ID
+		}
+		return a.port < b.port
+	})
+}
+
+// DetachLocal removes every NI attachment of a router (used before
+// re-clustering during reconfiguration). Injection streams must be idle.
+func (n *Network) DetachLocal(router NodeID) {
+	r := n.routers[router]
+	for port := 0; port < r.NumPorts(); port++ {
+		key := injKey{router, port}
+		inj := n.injectors[key]
+		if inj == nil {
+			continue
+		}
+		for _, st := range inj.streams {
+			if st.cur != nil {
+				panic(fmt.Sprintf("noc: detaching NI %d mid-packet", st.ni.ID))
+			}
+			n.attach[st.ni.ID] = -1
+		}
+		if inj.ch.Busy() {
+			panic(fmt.Sprintf("noc: detaching router %d local port %d with traffic in flight", router, port))
+		}
+		n.removeChannel(inj.ch)
+		if ej := r.OutputChannel(port); ej != nil {
+			n.removeChannel(ej)
+			r.attachOut(port, nil, 0, 0)
+		}
+		r.attachIn(port, nil)
+		delete(n.injectors, key)
+		for i, x := range n.injList {
+			if x == inj {
+				n.injList = append(n.injList[:i], n.injList[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// DisconnectOut detaches and removes the channel on a router output port.
+// The channel must be drained.
+func (n *Network) DisconnectOut(router NodeID, port int) {
+	r := n.routers[router]
+	ch := r.OutputChannel(port)
+	if ch == nil {
+		return
+	}
+	if ch.Busy() {
+		panic(fmt.Sprintf("noc: disconnecting busy channel %v->%v", ch.From, ch.To))
+	}
+	if ch.To.Kind == EndRouter {
+		n.routers[ch.To.Router].attachIn(ch.To.Port, nil)
+	}
+	r.attachOut(port, nil, 0, 0)
+	n.removeChannel(ch)
+}
+
+// removeChannel deactivates and drops a channel from the live set.
+func (n *Network) removeChannel(ch *Channel) {
+	ch.setActive(false)
+	for i, c := range n.channels {
+		if c == ch {
+			n.channels[i] = n.channels[len(n.channels)-1]
+			n.channels = n.channels[:len(n.channels)-1]
+			return
+		}
+	}
+}
+
+// NewPacket allocates a packet with the configured size for its class.
+func (n *Network) NewPacket(src, dst NodeID, class PacketClass, vnet VNet, app int) *Packet {
+	n.nextPkt++
+	size := n.Cfg.CtrlFlits
+	if class == ClassData {
+		size = n.Cfg.DataFlits
+	}
+	return &Packet{
+		ID: n.nextPkt, Src: src, Dst: dst,
+		Class: class, VNet: vnet, Size: size, App: app,
+	}
+}
+
+// Enqueue submits a packet at its source NI at cycle now.
+func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
+	if p.Src == p.Dst {
+		panic(fmt.Sprintf("noc: self-addressed packet %v", p))
+	}
+	n.nis[p.Src].enqueue(p, now)
+	n.TotalEnqueued++
+}
+
+// Tick advances the whole network one cycle: channel deliveries, router
+// pipelines, then injection arbitration. All cross-component paths have at
+// least one cycle of latency, so the in-cycle order is not observable.
+func (n *Network) Tick(now sim.Cycle) {
+	for _, ch := range n.channels {
+		n.tickChannel(ch, now)
+	}
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+	for _, inj := range n.injList {
+		inj.tick(now)
+	}
+}
+
+// tickChannel delivers due credits and flits.
+func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
+	ch.deliverCredits(now, func(vc int) {
+		switch ch.From.Kind {
+		case EndRouter:
+			n.routers[ch.From.Router].receiveCredit(ch.From.Port, vc, now)
+		case EndNI:
+			inj := n.injectors[injKey{ch.From.NI, ch.From.Port}]
+			if inj == nil {
+				panic("noc: credit for detached injector")
+			}
+			inj.receiveCredit(vc)
+		}
+	})
+	ch.deliverFlits(now, func(f *Flit) {
+		switch ch.To.Kind {
+		case EndRouter:
+			n.routers[ch.To.Router].receiveFlit(ch.To.Port, f, now)
+			// Credit returns to the sender as the buffer slot is consumed
+			// downstream; the router emits it at switch traversal via the
+			// input channel (see Router.traverse -> creditUpstream).
+		case EndNI:
+			// Ejection: the NI consumes the flit immediately and the
+			// buffer slot frees right away.
+			dst := f.Pkt.Dst
+			if n.attach[dst] != ch.From.Router {
+				panic(fmt.Sprintf("noc: packet %v ejected at router %d but tile attached to %d",
+					f.Pkt, ch.From.Router, n.attach[dst]))
+			}
+			ch.sendCredit(f.VC, now)
+			n.nis[dst].receiveFlit(f, now, n.deliver)
+		}
+	})
+}
+
+func (n *Network) deliver(p *Packet, now sim.Cycle) {
+	n.TotalDelivered++
+	if n.onDeliver != nil {
+		n.onDeliver(p, now)
+	}
+}
+
+// InFlightFlits counts flits buffered in routers or travelling on channels.
+func (n *Network) InFlightFlits() int {
+	c := 0
+	for _, r := range n.routers {
+		c += r.Occupancy()
+	}
+	for _, ch := range n.channels {
+		c += len(ch.fwd) - ch.fwdHead
+	}
+	return c
+}
+
+// Quiescent reports whether no flit is buffered or in flight anywhere and
+// no NI is mid-stream (injection queues may still hold whole packets).
+func (n *Network) Quiescent() bool {
+	if n.InFlightFlits() != 0 {
+		return false
+	}
+	for _, ni := range n.nis {
+		if ni.openStreams != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingPackets counts packets queued at NIs but not yet fully injected.
+func (n *Network) PendingPackets() int {
+	c := 0
+	for _, ni := range n.nis {
+		c += ni.QueueLen()
+	}
+	return c
+}
+
+// CheckCreditInvariant validates, for every router-to-router channel, that
+// upstream credits + downstream buffered flits + flits/credits in flight
+// equal the buffer depth for every VC. Used by tests after quiescing.
+func (n *Network) CheckCreditInvariant() error {
+	for _, ch := range n.channels {
+		if ch.From.Kind != EndRouter || ch.To.Kind != EndRouter {
+			continue
+		}
+		up := n.routers[ch.From.Router].outputs[ch.From.Port]
+		down := n.routers[ch.To.Router].inputs[ch.To.Port]
+		if up.out != ch {
+			continue
+		}
+		inFlightFlits := make(map[int]int)
+		for _, e := range ch.fwd[ch.fwdHead:] {
+			inFlightFlits[e.flit.VC]++
+		}
+		inFlightCredits := make(map[int]int)
+		for _, e := range ch.rev[ch.revHead:] {
+			inFlightCredits[e.credit.vc]++
+		}
+		for vc := range up.credits {
+			total := up.credits[vc] + down.vcs[vc].len() + inFlightFlits[vc] + inFlightCredits[vc]
+			if total != up.depth {
+				return fmt.Errorf("noc: credit invariant broken on %v->%v vc %d: %d+%d+%d+%d != %d",
+					ch.From, ch.To, vc, up.credits[vc], down.vcs[vc].len(),
+					inFlightFlits[vc], inFlightCredits[vc], up.depth)
+			}
+		}
+	}
+	return nil
+}

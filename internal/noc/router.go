@@ -1,0 +1,650 @@
+package noc
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/sim"
+)
+
+// vcState is one virtual channel at one input port. Flits queue in FIFO
+// order in a fixed ring (depth = VCDepth); with virtual cut-through a
+// downstream VC is allocated to a whole packet before its head traverses,
+// so packets never interleave within a VC even though several complete
+// packets may queue back to back.
+type vcState struct {
+	ring []*Flit // circular buffer, len == VCDepth
+	head int
+	n    int
+
+	// Per-packet routing/allocation state for the packet at the head of
+	// the queue.
+	routed     bool
+	outPort    int
+	classAfter int // dateline class downstream of this hop
+	outVC      int // -1 until VA succeeds
+}
+
+func (v *vcState) front() *Flit {
+	if v.n == 0 {
+		return nil
+	}
+	return v.ring[v.head]
+}
+
+func (v *vcState) push(f *Flit) {
+	v.ring[(v.head+v.n)%len(v.ring)] = f
+	v.n++
+}
+
+func (v *vcState) pop() *Flit {
+	f := v.ring[v.head]
+	v.ring[v.head] = nil
+	v.head = (v.head + 1) % len(v.ring)
+	v.n--
+	return f
+}
+
+func (v *vcState) len() int { return v.n }
+
+func (v *vcState) resetHeadState() {
+	v.routed = false
+	v.outPort = -1
+	v.classAfter = 0
+	v.outVC = -1
+}
+
+// InputPort is one router input with its VC buffers and the (single,
+// mux-selected) incoming channel currently attached. occupied counts
+// buffered flits across the port's VCs so empty ports skip the pipeline.
+type InputPort struct {
+	index    int
+	in       *Channel
+	vcs      []vcState
+	occupied int
+}
+
+// OutputPort is one router output: the attached outgoing channel, credit
+// counters mirroring the downstream buffer, per-VC packet ownership for
+// virtual cut-through allocation, and the switch-holding state that keeps
+// an output dedicated to one packet from head to tail.
+type OutputPort struct {
+	index   int
+	out     *Channel
+	credits []int
+	owner   []*Packet // downstream VC ownership (nil = free)
+	depth   int
+
+	// Switch hold: while a packet streams, (holdPort, holdVC) identify the
+	// input VC that owns this output. holdPort == -1 means free.
+	holdPort, holdVC int
+
+	rr int // round-robin pointer for switch allocation
+}
+
+func (o *OutputPort) holdFree() bool { return o.holdPort == -1 }
+
+// VCPolicy restricts which VCs a packet may be allocated (OSCAR-style
+// application-aware VC partitioning). nil permits every VC of the packet's
+// virtual network.
+type VCPolicy func(p *Packet, vnet VNet, vcWithinVNet int) bool
+
+// Router is a single adaptable router: a set of ports whose channel
+// attachments are selected by (modelled) muxes, per-vnet reconfigurable
+// routing tables, a VC-buffered virtual cut-through pipeline with RC, VA,
+// SA and ST stages, and optional runtime power gating.
+//
+// Activity counters feed the power model and the RL state vector; they are
+// windowed (read-and-reset) by the epoch controller.
+type Router struct {
+	ID  NodeID
+	cfg *Config
+	net *Network
+
+	inputs  []*InputPort
+	outputs []*OutputPort
+
+	tables       [NumVNets]*RoutingTable
+	tableReadyAt sim.Cycle // RC stalls before this cycle (Ts setup window)
+
+	// useDateline enables torus dateline VC classing per virtual network
+	// (the combined torus+tree topology runs a torus request network and
+	// a tree reply network, only the former needing dateline classes).
+	useDateline [NumVNets]bool
+	disabled    bool // fabric-level deep power-off (cmesh idle routers)
+
+	policy VCPolicy
+
+	// Runtime power gating (FTBY_PG): a sleeping router delays the
+	// visibility of arriving flits by the wake-up latency.
+	gateEnabled bool
+	wakeLatency sim.Cycle
+	sleepAfter  sim.Cycle
+	asleep      bool
+	wakeAt      sim.Cycle
+	lastActive  sim.Cycle
+
+	vaRR int
+
+	// buffered caches total flits across input VCs (hot path: lets idle
+	// routers skip their pipeline entirely).
+	buffered int
+
+	// saBuckets is per-output-port request scratch reused across cycles.
+	saBuckets [][]saRequest
+
+	// Activity counters (window-accumulated; see TakeActivity).
+	act RouterActivity
+}
+
+// RouterActivity is the per-router event window used by the power model and
+// the RL state (Table I network metrics).
+type RouterActivity struct {
+	BufferWrites  int64 // flits written into input VC buffers
+	BufferReads   int64 // flits read out (switch traversals from a buffer)
+	CrossbarTrav  int64 // switch traversals
+	VAGrants      int64
+	SAGrants      int64
+	OccupancySum  int64 // sum over cycles of buffered flits (utilization)
+	ActiveCycles  int64 // cycles not asleep/disabled
+	GatedCycles   int64 // cycles asleep or disabled (no static power)
+	WakeUps       int64
+	BufferedPeak  int64
+	RoutedPackets int64
+}
+
+// newRouter builds a router with nports ports and empty channel attachments.
+func newRouter(id NodeID, nports int, cfg *Config, net *Network) *Router {
+	r := &Router{ID: id, cfg: cfg, net: net}
+	for p := 0; p < nports; p++ {
+		r.addPortLocked()
+	}
+	return r
+}
+
+// addPortLocked appends one port with initialized VC rings.
+func (r *Router) addPortLocked() int {
+	p := len(r.inputs)
+	nvc := NumVNets * r.cfg.VCsPerVNet
+	in := &InputPort{index: p, vcs: make([]vcState, nvc)}
+	for i := range in.vcs {
+		in.vcs[i].ring = make([]*Flit, r.cfg.VCDepth)
+		in.vcs[i].resetHeadState()
+	}
+	r.inputs = append(r.inputs, in)
+	r.outputs = append(r.outputs, &OutputPort{index: p, holdPort: -1, holdVC: -1})
+	return p
+}
+
+// NumPorts returns the router's port count.
+func (r *Router) NumPorts() int { return len(r.inputs) }
+
+// AttachedPorts counts ports with at least one channel attached — the
+// ports that actually burn leakage (a previously grown port left
+// unattached after reconfiguration is powered off).
+func (r *Router) AttachedPorts() int {
+	n := 0
+	for p := range r.inputs {
+		if r.inputs[p].in != nil || r.outputs[p].out != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// AddPort appends an extra port (express/adaptable attachment) and returns
+// its index.
+func (r *Router) AddPort() int {
+	return r.addPortLocked()
+}
+
+// PortDim returns the dimension a port moves a packet along, using the
+// standard port convention (East/West and the row adaptable-link ports are
+// X; North/South and the column adaptable ports are Y; everything else,
+// including local and express ports, is its own pseudo-dimension so
+// dateline classes reset when entering it).
+func PortDim(port int) int8 {
+	switch port {
+	case PortEast, PortWest, 5, 6: // 5,6 = topology.PortAdaptEast/West
+		return 0
+	case PortNorth, PortSouth, 7, 8:
+		return 1
+	default:
+		return int8(10 + port)
+	}
+}
+
+// vcIndex maps (vnet, vc-within-vnet) to a flat VC index.
+func (r *Router) vcIndex(v VNet, k int) int { return int(v)*r.cfg.VCsPerVNet + k }
+
+// SetTable installs the routing table for a virtual network, effective
+// immediately. Use SetTableAfter during reconfiguration to model Ts.
+func (r *Router) SetTable(v VNet, t *RoutingTable) { r.tables[v] = t }
+
+// Table returns the current routing table for a virtual network.
+func (r *Router) Table(v VNet) *RoutingTable { return r.tables[v] }
+
+// SetTableAfter installs a table and makes route computation unavailable
+// for setup cycles (the paper's Ts=14-cycle connection setup, Section IV-A).
+func (r *Router) SetTableAfter(v VNet, t *RoutingTable, now sim.Cycle, setup int) {
+	r.tables[v] = t
+	ready := now + sim.Cycle(setup)
+	if ready > r.tableReadyAt {
+		r.tableReadyAt = ready
+	}
+}
+
+// StallTables makes route computation unavailable for the next setup
+// cycles without changing the tables — the Ts connection-setup window of
+// the reconfiguration protocol (Section IV-A).
+func (r *Router) StallTables(now sim.Cycle, setup int) {
+	ready := now + sim.Cycle(setup)
+	if ready > r.tableReadyAt {
+		r.tableReadyAt = ready
+	}
+}
+
+// SetDateline enables torus dateline VC classing on this router for every
+// virtual network.
+func (r *Router) SetDateline(on bool) {
+	for v := range r.useDateline {
+		r.useDateline[v] = on
+	}
+}
+
+// SetDatelineVNet enables dateline classing for one virtual network only.
+func (r *Router) SetDatelineVNet(v VNet, on bool) { r.useDateline[v] = on }
+
+// SetDisabled deep-powers the router off (fabric guarantees no routes use
+// it). A disabled router must be empty.
+func (r *Router) SetDisabled(off bool) {
+	if off && r.Occupancy() != 0 {
+		panic(fmt.Sprintf("noc: disabling router %d with %d buffered flits", r.ID, r.Occupancy()))
+	}
+	r.disabled = off
+}
+
+// Disabled reports fabric-level power-off.
+func (r *Router) Disabled() bool { return r.disabled }
+
+// UsesDateline reports whether dateline classing is enabled for a vnet.
+func (r *Router) UsesDateline(v VNet) bool { return r.useDateline[v] }
+
+// SetVCPolicy installs an OSCAR-style VC admission policy (nil clears).
+func (r *Router) SetVCPolicy(p VCPolicy) { r.policy = p }
+
+// EnablePowerGating turns on conventional runtime power gating with the
+// given wake-up latency and idle timeout (FTBY_PG baseline).
+func (r *Router) EnablePowerGating(wake, idle sim.Cycle) {
+	r.gateEnabled = true
+	r.wakeLatency = wake
+	r.sleepAfter = idle
+}
+
+// Asleep reports whether the router is currently clock/power gated.
+func (r *Router) Asleep() bool { return r.asleep }
+
+// Occupancy returns the number of flits buffered across all input VCs.
+func (r *Router) Occupancy() int { return r.buffered }
+
+// PortEmpty reports whether an input port's VC buffers hold no flits.
+func (r *Router) PortEmpty(port int) bool {
+	in := r.inputs[port]
+	for i := range in.vcs {
+		if in.vcs[i].len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BufferCapacity returns total input buffering in flits.
+func (r *Router) BufferCapacity() int {
+	return len(r.inputs) * NumVNets * r.cfg.VCsPerVNet * r.cfg.VCDepth
+}
+
+// TakeActivity returns the activity window accumulated since the previous
+// call and resets it.
+func (r *Router) TakeActivity() RouterActivity {
+	a := r.act
+	r.act = RouterActivity{}
+	return a
+}
+
+// PeekActivity returns the current window without resetting.
+func (r *Router) PeekActivity() RouterActivity { return r.act }
+
+// receiveFlit is called by the network when a channel delivers a flit into
+// this router. The flit's VC was chosen by the upstream VA stage.
+func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
+	if r.disabled {
+		panic(fmt.Sprintf("noc: flit %v arrived at disabled router %d", f.Pkt, r.ID))
+	}
+	in := r.inputs[port]
+	vc := &in.vcs[f.VC]
+	if vc.len() >= r.cfg.VCDepth {
+		panic(fmt.Sprintf("noc: buffer overflow at router %d port %d vc %d (credit protocol violated)",
+			r.ID, port, f.VC))
+	}
+	// Pipeline visibility: Tr cycles of RC/VA/SA pipeline before the flit
+	// may traverse (arrival-to-arrival hop latency is Tr+Tl); the injection
+	// bypass (Adapt-NoC) lets flits entering an empty local-port VC skip
+	// the input pipeline.
+	f.visibleAt = now + sim.Cycle(r.cfg.RouterLatency)
+	if r.cfg.InjectionBypass && port == PortLocal && vc.len() == 0 {
+		f.visibleAt = now
+	}
+	if r.gateEnabled {
+		if r.asleep {
+			r.asleep = false
+			r.wakeAt = now + r.wakeLatency
+			r.act.WakeUps++
+		}
+		if r.wakeAt > f.visibleAt {
+			f.visibleAt = r.wakeAt
+		}
+	}
+	vc.push(f)
+	in.occupied++
+	r.buffered++
+	r.act.BufferWrites++
+	r.lastActive = now
+}
+
+// receiveCredit is called by the network when a credit returns to one of
+// this router's output ports.
+func (r *Router) receiveCredit(port, vc int, now sim.Cycle) {
+	out := r.outputs[port]
+	out.credits[vc]++
+	if out.credits[vc] > out.depth {
+		panic(fmt.Sprintf("noc: credit overflow at router %d port %d vc %d", r.ID, port, vc))
+	}
+}
+
+// allowedOutVCs iterates the VCs the packet may be allocated downstream,
+// honouring vnet partitioning, dateline classes, and the VC policy. class
+// is the packet's dateline class after the hop being allocated.
+func (r *Router) allowedOutVCs(p *Packet, class int, yield func(flatVC int) bool) {
+	v := p.VNet
+	lo, hi := 0, r.cfg.VCsPerVNet
+	if r.useDateline[v] && r.cfg.VCsPerVNet > 1 {
+		half := r.cfg.VCsPerVNet / 2
+		if class == 0 {
+			hi = half
+		} else {
+			lo = half
+		}
+	}
+	for k := lo; k < hi; k++ {
+		if r.policy != nil && !r.policy(p, v, k) {
+			continue
+		}
+		if !yield(r.vcIndex(v, k)) {
+			return
+		}
+	}
+}
+
+// allowedInjectionVCs iterates the local-input VCs a packet may claim at
+// injection. Unlike allowedOutVCs it ignores dateline classing: the local
+// input buffer is not a ring resource (no route passes ring → local input
+// → ring), so restricting it cannot break a dependency cycle — the class-0
+// constraint is enforced at the first ring hop by the VA step in
+// stagePipeline instead.
+func (r *Router) allowedInjectionVCs(p *Packet, yield func(flatVC int) bool) {
+	v := p.VNet
+	for k := 0; k < r.cfg.VCsPerVNet; k++ {
+		if r.policy != nil && !r.policy(p, v, k) {
+			continue
+		}
+		if !yield(r.vcIndex(v, k)) {
+			return
+		}
+	}
+}
+
+// Tick advances the router one cycle: route computation for new heads,
+// virtual-channel allocation, switch allocation, and switch traversal.
+func (r *Router) Tick(now sim.Cycle) {
+	if r.disabled {
+		r.act.GatedCycles++
+		return
+	}
+	if r.gateEnabled {
+		if r.asleep {
+			r.act.GatedCycles++
+			return
+		}
+		if now >= r.wakeAt && r.Occupancy() == 0 && now-r.lastActive > r.sleepAfter {
+			r.asleep = true
+			r.act.GatedCycles++
+			return
+		}
+	}
+	r.act.ActiveCycles++
+
+	if r.buffered == 0 {
+		return
+	}
+	occ := int64(r.buffered)
+	r.act.OccupancySum += occ
+	if occ > r.act.BufferedPeak {
+		r.act.BufferedPeak = occ
+	}
+
+	r.stagePipeline(now)
+}
+
+// saRequest describes an input VC bidding for an output port this cycle.
+type saRequest struct {
+	port, vc int
+}
+
+// stagePipeline performs route computation, virtual-channel allocation,
+// and switch-request collection in a single pass over the input VCs, then
+// arbitrates each output port (switch allocation) and traverses winners.
+// Merging the stages is purely an optimization: within one cycle the
+// sequential RC -> VA -> SA evaluation order per VC is identical to
+// separate passes.
+func (r *Router) stagePipeline(now sim.Cycle) {
+	if len(r.saBuckets) < len(r.outputs) {
+		r.saBuckets = make([][]saRequest, len(r.outputs))
+	}
+	buckets := r.saBuckets
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	tablesReady := now >= r.tableReadyAt
+
+	for _, in := range r.inputs {
+		if in.occupied == 0 {
+			continue
+		}
+		for i := range in.vcs {
+			vc := &in.vcs[i]
+			f := vc.front()
+			if f == nil || f.visibleAt > now {
+				continue
+			}
+			// RC: route the packet at the head of the VC.
+			if f.Head && !vc.routed {
+				if !tablesReady {
+					continue
+				}
+				tbl := r.tables[f.Pkt.VNet]
+				if tbl == nil {
+					continue
+				}
+				e, ok := tbl.Lookup(f.Pkt.Dst)
+				if !ok {
+					panic(fmt.Sprintf("noc: router %d has no %s route to %d (pkt %v)",
+						r.ID, f.Pkt.VNet, f.Pkt.Dst, f.Pkt))
+				}
+				vc.routed = true
+				vc.outPort = int(e.OutPort)
+				// Dateline class: reset when the hop enters a new
+				// dimension (each ring's dependency cycle is broken
+				// independently under dimension-ordered routing), then
+				// apply the table's operation.
+				base := f.Pkt.datelineClass
+				if PortDim(vc.outPort) != f.Pkt.lastDim {
+					base = 0
+				}
+				switch e.Class {
+				case ClassKeep:
+					vc.classAfter = base
+				case ClassSet1:
+					vc.classAfter = 1
+				case ClassSet0:
+					vc.classAfter = 0
+				}
+				r.act.RoutedPackets++
+			}
+			if !vc.routed {
+				continue
+			}
+			out := r.outputs[vc.outPort]
+			if out.out == nil {
+				panic(fmt.Sprintf("noc: router %d port %d routed but has no output channel", r.ID, vc.outPort))
+			}
+			// VA: claim a downstream VC for the whole packet (virtual
+			// cut-through: unowned and with credits for every flit).
+			if vc.outVC < 0 {
+				granted := -1
+				r.allowedOutVCs(f.Pkt, vc.classAfter, func(flat int) bool {
+					if out.owner[flat] == nil && out.credits[flat] >= f.Pkt.Size {
+						granted = flat
+						return false
+					}
+					return true
+				})
+				if granted < 0 {
+					continue
+				}
+				vc.outVC = granted
+				out.owner[granted] = f.Pkt
+				r.act.VAGrants++
+			}
+			// SA request: eligible when credits exist and the output is
+			// not held by another packet.
+			if out.credits[vc.outVC] <= 0 || !out.holdFree() {
+				continue
+			}
+			buckets[vc.outPort] = append(buckets[vc.outPort], saRequest{port: in.index, vc: i})
+		}
+	}
+
+	nvc := NumVNets * r.cfg.VCsPerVNet
+	total := len(r.inputs) * nvc
+	for oi, out := range r.outputs {
+		if out.out == nil {
+			continue
+		}
+		if !out.holdFree() {
+			// Continue the held packet if its next flit is ready.
+			vc := &r.inputs[out.holdPort].vcs[out.holdVC]
+			f := vc.front()
+			if f != nil && f.visibleAt <= now && out.credits[vc.outVC] > 0 {
+				r.traverse(out, out.holdPort, out.holdVC, now)
+			}
+			continue
+		}
+		reqs := buckets[oi]
+		if len(reqs) == 0 {
+			continue
+		}
+		best, bestKey := -1, 1<<30
+		for ri, rq := range reqs {
+			key := (rq.port*nvc + rq.vc - out.rr + total) % total
+			if key < bestKey {
+				bestKey = key
+				best = ri
+			}
+		}
+		win := reqs[best]
+		out.rr = (win.port*nvc + win.vc + 1) % total
+		r.traverse(out, win.port, win.vc, now)
+	}
+}
+
+// traverse moves the front flit of (port, vc) through the crossbar onto the
+// output channel, returns a credit upstream, and updates hold/ownership.
+func (r *Router) traverse(out *OutputPort, port, vcIdx int, now sim.Cycle) {
+	in := r.inputs[port]
+	vc := &in.vcs[vcIdx]
+	f := vc.pop()
+	in.occupied--
+	r.buffered--
+
+	outVC := vc.outVC
+
+	out.credits[outVC]--
+	f.VC = outVC
+	f.Pkt.datelineClass = vc.classAfter
+	f.Pkt.lastDim = PortDim(out.index)
+	out.out.send(f, now)
+
+	// The buffer slot frees now; return a credit to the upstream sender on
+	// the input channel's reverse wires.
+	if in.in != nil {
+		in.in.sendCredit(vcIdx, now)
+	}
+
+	r.act.BufferReads++
+	r.act.CrossbarTrav++
+	r.act.SAGrants++
+	r.lastActive = now
+
+	if f.Head {
+		f.Pkt.Hops++
+	}
+	if f.Tail {
+		out.owner[outVC] = nil
+		out.holdPort, out.holdVC = -1, -1
+		vc.resetHeadState()
+	} else {
+		out.holdPort, out.holdVC = port, vcIdx
+	}
+}
+
+// attachIn connects a channel to an input port (the input mux selection).
+func (r *Router) attachIn(port int, ch *Channel) {
+	in := r.inputs[port]
+	if in.in != nil && ch != nil && in.in != ch && in.in.Busy() {
+		panic(fmt.Sprintf("noc: re-muxing busy input %d.%d", r.ID, port))
+	}
+	in.in = ch
+}
+
+// attachOut connects a channel to an output port and initializes the credit
+// mirror of the downstream buffer (downDepth flits per VC).
+func (r *Router) attachOut(port int, ch *Channel, downVCs, downDepth int) {
+	out := r.outputs[port]
+	if out.out != nil && ch != nil && out.out != ch && !out.holdFree() {
+		panic(fmt.Sprintf("noc: re-muxing busy output %d.%d", r.ID, port))
+	}
+	out.out = ch
+	out.depth = downDepth
+	out.credits = make([]int, downVCs)
+	out.owner = make([]*Packet, downVCs)
+	for i := range out.credits {
+		out.credits[i] = downDepth
+	}
+	out.holdPort, out.holdVC = -1, -1
+}
+
+// OutputChannel returns the channel attached to an output port (nil if
+// none); used by topology builders and tests.
+func (r *Router) OutputChannel(port int) *Channel {
+	if port < 0 || port >= len(r.outputs) {
+		return nil
+	}
+	return r.outputs[port].out
+}
+
+// InputChannel returns the channel attached to an input port (nil if none).
+func (r *Router) InputChannel(port int) *Channel {
+	if port < 0 || port >= len(r.inputs) {
+		return nil
+	}
+	return r.inputs[port].in
+}

@@ -1,0 +1,134 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/topology"
+)
+
+// rig builds a 4x4 mesh region with a meter.
+func rig() (*noc.Network, *sim.Kernel, *Meter, []noc.NodeID) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	reg := topology.Region{W: 4, H: 4}
+	topology.ConfigureMeshRegion(net, reg)
+	k := sim.NewKernel()
+	k.Register(net)
+	return net, k, NewMeter(net, DefaultParams()), reg.Tiles(cfg.Width)
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{BufferPJ: 1, CrossbarPJ: 2, ArbitrationPJ: 3, LinkPJ: 4, MuxPJ: 5, RLPJ: 6,
+		RouterStaticPJ: 7, LinkStaticPJ: 8}
+	if b.DynamicPJ() != 21 || b.StaticPJ() != 15 || b.TotalPJ() != 36 {
+		t.Fatalf("sums wrong: %v %v %v", b.DynamicPJ(), b.StaticPJ(), b.TotalPJ())
+	}
+	var acc Breakdown
+	acc.Add(b)
+	acc.Add(b)
+	if acc.TotalPJ() != 72 {
+		t.Fatalf("Add broken: %v", acc.TotalPJ())
+	}
+}
+
+func TestIdleRegionHasOnlyStaticEnergy(t *testing.T) {
+	_, k, m, tiles := rig()
+	k.Run(1000)
+	w := m.CollectRegionAt(tiles, k.Now())
+	if w.Energy.DynamicPJ() != 0 {
+		t.Fatalf("idle region burned dynamic energy: %v", w.Energy)
+	}
+	if w.Energy.StaticPJ() <= 0 {
+		t.Fatal("idle region has no static energy")
+	}
+	if w.Throughput() != 0 || w.RouterBufUtil() != 0 {
+		t.Fatal("idle region reports activity")
+	}
+}
+
+func TestTrafficProducesDynamicEnergyProportionally(t *testing.T) {
+	run := func(packets int) float64 {
+		net, k, m, tiles := rig()
+		for i := 0; i < packets; i++ {
+			net.Enqueue(net.NewPacket(0, 27, noc.ClassData, noc.VNetReply, 0), sim.Cycle(i*10))
+		}
+		k.Run(sim.Cycle(packets*10 + 500))
+		return m.CollectRegionAt(tiles, k.Now()).Energy.DynamicPJ()
+	}
+	e10, e40 := run(10), run(40)
+	if e10 <= 0 {
+		t.Fatal("no dynamic energy")
+	}
+	ratio := e40 / e10
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("dynamic energy not ~linear in traffic: x4 packets -> x%.2f energy", ratio)
+	}
+}
+
+func TestDisabledRoutersAccrueNoStatic(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	mk := func(kind topology.Kind) float64 {
+		net := noc.NewNetwork(cfg)
+		reg := topology.Region{W: 4, H: 4}
+		if kind == topology.CMesh {
+			topology.ConfigureCMeshRegion(net, reg)
+		} else {
+			topology.ConfigureMeshRegion(net, reg)
+		}
+		k := sim.NewKernel()
+		k.Register(net)
+		m := NewMeter(net, DefaultParams())
+		k.Run(2000)
+		return m.CollectRegionAt(reg.Tiles(cfg.Width), k.Now()).Energy.RouterStaticPJ
+	}
+	mesh, cmesh := mk(topology.Mesh), mk(topology.CMesh)
+	// CMesh powers off 12 of 16 routers: static should drop to ~1/4.
+	if cmesh >= mesh/2 {
+		t.Fatalf("cmesh router static %v not well below mesh %v", cmesh, mesh)
+	}
+}
+
+func TestWindowsAreDisjoint(t *testing.T) {
+	net, k, m, tiles := rig()
+	net.Enqueue(net.NewPacket(0, 27, noc.ClassData, noc.VNetReply, 0), 0)
+	k.Run(500)
+	w1 := m.CollectRegionAt(tiles, k.Now())
+	k.RunFor(500)
+	w2 := m.CollectRegionAt(tiles, k.Now())
+	// All dynamic energy happened in the first window; the second must not
+	// re-count it.
+	if w2.Energy.DynamicPJ() != 0 {
+		t.Fatalf("second window re-counted dynamic energy: %v", w2.Energy)
+	}
+	if w1.Cycles != 500 || w2.Cycles != 500 {
+		t.Fatalf("window sizes %d/%d", w1.Cycles, w2.Cycles)
+	}
+	tot := m.Total()
+	if math.Abs(tot.TotalPJ()-(w1.Energy.TotalPJ()+w2.Energy.TotalPJ())) > 1e-9 {
+		t.Fatal("meter total != sum of windows")
+	}
+}
+
+func TestRLInferenceEnergy(t *testing.T) {
+	_, _, m, _ := rig()
+	pj := m.AddRLInferences(3)
+	if pj != 3*m.P.RLInferencePJ {
+		t.Fatalf("RL energy %v", pj)
+	}
+	if m.Total().RLPJ != pj {
+		t.Fatal("RL energy not accumulated")
+	}
+}
+
+func TestAvgPowerConversion(t *testing.T) {
+	b := Breakdown{BufferPJ: 2000} // 2000 pJ over 1000 cycles at 2 GHz = 500 ns -> 4 mW
+	if got := AvgPowerMW(b, 1000, 2.0); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("AvgPowerMW = %v, want 4", got)
+	}
+	if AvgPowerMW(b, 0, 2.0) != 0 {
+		t.Fatal("zero-cycle window must report zero power")
+	}
+}

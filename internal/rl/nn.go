@@ -1,0 +1,195 @@
+// Package rl implements the reinforcement-learning control policy of
+// Section III: the 12-feature state vector of Table I, the 4-topology
+// action space, the reward −power×(Tnetwork+Tqueuing), a from-scratch
+// dense neural network, the deep Q-network with experience replay and a
+// target network (offline training, Section III-E), and a tabular
+// Q-learning agent used for comparison and unit testing.
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"adaptnoc/internal/sim"
+)
+
+// Net is a fully connected feed-forward network with ReLU hidden layers
+// and a linear output layer — the paper's DQN shape is
+// NewNet([]int{12, 15, 15, 4}, rng).
+type Net struct {
+	Sizes []int
+	// W[l] has Sizes[l+1] rows × Sizes[l] columns, row-major.
+	W [][]float64
+	B [][]float64
+}
+
+// NewNet creates a network with He-initialized weights.
+func NewNet(sizes []int, rng *sim.RNG) *Net {
+	if len(sizes) < 2 {
+		panic("rl: network needs at least input and output layers")
+	}
+	n := &Net{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.W = append(n.W, w)
+		n.B = append(n.B, make([]float64, out))
+	}
+	return n
+}
+
+// Clone deep-copies the network (target-network sync).
+func (n *Net) Clone() *Net {
+	cp := &Net{Sizes: append([]int(nil), n.Sizes...)}
+	for l := range n.W {
+		cp.W = append(cp.W, append([]float64(nil), n.W[l]...))
+		cp.B = append(cp.B, append([]float64(nil), n.B[l]...))
+	}
+	return cp
+}
+
+// CopyFrom overwrites this network's parameters with o's.
+func (n *Net) CopyFrom(o *Net) {
+	for l := range n.W {
+		copy(n.W[l], o.W[l])
+		copy(n.B[l], o.B[l])
+	}
+}
+
+// Forward computes the output Q-values for one input.
+func (n *Net) Forward(x []float64) []float64 {
+	acts := n.forwardAll(x)
+	return acts[len(acts)-1]
+}
+
+// forwardAll returns the activations of every layer (input first).
+func (n *Net) forwardAll(x []float64) [][]float64 {
+	if len(x) != n.Sizes[0] {
+		panic(fmt.Sprintf("rl: input size %d, want %d", len(x), n.Sizes[0]))
+	}
+	acts := make([][]float64, len(n.Sizes))
+	acts[0] = x
+	for l := 0; l < len(n.W); l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		a := make([]float64, out)
+		for j := 0; j < out; j++ {
+			s := n.B[l][j]
+			row := n.W[l][j*in : (j+1)*in]
+			for i, xi := range acts[l] {
+				s += row[i] * xi
+			}
+			if l < len(n.W)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			a[j] = s
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// tdClip bounds the per-sample gradient magnitude (Huber-style), keeping a
+// single outlier epoch from blowing the small network's weights apart.
+const tdClip = 4.0
+
+// TrainStep performs one SGD step minimizing ½(Q(s)[action] − target)² and
+// returns the TD error (target − prediction). Only the chosen action's
+// output contributes gradient, per standard DQN training; the applied
+// gradient is clipped to ±tdClip.
+func (n *Net) TrainStep(x []float64, action int, target, lr float64) float64 {
+	acts := n.forwardAll(x)
+	out := acts[len(acts)-1]
+	tdErr := target - out[action]
+	grad := tdErr
+	if grad > tdClip {
+		grad = tdClip
+	} else if grad < -tdClip {
+		grad = -tdClip
+	}
+
+	// Output-layer delta: gradient only on the selected action.
+	delta := make([]float64, len(out))
+	delta[action] = -grad // d(loss)/d(out)
+
+	for l := len(n.W) - 1; l >= 0; l-- {
+		in, outN := n.Sizes[l], n.Sizes[l+1]
+		prev := acts[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, in)
+		}
+		for j := 0; j < outN; j++ {
+			d := delta[j]
+			if d == 0 {
+				continue
+			}
+			row := n.W[l][j*in : (j+1)*in]
+			if l > 0 {
+				for i := range row {
+					nextDelta[i] += row[i] * d
+				}
+			}
+			for i := range row {
+				row[i] -= lr * d * prev[i]
+			}
+			n.B[l][j] -= lr * d
+		}
+		if l > 0 {
+			// ReLU derivative on the hidden activation.
+			for i := range nextDelta {
+				if acts[l][i] <= 0 {
+					nextDelta[i] = 0
+				}
+			}
+			delta = nextDelta
+		}
+	}
+	return tdErr
+}
+
+// Argmax returns the index of the largest value (first on ties).
+func Argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MarshalJSON / UnmarshalJSON give the net a stable weights format for
+// cmd/adaptnoc-train and embedded pre-trained policies.
+type netJSON struct {
+	Sizes []int       `json:"sizes"`
+	W     [][]float64 `json:"weights"`
+	B     [][]float64 `json:"biases"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	return json.Marshal(netJSON{Sizes: n.Sizes, W: n.W, B: n.B})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *Net) UnmarshalJSON(b []byte) error {
+	var j netJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if len(j.Sizes) < 2 || len(j.W) != len(j.Sizes)-1 || len(j.B) != len(j.Sizes)-1 {
+		return fmt.Errorf("rl: malformed network JSON")
+	}
+	for l := 0; l+1 < len(j.Sizes); l++ {
+		if len(j.W[l]) != j.Sizes[l]*j.Sizes[l+1] || len(j.B[l]) != j.Sizes[l+1] {
+			return fmt.Errorf("rl: layer %d shape mismatch", l)
+		}
+	}
+	n.Sizes, n.W, n.B = j.Sizes, j.W, j.B
+	return nil
+}

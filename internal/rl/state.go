@@ -1,0 +1,106 @@
+package rl
+
+import (
+	"math"
+
+	"adaptnoc/internal/topology"
+)
+
+// NumActions is the size of the action space: the four subNoC topologies
+// (Section III-B).
+const NumActions = int(topology.NumKinds)
+
+// StateSize is the DQN input width: the 12 attributes of Table I.
+const StateSize = 12
+
+// RawState carries the un-normalized per-epoch observations of one subNoC
+// (Table I). Counters are per epoch; utilizations are fractions in [0,1];
+// throughput is flits per router per cycle.
+type RawState struct {
+	// Instruction and cache related metrics.
+	L1DMisses    float64
+	L1IMisses    float64
+	L2Misses     float64
+	RetiredInstr float64
+
+	// Network related metrics.
+	CoherencePackets float64
+	DataPackets      float64
+	RouterBufUtil    float64
+	InjBufUtil       float64
+
+	// Topology related metrics.
+	RouterThroughput float64
+	Current          topology.Kind
+	Cols             int
+	Rows             int
+}
+
+// Scales normalizes raw observations into the (0,1) range the activation
+// function's linear region wants (Section III-E). Count features are
+// per-tile per-50K-cycle-epoch rates (the controller divides the window
+// counters by the subNoC's tile count and rescales the epoch), so one
+// policy transfers across subNoC sizes — the paper's reason for training
+// across 2x4 … 8x8 configurations.
+type Scales struct {
+	Misses       float64 // cache misses per tile per 50K-cycle epoch
+	Instructions float64 // retired instructions per tile per epoch
+	Packets      float64 // packets per tile per epoch
+	Throughput   float64 // flits/router/cycle
+	Dim          float64 // max rows/cols
+}
+
+// DefaultScales returns normalization constants sized so the heaviest GPU
+// phases land near — not past — full scale.
+func DefaultScales() Scales {
+	return Scales{
+		Misses:       3000,
+		Instructions: 150000,
+		Packets:      4000,
+		Throughput:   1.0,
+		Dim:          8,
+	}
+}
+
+// Normalize builds the DQN input vector.
+func (s Scales) Normalize(r RawState) []float64 {
+	clamp01 := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	return []float64{
+		clamp01(r.L1DMisses / s.Misses),
+		clamp01(r.L1IMisses / s.Misses),
+		clamp01(r.L2Misses / s.Misses),
+		clamp01(r.RetiredInstr / s.Instructions),
+		clamp01(r.CoherencePackets / s.Packets),
+		clamp01(r.DataPackets / s.Packets),
+		clamp01(r.RouterBufUtil),
+		clamp01(r.InjBufUtil),
+		clamp01(r.RouterThroughput / s.Throughput),
+		clamp01(float64(r.Current) / float64(NumActions-1)),
+		clamp01(float64(r.Cols) / s.Dim),
+		clamp01(float64(r.Rows) / s.Dim),
+	}
+}
+
+// RewardScale sets the knee of the logarithmic reward compression
+// (milliwatt-cycles). Sparse CPU epochs land around −0.5, saturating GPU
+// epochs around −4.
+const RewardScale = 1000.0
+
+// Reward computes the paper's reward (Equation 2):
+// −power × (Tnetwork + Tqueuing), with power in milliwatts and latencies
+// in cycles. The product spans three orders of magnitude between sparse
+// CPU phases and saturating GPU phases, so it is compressed
+// logarithmically — an order-preserving transform per state that keeps the
+// small DQN's gradients comparable across application classes. More
+// negative is worse; the agent maximizes it.
+func Reward(powerMW, netLatency, queueLatency float64) float64 {
+	return -math.Log1p(powerMW * (netLatency + queueLatency) / RewardScale)
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between split streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n < 40; n++ {
+		for i := 0; i < 50; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRNG(11)
+	const trials = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency %.3f", p, got)
+		}
+	}
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) fired")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) did not fire")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	var acc Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.NormFloat64())
+	}
+	if math.Abs(acc.Mean()) > 0.02 {
+		t.Errorf("normal mean %.4f", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-1) > 0.02 {
+		t.Errorf("normal stddev %.4f", acc.StdDev())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(17)
+	var acc Accumulator
+	for i := 0; i < 100000; i++ {
+		acc.Add(r.Exponential(20))
+	}
+	if math.Abs(acc.Mean()-20) > 0.5 {
+		t.Errorf("exponential mean %.2f, want ~20", acc.Mean())
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%32) + 1
+		p := NewRNG(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(19)
+	counts := [3]int{}
+	for i := 0; i < 60000; i++ {
+		counts[r.Choice([]float64{1, 2, 3})]++
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("weighted choice ordering broken: %v", counts)
+	}
+	// Zero weights fall back to uniform.
+	z := r.Choice([]float64{0, 0})
+	if z != 0 && z != 1 {
+		t.Fatalf("zero-weight choice out of range: %d", z)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator collects a running mean/min/max/variance of a scalar series
+// without storing samples (Welford's algorithm).
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples recorded.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Sum returns mean × n.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Variance returns the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Reset discards all samples.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// String renders a one-line summary.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f",
+		a.n, a.Mean(), a.Min(), a.Max(), a.StdDev())
+}
+
+// Histogram is a fixed-bucket latency histogram with an overflow bucket,
+// supporting percentile queries. Bucket i covers [i*width, (i+1)*width).
+type Histogram struct {
+	width   int64
+	buckets []int64
+	over    int64
+	acc     Accumulator
+}
+
+// NewHistogram returns a histogram with nbuckets buckets of the given width.
+func NewHistogram(width int64, nbuckets int) *Histogram {
+	if width <= 0 || nbuckets <= 0 {
+		panic("sim: invalid histogram shape")
+	}
+	return &Histogram{width: width, buckets: make([]int64, nbuckets)}
+}
+
+// Add records a sample (negative samples clamp to 0).
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.acc.Add(float64(v))
+	i := v / h.width
+	if i >= int64(len(h.buckets)) {
+		h.over++
+		return
+	}
+	h.buckets[i]++
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int64 { return h.acc.N() }
+
+// Mean returns the mean sample value.
+func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Max returns the maximum sample value.
+func (h *Histogram) Max() float64 { return h.acc.Max() }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100]).
+// Samples in the overflow bucket report the observed maximum.
+func (h *Histogram) Percentile(p float64) int64 {
+	n := h.acc.N()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p / 100 * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return int64(i+1) * h.width
+		}
+	}
+	return int64(h.acc.Max())
+}
+
+// Reset discards all samples but keeps the shape.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.over = 0
+	h.acc.Reset()
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of a float slice, for offline
+// analysis in the experiment harness. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}

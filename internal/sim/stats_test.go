@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	// Population sd is 2; sample sd = sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(a.StdDev()-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", a.StdDev(), want)
+	}
+	if math.Abs(a.Sum()-40) > 1e-9 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	a.Reset()
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestAccumulatorMatchesNaiveComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		var sum float64
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				ok = false
+				break
+			}
+			a.Add(x)
+			sum += x
+		}
+		if !ok || len(xs) == 0 {
+			return true
+		}
+		mean := sum / float64(len(xs))
+		return math.Abs(a.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(10, 10)
+	for v := int64(0); v < 100; v++ {
+		h.Add(v)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if p := h.Percentile(50); p < 40 || p > 60 {
+		t.Fatalf("P50 = %d", p)
+	}
+	if p := h.Percentile(99); p < 90 {
+		t.Fatalf("P99 = %d", p)
+	}
+	// Overflow samples report the observed max.
+	h.Add(5000)
+	if p := h.Percentile(100); p != 5000 {
+		t.Fatalf("P100 with overflow = %d", p)
+	}
+	h.Reset()
+	if h.N() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramClampsNegatives(t *testing.T) {
+	h := NewHistogram(4, 4)
+	h.Add(-17)
+	if h.Mean() != 0 {
+		t.Fatalf("negative sample not clamped: mean %v", h.Mean())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 9 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 5 {
+		t.Fatalf("q.5 = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty input")
+	}
+}

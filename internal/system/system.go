@@ -1,0 +1,530 @@
+// Package system is the closed-loop heterogeneous machine model that
+// replaces the paper's gem5-GPU full-system simulation: CPU and GPU cores
+// retire instructions according to a traffic.Profile, miss in their L1s,
+// query distributed shared L2 slices over the request virtual network,
+// spill to memory controllers on L2 misses, and stall when their
+// memory-level parallelism window fills — so NoC latency feeds back into
+// execution time exactly as in the paper's Fig. 10 experiment.
+package system
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/traffic"
+)
+
+// Params are the memory-hierarchy timing constants.
+type Params struct {
+	L2LatencyCycles int // L2 slice lookup
+	MCLatencyCycles int // DRAM access latency
+	MCServiceCycles int // minimum spacing between MC request services (bandwidth)
+}
+
+// DefaultParams returns timings typical of the paper's 2 GHz setup.
+func DefaultParams() Params {
+	return Params{L2LatencyCycles: 8, MCLatencyCycles: 80, MCServiceCycles: 2}
+}
+
+// txn is one outstanding memory transaction. stage tracks where the next
+// packet carrying it is headed (a transaction is on exactly one packet at
+// a time, so the field never races).
+type txn struct {
+	app     *App
+	core    *core
+	slice   noc.NodeID
+	mc      noc.NodeID
+	needsMC bool
+	stage   txnStage
+}
+
+type txnStage int
+
+const (
+	stageToSlice txnStage = iota
+	stageToMC
+)
+
+// cohMsg marks a fire-and-forget coherence message.
+type cohMsg struct{}
+
+// WindowCounters are the per-epoch instruction/cache observations feeding
+// the RL state (Table I).
+type WindowCounters struct {
+	Retired   int64
+	L1DMisses int64
+	L1IMisses int64
+	L2Misses  int64 // L2 -> memory controller accesses
+
+	CoherencePackets int64
+	DataPackets      int64
+
+	// Latency window over delivered packets of this app.
+	NetLatencySum   int64
+	QueueLatencySum int64
+	HopSum          int64
+	Delivered       int64
+}
+
+// AvgNetLatency returns the window's mean network latency in cycles.
+func (w WindowCounters) AvgNetLatency() float64 {
+	if w.Delivered == 0 {
+		return 0
+	}
+	return float64(w.NetLatencySum) / float64(w.Delivered)
+}
+
+// AvgQueueLatency returns the window's mean queuing latency in cycles.
+func (w WindowCounters) AvgQueueLatency() float64 {
+	if w.Delivered == 0 {
+		return 0
+	}
+	return float64(w.QueueLatencySum) / float64(w.Delivered)
+}
+
+// AvgHops returns the window's mean router hop count.
+func (w WindowCounters) AvgHops() float64 {
+	if w.Delivered == 0 {
+		return 0
+	}
+	return float64(w.HopSum) / float64(w.Delivered)
+}
+
+// core is one CPU or GPU core.
+type core struct {
+	app  *App
+	tile noc.NodeID
+	rng  *sim.RNG
+
+	retired     int64
+	phaseIdx    int
+	phaseInstr  int64
+	ipcAcc      float64
+	outstanding int
+	stallCycles int64
+}
+
+// App is one running application instance mapped onto a set of tiles.
+type App struct {
+	ID      int
+	Profile traffic.Profile
+	// Tiles are all tiles of the application's region.
+	Tiles []noc.NodeID
+	// MCTiles are the application's own memory controllers (one per 2x4
+	// sub-block in the paper's provisioning); SetMCs replaces the set.
+	MCTiles []noc.NodeID
+	// ForeignMCs are shared controllers in adjacent subNoCs
+	// (Section II-C.2); ForeignFrac of off-chip accesses go there.
+	ForeignMCs  []noc.NodeID
+	ForeignFrac float64
+	// InstrBudget is per core; 0 means run forever (latency experiments).
+	InstrBudget int64
+
+	cores      []*core
+	l2Tiles    []noc.NodeID
+	hotSlice   noc.NodeID // home of hotspot-skewed accesses (never an MC)
+	thresholds []phaseThresholds
+	finishedAt sim.Cycle
+	win        WindowCounters
+	total      WindowCounters
+	rng        *sim.RNG
+}
+
+// NewApp builds an application over its tiles. Cores run on every tile
+// except the MC tiles; every tile hosts an L2 slice.
+func NewApp(id int, prof traffic.Profile, tiles []noc.NodeID, mcTiles []noc.NodeID, budget int64, rng *sim.RNG) *App {
+	if len(tiles) == 0 {
+		panic("system: app with no tiles")
+	}
+	if len(prof.Phases) == 0 {
+		panic("system: profile with no phases")
+	}
+	a := &App{
+		ID: id, Profile: prof,
+		Tiles:       append([]noc.NodeID(nil), tiles...),
+		MCTiles:     append([]noc.NodeID(nil), mcTiles...),
+		InstrBudget: budget, finishedAt: -1,
+		rng: rng,
+	}
+	isMC := make(map[noc.NodeID]bool)
+	for _, m := range mcTiles {
+		isMC[m] = true
+	}
+	for _, t := range tiles {
+		a.l2Tiles = append(a.l2Tiles, t)
+		if !isMC[t] {
+			a.cores = append(a.cores, &core{app: a, tile: t, rng: rng.Split(uint64(t))})
+		}
+	}
+	if len(a.cores) == 0 {
+		panic("system: app has no core tiles")
+	}
+	// The hotspot home slice must not share a tile with a memory
+	// controller: one NI cannot source both flows.
+	a.hotSlice = a.cores[len(a.cores)/2].tile
+	for _, ph := range prof.Phases {
+		a.thresholds = append(a.thresholds, makeThresholds(ph))
+	}
+	return a
+}
+
+// phaseThresholds pre-scales a phase's per-instruction event rates to
+// 21-bit integer thresholds so one Uint64 draw decides the L1I miss,
+// coherence message, and L1D access events together (hot path).
+type phaseThresholds struct {
+	l1i, coh, mem uint32
+}
+
+const thresholdBits = 21
+
+func makeThresholds(ph traffic.Phase) phaseThresholds {
+	scale := func(p float64) uint32 {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return uint32(p * float64(uint64(1)<<thresholdBits))
+	}
+	return phaseThresholds{
+		l1i: scale(ph.L1IMissRate),
+		coh: scale(ph.CoherencePerKInstr / 1000.0),
+		mem: scale(ph.MemFrac),
+	}
+}
+
+// SetMCs replaces the app's own memory-controller set.
+func (a *App) SetMCs(mcs []noc.NodeID) { a.MCTiles = append([]noc.NodeID(nil), mcs...) }
+
+// SetForeignMCs configures shared foreign controllers and the fraction of
+// off-chip accesses directed to them.
+func (a *App) SetForeignMCs(mcs []noc.NodeID, frac float64) {
+	a.ForeignMCs = append([]noc.NodeID(nil), mcs...)
+	a.ForeignFrac = frac
+}
+
+// Finished reports whether every core has retired its budget and drained
+// its outstanding requests.
+func (a *App) Finished() bool { return a.finishedAt >= 0 }
+
+// FinishedAt returns the completion cycle (-1 if still running).
+func (a *App) FinishedAt() sim.Cycle { return a.finishedAt }
+
+// TakeWindow returns and resets the app's epoch counters.
+func (a *App) TakeWindow() WindowCounters {
+	w := a.win
+	a.win = WindowCounters{}
+	return w
+}
+
+// Totals returns lifetime counters (never reset).
+func (a *App) Totals() WindowCounters { return a.total }
+
+// Progress returns mean retired instructions per core.
+func (a *App) Progress() float64 {
+	var s int64
+	for _, c := range a.cores {
+		s += c.retired
+	}
+	return float64(s) / float64(len(a.cores))
+}
+
+// StallCycles returns cumulative full-window stall cycles across cores.
+func (a *App) StallCycles() int64 {
+	var s int64
+	for _, c := range a.cores {
+		s += c.stallCycles
+	}
+	return s
+}
+
+// mcState is one memory controller's service queue.
+type mcState struct {
+	busyUntil sim.Cycle
+	queueLen  int
+	served    int64
+}
+
+// Machine couples apps, the memory hierarchy, and a network.
+type Machine struct {
+	P      Params
+	net    *noc.Network
+	kernel *sim.Kernel
+	apps   []*App
+	mcs    map[noc.NodeID]*mcState
+
+	// onDeliver chains an external observer after the machine's own
+	// delivery handling.
+	onDeliver noc.DeliverFunc
+}
+
+// NewMachine wires a machine to a network and kernel. It takes over the
+// network's delivery callback; chain further observers with SetObserver.
+func NewMachine(net *noc.Network, kernel *sim.Kernel, p Params) *Machine {
+	m := &Machine{P: p, net: net, kernel: kernel, mcs: make(map[noc.NodeID]*mcState)}
+	net.SetDeliverFunc(m.deliver)
+	kernel.Register(m)
+	return m
+}
+
+// SetObserver installs an extra packet-delivery observer.
+func (m *Machine) SetObserver(fn noc.DeliverFunc) { m.onDeliver = fn }
+
+// AddApp registers an application; its MCs get service state.
+func (m *Machine) AddApp(a *App) {
+	m.apps = append(m.apps, a)
+	for _, mc := range a.MCTiles {
+		if m.mcs[mc] == nil {
+			m.mcs[mc] = &mcState{}
+		}
+	}
+}
+
+// RemoveApp detaches a finished application.
+func (m *Machine) RemoveApp(a *App) {
+	for i, x := range m.apps {
+		if x == a {
+			m.apps = append(m.apps[:i], m.apps[i+1:]...)
+			return
+		}
+	}
+}
+
+// Apps returns the registered applications.
+func (m *Machine) Apps() []*App { return m.apps }
+
+// AllFinished reports whether every app with a budget has completed.
+func (m *Machine) AllFinished() bool {
+	for _, a := range m.apps {
+		if a.InstrBudget > 0 && !a.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances every core one cycle.
+func (m *Machine) Tick(now sim.Cycle) {
+	for _, a := range m.apps {
+		if a.InstrBudget > 0 && a.Finished() {
+			continue
+		}
+		done := a.InstrBudget > 0
+		for _, c := range a.cores {
+			m.tickCore(a, c, now)
+			if done && (c.retired < a.InstrBudget || c.outstanding > 0) {
+				done = false
+			}
+		}
+		if done && a.finishedAt < 0 {
+			a.finishedAt = now
+		}
+	}
+}
+
+// tickCore retires instructions and issues memory traffic for one core.
+func (m *Machine) tickCore(a *App, c *core, now sim.Cycle) {
+	if c.outstanding >= a.Profile.MLP {
+		c.stallCycles++
+		return
+	}
+	if a.InstrBudget > 0 && c.retired >= a.InstrBudget {
+		return
+	}
+	c.ipcAcc += a.Profile.IPC
+	n := int(c.ipcAcc)
+	c.ipcAcc -= float64(n)
+	const mask = (uint64(1) << thresholdBits) - 1
+	for i := 0; i < n; i++ {
+		ph := a.Profile.Phases[c.phaseIdx]
+		th := a.thresholds[c.phaseIdx]
+		c.retired++
+		a.win.Retired++
+		a.total.Retired++
+		c.phaseInstr++
+		if c.phaseInstr >= ph.Instructions {
+			c.phaseInstr = 0
+			c.phaseIdx = (c.phaseIdx + 1) % len(a.Profile.Phases)
+		}
+
+		// One draw decides the three independent per-instruction events
+		// (disjoint 21-bit fields).
+		u := c.rng.Uint64()
+		if uint32(u&mask) < th.l1i {
+			a.win.L1IMisses++
+			a.total.L1IMisses++
+		}
+		if uint32((u>>thresholdBits)&mask) < th.coh {
+			m.sendCoherence(a, c, now)
+		}
+		if uint32((u>>(2*thresholdBits))&mask) < th.mem && c.rng.Bernoulli(ph.L1MissRate) {
+			a.win.L1DMisses++
+			a.total.L1DMisses++
+			m.issueMemAccess(a, c, ph, now)
+			if c.outstanding >= a.Profile.MLP {
+				break
+			}
+		}
+	}
+}
+
+// sendCoherence emits a fire-and-forget control message to a peer core.
+func (m *Machine) sendCoherence(a *App, c *core, now sim.Cycle) {
+	if len(a.cores) < 2 {
+		return
+	}
+	peer := a.cores[c.rng.Intn(len(a.cores))]
+	if peer == c {
+		return
+	}
+	p := m.net.NewPacket(c.tile, peer.tile, noc.ClassCoherence, noc.VNetRequest, a.ID)
+	p.Payload = cohMsg{}
+	m.net.Enqueue(p, now)
+	a.win.CoherencePackets++
+	a.total.CoherencePackets++
+}
+
+// issueMemAccess starts an L1-miss transaction: request to the home L2
+// slice, optionally forwarded to a memory controller, data reply back.
+func (m *Machine) issueMemAccess(a *App, c *core, ph traffic.Phase, now sim.Cycle) {
+	slice := m.pickSlice(a, c, ph)
+	t := &txn{app: a, core: c, slice: slice, needsMC: c.rng.Bernoulli(ph.L2MissRate)}
+	if t.needsMC {
+		if len(a.ForeignMCs) > 0 && c.rng.Bernoulli(a.ForeignFrac) {
+			t.mc = a.ForeignMCs[c.rng.Intn(len(a.ForeignMCs))]
+		} else {
+			t.mc = a.MCTiles[c.rng.Intn(len(a.MCTiles))]
+		}
+		a.win.L2Misses++
+		a.total.L2Misses++
+	}
+	c.outstanding++
+	if slice == c.tile {
+		// Local slice: no request traffic; resolve after the L2 lookup.
+		m.kernel.After(sim.Cycle(m.P.L2LatencyCycles), func(at sim.Cycle) {
+			m.sliceRespond(t, at)
+		})
+		return
+	}
+	p := m.net.NewPacket(c.tile, slice, noc.ClassCoherence, noc.VNetRequest, a.ID)
+	p.Payload = t
+	m.net.Enqueue(p, now)
+	a.win.CoherencePackets++
+	a.total.CoherencePackets++
+}
+
+// pickSlice maps an access to its home L2 slice (hotspot-skewed striping).
+func (m *Machine) pickSlice(a *App, c *core, ph traffic.Phase) noc.NodeID {
+	if ph.Hotspot > 0 && c.rng.Bernoulli(ph.Hotspot) {
+		return a.hotSlice
+	}
+	return a.l2Tiles[c.rng.Intn(len(a.l2Tiles))]
+}
+
+// deliver dispatches arriving packets to the memory-hierarchy agents.
+func (m *Machine) deliver(p *noc.Packet, now sim.Cycle) {
+	if p.App >= 0 {
+		if a := m.appByID(p.App); a != nil {
+			a.win.Delivered++
+			a.win.NetLatencySum += int64(p.NetworkLatency())
+			a.win.QueueLatencySum += int64(p.QueuingLatency())
+			a.win.HopSum += int64(p.Hops)
+			a.total.Delivered++
+			a.total.NetLatencySum += int64(p.NetworkLatency())
+			a.total.QueueLatencySum += int64(p.QueuingLatency())
+			a.total.HopSum += int64(p.Hops)
+		}
+	}
+	switch t := p.Payload.(type) {
+	case *txn:
+		switch {
+		case p.VNet == noc.VNetReply:
+			t.core.outstanding--
+			if t.core.outstanding < 0 {
+				panic(fmt.Sprintf("system: outstanding underflow at core %d", t.core.tile))
+			}
+		case t.stage == stageToSlice:
+			m.kernel.After(sim.Cycle(m.P.L2LatencyCycles), func(at sim.Cycle) {
+				m.sliceRespond(t, at)
+			})
+		default: // stageToMC
+			m.mcService(t, now)
+		}
+	case cohMsg:
+		// Fire-and-forget coherence message: nothing further.
+	}
+	if m.onDeliver != nil {
+		m.onDeliver(p, now)
+	}
+}
+
+// sliceRespond continues a transaction after the L2 lookup.
+func (m *Machine) sliceRespond(t *txn, now sim.Cycle) {
+	if t.needsMC {
+		t.stage = stageToMC
+		if t.slice == t.mc {
+			m.mcService(t, now)
+			return
+		}
+		p := m.net.NewPacket(t.slice, t.mc, noc.ClassCoherence, noc.VNetRequest, t.app.ID)
+		p.Payload = t
+		m.net.Enqueue(p, now)
+		t.app.win.CoherencePackets++
+		t.app.total.CoherencePackets++
+		return
+	}
+	m.replyData(t, t.slice, now)
+}
+
+// mcService queues a transaction at a memory controller and replies after
+// DRAM latency, respecting the controller's service bandwidth.
+func (m *Machine) mcService(t *txn, now sim.Cycle) {
+	mc := m.mcs[t.mc]
+	if mc == nil {
+		mc = &mcState{}
+		m.mcs[t.mc] = mc
+	}
+	start := now
+	if mc.busyUntil > start {
+		start = mc.busyUntil
+	}
+	mc.busyUntil = start + sim.Cycle(m.P.MCServiceCycles)
+	mc.queueLen++
+	mc.served++
+	m.kernel.Schedule(start+sim.Cycle(m.P.MCLatencyCycles), func(at sim.Cycle) {
+		mc.queueLen--
+		m.replyData(t, t.mc, at)
+	})
+}
+
+// replyData sends the data reply that completes a transaction.
+func (m *Machine) replyData(t *txn, from noc.NodeID, now sim.Cycle) {
+	if from == t.core.tile {
+		t.core.outstanding--
+		return
+	}
+	p := m.net.NewPacket(from, t.core.tile, noc.ClassData, noc.VNetReply, t.app.ID)
+	p.Payload = t
+	m.net.Enqueue(p, now)
+	t.app.win.DataPackets++
+	t.app.total.DataPackets++
+}
+
+func (m *Machine) appByID(id int) *App {
+	for _, a := range m.apps {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// MCServed returns total requests served by a memory controller.
+func (m *Machine) MCServed(tile noc.NodeID) int64 {
+	if mc := m.mcs[tile]; mc != nil {
+		return mc.served
+	}
+	return 0
+}

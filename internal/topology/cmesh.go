@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"adaptnoc/internal/noc"
+)
+
+// ConfigureCMeshRegion configures a region as a concentrated mesh
+// (Section II-B.1): tiles are grouped (2×2 where the region allows), each
+// group's cores attach to a single active router through concentration
+// links (external concentration — the injection mux, not extra ports), the
+// remaining routers are powered off, and the active routers are re-linked
+// with adaptable-link segments that bridge the powered-off neighbours.
+//
+// The region's direction and local ports must be unattached (the fabric
+// tears a region down before reconfiguring it).
+func ConfigureCMeshRegion(net *noc.Network, reg Region) {
+	w := net.Cfg.Width
+
+	groupsX := splitDim(reg.X, reg.W)
+	groupsY := splitDim(reg.Y, reg.H)
+
+	// Active routers form a cartesian sub-grid at the group anchors.
+	activeAt := func(gx, gy span) noc.NodeID {
+		return noc.Coord{X: gx.lo, Y: gy.lo}.ID(w)
+	}
+
+	for _, gy := range groupsY {
+		for _, gx := range groupsX {
+			anchor := activeAt(gx, gy)
+			var tiles []noc.NodeID
+			for y := gy.lo; y < gy.lo+gy.n; y++ {
+				for x := gx.lo; x < gx.lo+gx.n; x++ {
+					id := noc.Coord{X: x, Y: y}.ID(w)
+					tiles = append(tiles, id)
+					if id != anchor {
+						r := net.Router(id)
+						r.SetTable(noc.VNetRequest, nil)
+						r.SetTable(noc.VNetReply, nil)
+						r.SetDisabled(true)
+					}
+				}
+			}
+			net.Router(anchor).SetDisabled(false)
+			net.AttachLocal(anchor, tiles, 1)
+		}
+	}
+
+	// Adaptable-link segments between consecutive active routers, attached
+	// to the regular direction ports (the mesh links to powered-off
+	// neighbours are mux-deselected).
+	for _, gy := range groupsY {
+		for i := 0; i+1 < len(groupsX); i++ {
+			a := activeAt(groupsX[i], gy)
+			b := activeAt(groupsX[i+1], gy)
+			d := groupsX[i+1].lo - groupsX[i].lo
+			net.ConnectBidir(a, noc.PortEast, b, noc.PortWest,
+				noc.ChanAdaptable, net.Cfg.LongLinkLatency(d), d)
+		}
+	}
+	for _, gx := range groupsX {
+		for i := 0; i+1 < len(groupsY); i++ {
+			a := activeAt(gx, groupsY[i])
+			b := activeAt(gx, groupsY[i+1])
+			d := groupsY[i+1].lo - groupsY[i].lo
+			net.ConnectBidir(a, noc.PortSouth, b, noc.PortNorth,
+				noc.ChanAdaptable, net.Cfg.LongLinkLatency(d), d)
+		}
+	}
+
+	InstallXYTables(net, reg)
+}
+
+// span is one concentration group extent along one dimension.
+type span struct {
+	lo, n int
+}
+
+// splitDim partitions a dimension of length length starting at lo into
+// concentration groups of width 2 (a trailing group of 1 when odd).
+func splitDim(lo, length int) []span {
+	var out []span
+	for off := 0; off < length; off += 2 {
+		n := 2
+		if off+2 > length {
+			n = 1
+		}
+		out = append(out, span{lo: lo + off, n: n})
+	}
+	return out
+}

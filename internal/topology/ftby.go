@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+)
+
+// BuildFlattenedButterfly configures the whole chip as a flattened
+// butterfly (Kim/Balfour/Dally, design point 4 in Section IV-A):
+// concentration factor 4 (2×2 tile groups attach to one router), and every
+// router directly connected to every other router in its row and column of
+// the router grid. Routing is dimension-ordered (at most one X hop, one
+// turn, one Y hop), hence deadlock-free. The caller should use a Config
+// with RouterLatency 3 and 4 VCs per vnet to match the paper's FTBY setup.
+//
+// Grid dimensions must be even.
+func BuildFlattenedButterfly(net *noc.Network) {
+	cfg := net.Cfg
+	if cfg.Width%2 != 0 || cfg.Height%2 != 0 {
+		panic(fmt.Sprintf("topology: flattened butterfly needs even grid, got %dx%d", cfg.Width, cfg.Height))
+	}
+	w := cfg.Width
+	gw, gh := cfg.Width/2, cfg.Height/2
+
+	anchor := func(gx, gy int) noc.NodeID {
+		return noc.Coord{X: 2 * gx, Y: 2 * gy}.ID(w)
+	}
+
+	// Concentrate 2x2 groups onto the anchor router. Unlike the Adapt-NoC
+	// external concentration (one muxed injection port), the flattened
+	// butterfly's radix includes one terminal port per concentrated tile
+	// (Kim et al.), so each NI gets its own local port. localPort[tile] is
+	// the ejection port serving it.
+	localPort := make(map[noc.NodeID]int)
+	for gy := 0; gy < gh; gy++ {
+		for gx := 0; gx < gw; gx++ {
+			a := anchor(gx, gy)
+			r := net.Router(a)
+			first := true
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					id := noc.Coord{X: 2*gx + dx, Y: 2*gy + dy}.ID(w)
+					if id != a {
+						net.Router(id).SetDisabled(true)
+					}
+					port := noc.PortLocal
+					if !first {
+						port = r.AddPort()
+					}
+					first = false
+					localPort[id] = port
+					net.AttachLocalPort(a, port, []noc.NodeID{id}, 1)
+				}
+			}
+		}
+	}
+
+	// Full row/column connectivity on dedicated high-radix ports.
+	// port[a][b] is a's output port toward b.
+	port := make(map[noc.NodeID]map[noc.NodeID]int)
+	link := func(a, b noc.NodeID, distTiles int) {
+		if port[a] == nil {
+			port[a] = make(map[noc.NodeID]int)
+		}
+		if port[b] == nil {
+			port[b] = make(map[noc.NodeID]int)
+		}
+		pa := net.Router(a).AddPort()
+		pb := net.Router(b).AddPort()
+		net.ConnectBidir(a, pa, b, pb, noc.ChanExpress,
+			cfg.LongLinkLatency(distTiles), distTiles)
+		port[a][b] = pa
+		port[b][a] = pb
+	}
+	for gy := 0; gy < gh; gy++ {
+		for x1 := 0; x1 < gw; x1++ {
+			for x2 := x1 + 1; x2 < gw; x2++ {
+				link(anchor(x1, gy), anchor(x2, gy), 2*(x2-x1))
+			}
+		}
+	}
+	for gx := 0; gx < gw; gx++ {
+		for y1 := 0; y1 < gh; y1++ {
+			for y2 := y1 + 1; y2 < gh; y2++ {
+				link(anchor(gx, y1), anchor(gx, y2), 2*(y2-y1))
+			}
+		}
+	}
+
+	// Dimension-ordered tables: X hop to the destination column's router in
+	// my row, then Y hop.
+	all := WholeChip(cfg)
+	for gy := 0; gy < gh; gy++ {
+		for gx := 0; gx < gw; gx++ {
+			me := anchor(gx, gy)
+			t := noc.NewRoutingTable(cfg.NumNodes())
+			for _, tile := range all.Tiles(w) {
+				s := net.ServingRouter(tile)
+				sc := noc.CoordOf(s, w)
+				sgx, sgy := sc.X/2, sc.Y/2
+				switch {
+				case s == me:
+					t.Set(tile, localPort[tile], noc.ClassKeep)
+				case sgx != gx:
+					t.Set(tile, port[me][anchor(sgx, gy)], noc.ClassKeep)
+				default:
+					t.Set(tile, port[me][anchor(gx, sgy)], noc.ClassKeep)
+				}
+			}
+			r := net.Router(me)
+			r.SetTable(noc.VNetRequest, t)
+			r.SetTable(noc.VNetReply, t)
+		}
+	}
+}

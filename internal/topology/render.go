@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"strings"
+
+	"adaptnoc/internal/noc"
+)
+
+// Render draws a region's current physical configuration as ASCII art:
+//
+//	O---O===O   O     O  active router      .  powered-off router
+//	|   !   |         -  mesh link          =  adaptable segment
+//	O   O   O         #  both               |  vertical mesh
+//	                  !  vertical adaptable :  vertical both
+//
+// Long adaptable segments are drawn through the routers they bypass.
+// Useful for eyeballing what a reconfiguration actually built; see
+// cmd/adaptnoc-sim -layout.
+func Render(net *noc.Network, reg Region) string {
+	w := net.Cfg.Width
+	const (
+		bitMesh = 1 << iota
+		bitAdapt
+	)
+	h := make(map[[2]int]int) // between (x,y) and (x+1,y)
+	v := make(map[[2]int]int) // between (x,y) and (x,y+1)
+
+	for _, ch := range net.Channels() {
+		if ch.From.Kind != noc.EndRouter || ch.To.Kind != noc.EndRouter {
+			continue
+		}
+		a := noc.CoordOf(ch.From.Router, w)
+		b := noc.CoordOf(ch.To.Router, w)
+		bit := bitMesh
+		if ch.Kind == noc.ChanAdaptable {
+			bit = bitAdapt
+		} else if ch.Kind == noc.ChanExpress {
+			bit = bitAdapt
+		}
+		switch {
+		case a.Y == b.Y && a.X != b.X:
+			lo, hi := min2(a.X, b.X), max2(a.X, b.X)
+			for x := lo; x < hi; x++ {
+				h[[2]int{x, a.Y}] |= bit
+			}
+		case a.X == b.X && a.Y != b.Y:
+			lo, hi := min2(a.Y, b.Y), max2(a.Y, b.Y)
+			for y := lo; y < hi; y++ {
+				v[[2]int{a.X, y}] |= bit
+			}
+		}
+	}
+
+	hSym := map[int]string{0: "   ", bitMesh: "---", bitAdapt: "===", bitMesh | bitAdapt: "###"}
+	vSym := map[int]byte{0: ' ', bitMesh: '|', bitAdapt: '!', bitMesh | bitAdapt: ':'}
+
+	var sb strings.Builder
+	for y := reg.Y; y < reg.Y+reg.H; y++ {
+		for x := reg.X; x < reg.X+reg.W; x++ {
+			r := net.Router(noc.Coord{X: x, Y: y}.ID(w))
+			sym := byte('O')
+			if r.Disabled() {
+				sym = '.'
+			}
+			sb.WriteByte(sym)
+			if x+1 < reg.X+reg.W {
+				sb.WriteString(hSym[h[[2]int{x, y}]])
+			}
+		}
+		sb.WriteByte('\n')
+		if y+1 < reg.Y+reg.H {
+			for x := reg.X; x < reg.X+reg.W; x++ {
+				sb.WriteByte(vSym[v[[2]int{x, y}]])
+				if x+1 < reg.X+reg.W {
+					sb.WriteString("   ")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

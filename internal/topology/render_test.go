@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"adaptnoc/internal/noc"
+)
+
+func TestRenderMesh(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	reg := Region{W: 3, H: 2}
+	ConfigureMeshRegion(net, reg)
+	got := Render(net, reg)
+	want := "O---O---O\n|   |   |\nO---O---O\n"
+	if got != want {
+		t.Fatalf("mesh render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderCMeshShowsPoweredOffAndAdaptable(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	reg := Region{W: 4, H: 4}
+	ConfigureCMeshRegion(net, reg)
+	got := Render(net, reg)
+	if !strings.Contains(got, ".") {
+		t.Fatalf("no powered-off routers rendered:\n%s", got)
+	}
+	if !strings.Contains(got, "=") {
+		t.Fatalf("no adaptable segments rendered:\n%s", got)
+	}
+	t.Logf("\n%s", got)
+}
+
+func TestRenderTorusWrapsThroughRow(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	net := noc.NewNetwork(cfg)
+	reg := Region{W: 4, H: 4}
+	ConfigureTorusRegion(net, reg)
+	got := Render(net, reg)
+	// Wraparound spans the full row: mesh and adaptable overlap -> '#'.
+	if !strings.Contains(got, "#") {
+		t.Fatalf("no overlapping mesh+wrap rendered:\n%s", got)
+	}
+	t.Logf("\n%s", got)
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+)
+
+// Shortcut is one application-specific long-range express link between two
+// row- or column-aligned routers (the Ogras/Marculescu-style design of
+// baseline 3, Section IV-A).
+type Shortcut struct {
+	A, B noc.NodeID
+}
+
+// BuildShortcutMesh configures the whole chip as a mesh augmented with the
+// given long-range express links. Alignment is required so that routing
+// stays dimension-ordered and monotone (hence deadlock-free): an express
+// link is taken only when the destination lies at or beyond the far end in
+// the same direction.
+func BuildShortcutMesh(net *noc.Network, shortcuts []Shortcut) {
+	BuildMesh(net)
+	for _, s := range shortcuts {
+		AddExpressLink(net, s.A, s.B)
+	}
+}
+
+// AddExpressLink wires a bidirectional express link between two aligned
+// routers on fresh ports and patches both routers' XY tables to use it for
+// destinations at or beyond the far end.
+func AddExpressLink(net *noc.Network, a, b noc.NodeID) {
+	w := net.Cfg.Width
+	ca, cb := noc.CoordOf(a, w), noc.CoordOf(b, w)
+	if ca.X != cb.X && ca.Y != cb.Y {
+		panic(fmt.Sprintf("topology: express link %v-%v not row/column aligned", ca, cb))
+	}
+	if a == b {
+		panic("topology: express link to self")
+	}
+	dist := abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+	pa := net.Router(a).AddPort()
+	pb := net.Router(b).AddPort()
+	net.ConnectBidir(a, pa, b, pb, noc.ChanExpress, net.Cfg.LongLinkLatency(dist), dist)
+	patchExpressRoutes(net, a, b, pa)
+	patchExpressRoutes(net, b, a, pb)
+}
+
+// patchExpressRoutes redirects a's routes through the express link to far
+// for destinations where the link is a strict monotone win under XY order.
+func patchExpressRoutes(net *noc.Network, at, far noc.NodeID, port int) {
+	w := net.Cfg.Width
+	ca, cf := noc.CoordOf(at, w), noc.CoordOf(far, w)
+	r := net.Router(at)
+	for _, v := range []noc.VNet{noc.VNetRequest, noc.VNetReply} {
+		tbl := r.Table(v).Clone()
+		for tile := noc.NodeID(0); int(tile) < net.Cfg.NumNodes(); tile++ {
+			s := net.ServingRouter(tile)
+			if s < 0 {
+				continue
+			}
+			cs := noc.CoordOf(s, w)
+			use := false
+			if ca.Y == cf.Y && cs.X != ca.X {
+				// Row link; destination still in its X phase.
+				use = sign(cs.X-ca.X) == sign(cf.X-ca.X) && abs(cs.X-ca.X) >= abs(cf.X-ca.X)
+			} else if ca.X == cf.X && cs.X == ca.X && cs.Y != ca.Y {
+				// Column link; destination in its Y phase.
+				use = sign(cs.Y-ca.Y) == sign(cf.Y-ca.Y) && abs(cs.Y-ca.Y) >= abs(cf.Y-ca.Y)
+			}
+			if use {
+				tbl.Set(tile, port, noc.ClassKeep)
+			}
+		}
+		r.SetTable(v, tbl)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,291 @@
+package topology
+
+import (
+	"testing"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+)
+
+// runTraffic injects packets uniformly at random between the given tiles
+// and runs until everything is delivered, returning the delivered packets.
+func runTraffic(t *testing.T, net *noc.Network, tiles []noc.NodeID, npackets int, seed uint64) []*noc.Packet {
+	t.Helper()
+	if len(tiles) < 2 {
+		t.Fatal("need at least two tiles")
+	}
+	rng := sim.NewRNG(seed)
+	var delivered []*noc.Packet
+	net.SetDeliverFunc(func(p *noc.Packet, now sim.Cycle) {
+		delivered = append(delivered, p)
+	})
+	k := sim.NewKernel()
+	k.Register(net)
+
+	injected := 0
+	k.Register(sim.TickerFunc(func(now sim.Cycle) {
+		for injected < npackets && rng.Bernoulli(0.3) {
+			src := tiles[rng.Intn(len(tiles))]
+			dst := tiles[rng.Intn(len(tiles))]
+			if src == dst {
+				continue
+			}
+			class, vnet := noc.ClassCoherence, noc.VNetRequest
+			if rng.Bernoulli(0.5) {
+				class, vnet = noc.ClassData, noc.VNetReply
+			}
+			net.Enqueue(net.NewPacket(src, dst, class, vnet, 0), now)
+			injected++
+		}
+	}))
+
+	limit := sim.Cycle(200000)
+	for k.Now() < limit && (injected < npackets || len(delivered) < npackets) {
+		k.Step()
+	}
+	if len(delivered) != npackets {
+		t.Fatalf("delivered %d of %d packets after %d cycles (in flight %d, pending %d)",
+			len(delivered), npackets, k.Now(), net.InFlightFlits(), net.PendingPackets())
+	}
+	if err := net.CheckCreditInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiescent() {
+		t.Fatal("network not quiescent after all deliveries")
+	}
+	return delivered
+}
+
+func meanHops(pkts []*noc.Packet) float64 {
+	if len(pkts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range pkts {
+		s += float64(p.Hops)
+	}
+	return s / float64(len(pkts))
+}
+
+func meanNetLatency(pkts []*noc.Packet) float64 {
+	var s float64
+	for _, p := range pkts {
+		s += float64(p.NetworkLatency())
+	}
+	return s / float64(len(pkts))
+}
+
+func TestMeshDeliversAll(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	BuildMesh(net)
+	reg := WholeChip(cfg)
+	pkts := runTraffic(t, net, reg.Tiles(cfg.Width), 2000, 1)
+
+	for _, p := range pkts {
+		cs, cd := noc.CoordOf(p.Src, cfg.Width), noc.CoordOf(p.Dst, cfg.Width)
+		want := abs(cs.X-cd.X) + abs(cs.Y-cd.Y) + 1 // +1: ejection router hop count includes first router
+		if p.Hops != want {
+			t.Fatalf("packet %v took %d hops, want %d (XY minimal)", p, p.Hops, want)
+		}
+		if p.NetworkLatency() <= 0 {
+			t.Fatalf("packet %v has non-positive network latency", p)
+		}
+	}
+}
+
+func TestMeshLatencyMatchesAnalyticalAtLowLoad(t *testing.T) {
+	// A single packet with no contention should take exactly
+	// hops*(Tr+Tl) + serialization + local attach latencies.
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	BuildMesh(net)
+	k := sim.NewKernel()
+	k.Register(net)
+	var got *noc.Packet
+	net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) { got = p })
+
+	p := net.NewPacket(0, 3, noc.ClassCoherence, noc.VNetRequest, 0)
+	net.Enqueue(p, 0)
+	k.Run(200)
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	// Path: NI -> r0 -> r1 -> r2 -> r3 -> NI. Injection link 1 cycle, then
+	// 4 routers at Tr=2 + 3 mesh links at Tl=1 + ejection link 1 cycle.
+	want := sim.Cycle(1 + 4*cfg.RouterLatency + 3*cfg.LinkLatency + 1)
+	if got.TotalLatency() != want {
+		t.Fatalf("zero-load latency = %d, want %d", got.TotalLatency(), want)
+	}
+	if got.Hops != 4 {
+		t.Fatalf("hops = %d, want 4", got.Hops)
+	}
+}
+
+func TestCMeshRegionDeliversAndReducesHops(t *testing.T) {
+	cfg := noc.DefaultConfig()
+
+	meshNet := noc.NewNetwork(cfg)
+	reg := Region{X: 2, Y: 2, W: 4, H: 4}
+	ConfigureMeshRegion(meshNet, reg)
+	meshPkts := runTraffic(t, meshNet, reg.Tiles(cfg.Width), 1500, 7)
+
+	cNet := noc.NewNetwork(cfg)
+	ConfigureCMeshRegion(cNet, reg)
+	cPkts := runTraffic(t, cNet, reg.Tiles(cfg.Width), 1500, 7)
+
+	if mh, ch := meanHops(meshPkts), meanHops(cPkts); ch >= mh {
+		t.Fatalf("cmesh mean hops %.2f not below mesh %.2f", ch, mh)
+	}
+}
+
+func TestTorusRegionDeliversAndReducesHops(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+
+	reg := Region{X: 0, Y: 0, W: 4, H: 4}
+	meshNet := noc.NewNetwork(cfg)
+	ConfigureMeshRegion(meshNet, reg)
+	meshPkts := runTraffic(t, meshNet, reg.Tiles(cfg.Width), 1500, 13)
+
+	tNet := noc.NewNetwork(cfg)
+	ConfigureTorusRegion(tNet, reg)
+	tPkts := runTraffic(t, tNet, reg.Tiles(cfg.Width), 1500, 13)
+
+	if mh, th := meanHops(meshPkts), meanHops(tPkts); th >= mh {
+		t.Fatalf("torus mean hops %.2f not below mesh %.2f", th, mh)
+	}
+}
+
+func TestTorusHighLoadNoDeadlock(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	reg := Region{X: 0, Y: 0, W: 8, H: 8}
+	net := noc.NewNetwork(cfg)
+	ConfigureTorusRegion(net, reg)
+	runTraffic(t, net, reg.Tiles(cfg.Width), 8000, 99)
+}
+
+func TestTreeRegionDelivers(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	reg := Region{X: 4, Y: 0, W: 4, H: 4}
+	root := noc.Coord{X: 4, Y: 0}.ID(cfg.Width)
+	net := noc.NewNetwork(cfg)
+	ConfigureTreeRegion(net, reg, root, nil)
+	runTraffic(t, net, reg.Tiles(cfg.Width), 3000, 23)
+}
+
+func TestTreeRootRepliesWithinThreeHops(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	reg := Region{X: 0, Y: 0, W: 4, H: 4}
+	root := noc.NodeID(0)
+	net := noc.NewNetwork(cfg)
+	ConfigureTreeRegion(net, reg, root, nil)
+
+	k := sim.NewKernel()
+	k.Register(net)
+	var delivered []*noc.Packet
+	net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) { delivered = append(delivered, p) })
+	for _, tile := range reg.Tiles(cfg.Width) {
+		if tile == root {
+			continue
+		}
+		net.Enqueue(net.NewPacket(root, tile, noc.ClassData, noc.VNetReply, 0), k.Now())
+	}
+	k.Run(2000)
+	if len(delivered) != reg.Size()-1 {
+		t.Fatalf("delivered %d of %d root replies", len(delivered), reg.Size()-1)
+	}
+	for _, p := range delivered {
+		// Hops counts routers traversed. With a corner root in a 4x4 the
+		// tree has depth <= 4 edges (two per dimension), i.e. <= 5 routers.
+		if p.Hops > 5 {
+			t.Errorf("root reply to %d traversed %d routers, want <= 5", p.Dst, p.Hops)
+		}
+	}
+}
+
+func TestFlattenedButterflyDelivers(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.RouterLatency = 3
+	cfg.VCsPerVNet = 4
+	net := noc.NewNetwork(cfg)
+	BuildFlattenedButterfly(net)
+	reg := WholeChip(cfg)
+	pkts := runTraffic(t, net, reg.Tiles(cfg.Width), 3000, 31)
+	for _, p := range pkts {
+		// At most src anchor, turn router, destination anchor.
+		if p.Hops > 3 {
+			t.Fatalf("FTBY packet %v traversed %d routers, want <= 3", p, p.Hops)
+		}
+	}
+}
+
+func TestShortcutReducesLatencyForTargetPairs(t *testing.T) {
+	cfg := noc.DefaultConfig()
+
+	plain := noc.NewNetwork(cfg)
+	BuildMesh(plain)
+
+	sc := noc.NewNetwork(cfg)
+	BuildShortcutMesh(sc, []Shortcut{{A: 0, B: 7}, {A: 56, B: 63}})
+
+	// Only traffic between the linked corners.
+	probe := func(net *noc.Network) sim.Cycle {
+		k := sim.NewKernel()
+		k.Register(net)
+		var lat sim.Cycle
+		net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) { lat = p.TotalLatency() })
+		net.Enqueue(net.NewPacket(0, 7, noc.ClassCoherence, noc.VNetRequest, 0), 0)
+		k.Run(300)
+		return lat
+	}
+	pl, scl := probe(plain), probe(sc)
+	if pl == 0 || scl == 0 {
+		t.Fatal("probe packet not delivered")
+	}
+	if scl >= pl {
+		t.Fatalf("shortcut latency %d not below mesh %d", scl, pl)
+	}
+	// Shortcut network must still deliver general traffic.
+	runTraffic(t, sc, WholeChip(cfg).Tiles(cfg.Width), 3000, 47)
+}
+
+// TestRandomConfigsDeliver fuzzes the router microarchitecture parameters:
+// any (VC count, depth, Tr, Tl) combination within validation limits must
+// deliver all traffic on every subNoC topology with credits conserved.
+func TestRandomConfigsDeliver(t *testing.T) {
+	rng := sim.NewRNG(321)
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := noc.DefaultConfig()
+		cfg.VCsPerVNet = 2 + rng.Intn(3) // 2..4
+		cfg.VCDepth = 3 + rng.Intn(4)    // 3..6
+		cfg.RouterLatency = 1 + rng.Intn(3)
+		cfg.LinkLatency = 1 + rng.Intn(2)
+		if cfg.VCDepth < cfg.DataFlits {
+			cfg.VCDepth = cfg.DataFlits
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", trial, err)
+		}
+		reg := Region{X: rng.Intn(3), Y: rng.Intn(3), W: 4, H: 4}
+		net := noc.NewNetwork(cfg)
+		switch trial % 5 {
+		case 0:
+			ConfigureMeshRegion(net, reg)
+		case 1:
+			ConfigureCMeshRegion(net, reg)
+		case 2:
+			ConfigureTorusRegion(net, reg)
+		case 3:
+			ConfigureTreeRegion(net, reg, reg.Tiles(cfg.Width)[0], nil)
+		case 4:
+			ConfigureTorusTreeRegion(net, reg, reg.Tiles(cfg.Width)[5], nil)
+		}
+		runTraffic(t, net, reg.Tiles(cfg.Width), 800, uint64(500+trial))
+	}
+}

@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"adaptnoc/internal/noc"
+)
+
+// ConfigureTorusRegion configures a region as a torus (Section II-B.2):
+// the full mesh plus wraparound adaptable-link segments connecting the
+// region's peripheral routers on their free edge-facing ports. Routing is
+// dimension-ordered with minimal ring direction; the wraparound hop is the
+// dateline, moving packets into the upper VC class to break the ring's
+// channel-dependency cycle (Section II-C.3). Requires >= 2 VCs per vnet.
+func ConfigureTorusRegion(net *noc.Network, reg Region) {
+	if net.Cfg.VCsPerVNet < 2 {
+		panic("topology: torus dateline needs at least 2 VCs per vnet")
+	}
+	w := net.Cfg.Width
+	WireMeshRegion(net, reg)
+	AttachOneToOne(net, reg)
+
+	// Wraparound segments (skip degenerate rings where wrap would parallel
+	// an existing mesh link).
+	if reg.W >= 3 {
+		for y := reg.Y; y < reg.Y+reg.H; y++ {
+			east := noc.Coord{X: reg.X + reg.W - 1, Y: y}.ID(w)
+			west := noc.Coord{X: reg.X, Y: y}.ID(w)
+			d := reg.W - 1
+			net.ConnectBidir(east, noc.PortEast, west, noc.PortWest,
+				noc.ChanAdaptable, net.Cfg.LongLinkLatency(d), d)
+		}
+	}
+	if reg.H >= 3 {
+		for x := reg.X; x < reg.X+reg.W; x++ {
+			south := noc.Coord{X: x, Y: reg.Y + reg.H - 1}.ID(w)
+			north := noc.Coord{X: x, Y: reg.Y}.ID(w)
+			d := reg.H - 1
+			net.ConnectBidir(south, noc.PortSouth, north, noc.PortNorth,
+				noc.ChanAdaptable, net.Cfg.LongLinkLatency(d), d)
+		}
+	}
+
+	for _, id := range reg.Tiles(w) {
+		r := net.Router(id)
+		tbl := torusTableForRouter(net, id, reg)
+		r.SetTable(noc.VNetRequest, tbl)
+		r.SetTable(noc.VNetReply, tbl)
+		r.SetDateline(true)
+	}
+}
+
+// torusTableForRouter builds the minimal dimension-ordered torus table.
+func torusTableForRouter(net *noc.Network, router noc.NodeID, reg Region) *noc.RoutingTable {
+	w := net.Cfg.Width
+	t := noc.NewRoutingTable(net.Cfg.NumNodes())
+	cur := noc.CoordOf(router, w)
+	for _, tile := range reg.Tiles(w) {
+		dst := noc.CoordOf(tile, w)
+		if dst == cur {
+			t.Set(tile, noc.PortLocal, noc.ClassKeep)
+			continue
+		}
+		port, wraps := torusHop(cur, dst, reg)
+		op := noc.ClassKeep
+		if wraps {
+			op = noc.ClassSet1
+		}
+		t.Set(tile, port, op)
+	}
+	return t
+}
+
+// torusHop picks the next XY hop on the region torus, returning the port
+// and whether the hop traverses a wraparound (dateline) segment.
+func torusHop(cur, dst noc.Coord, reg Region) (port int, wraps bool) {
+	if dst.X != cur.X {
+		return ringHop(cur.X, dst.X, reg.X, reg.W, noc.PortEast, noc.PortWest)
+	}
+	return ringHop(cur.Y, dst.Y, reg.Y, reg.H, noc.PortSouth, noc.PortNorth)
+}
+
+// ringHop picks the minimal direction around one ring. plusPort moves
+// toward increasing coordinates. Rings shorter than 3 have no wrap link.
+func ringHop(cur, dst, lo, n int, plusPort, minusPort int) (port int, wraps bool) {
+	ci, di := cur-lo, dst-lo
+	fwd := (di - ci + n) % n  // hops going +
+	back := (ci - di + n) % n // hops going -
+	wrapAvailable := n >= 3
+	goPlus := fwd <= back
+	if !wrapAvailable {
+		// Pure mesh movement.
+		goPlus = di > ci
+		return pick(goPlus, plusPort, minusPort), false
+	}
+	if fwd == back {
+		// Tie: prefer the no-wrap direction.
+		goPlus = di > ci
+	}
+	if goPlus {
+		return plusPort, ci == n-1
+	}
+	return minusPort, ci == 0
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}

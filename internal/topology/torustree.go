@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+)
+
+// ConfigureTorusTreeRegion configures a region with the combined topology
+// the paper sketches in Section II-B.4: the request virtual network runs a
+// torus (mesh plus wraparound segments on the high-metal adaptable links,
+// with dateline VC classes) while the reply virtual network runs the MC-
+// rooted tree. The torus serves the many-to-one request convergecast with
+// extra bisection bandwidth; the tree serves the one-to-many reply
+// distribution — "simultaneously optimize both request and reply networks
+// for memory-intensive applications".
+//
+// Wiring: the wraparounds occupy the high-metal adaptable links (as in the
+// plain torus), so the tree's distance-2 segments are placed on the
+// intermediate metal layers instead (Section V-B.2 budgets seven 256-bit
+// links per tile edge there) — slower per millimetre, which the segment
+// latencies reflect.
+//
+// Deadlock freedom is per virtual network (VCs are partitioned by vnet):
+// the request torus uses dateline classes on its rings, and the reply
+// tree's XY*-then-down* argument is unchanged; dateline classing is
+// enabled for the request vnet only.
+func ConfigureTorusTreeRegion(net *noc.Network, reg Region, rootTile noc.NodeID, mcTiles []noc.NodeID) {
+	if net.Cfg.VCsPerVNet < 2 {
+		panic("topology: torus+tree needs at least 2 VCs per vnet for the request dateline")
+	}
+	w := net.Cfg.Width
+	root := noc.CoordOf(rootTile, w)
+	if !reg.Contains(root) {
+		panic(fmt.Sprintf("topology: tree root %v outside region %v", root, reg))
+	}
+
+	WireMeshRegion(net, reg)
+	AttachOneToOne(net, reg)
+	for _, t := range reg.Tiles(w) {
+		EnsureAdaptPorts(net.Router(t))
+	}
+
+	// Torus wraparounds on the free edge-facing direction ports (high
+	// metal), exactly as ConfigureTorusRegion wires them.
+	if reg.W >= 3 {
+		for y := reg.Y; y < reg.Y+reg.H; y++ {
+			east := noc.Coord{X: reg.X + reg.W - 1, Y: y}.ID(w)
+			west := noc.Coord{X: reg.X, Y: y}.ID(w)
+			d := reg.W - 1
+			net.ConnectBidir(east, noc.PortEast, west, noc.PortWest,
+				noc.ChanAdaptable, net.Cfg.LongLinkLatency(d), d)
+		}
+	}
+	if reg.H >= 3 {
+		for x := reg.X; x < reg.X+reg.W; x++ {
+			south := noc.Coord{X: x, Y: reg.Y + reg.H - 1}.ID(w)
+			north := noc.Coord{X: x, Y: reg.Y}.ID(w)
+			d := reg.H - 1
+			net.ConnectBidir(south, noc.PortSouth, north, noc.PortNorth,
+				noc.ChanAdaptable, net.Cfg.LongLinkLatency(d), d)
+		}
+	}
+
+	// Tree overlay for replies, segments on intermediate metal, plus the
+	// root's injection fanout.
+	attachMCInjection(net, reg, rootTile, mcTiles)
+	tr := buildTree(net, reg, root, true)
+
+	for _, id := range reg.Tiles(w) {
+		r := net.Router(id)
+		r.SetTable(noc.VNetRequest, torusTableForRouter(net, id, reg))
+		r.SetTable(noc.VNetReply, tr.tableFor(net, id, reg))
+		r.SetDatelineVNet(noc.VNetRequest, true)
+		r.SetDatelineVNet(noc.VNetReply, false)
+	}
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"testing"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+)
+
+func TestTorusTreeDelivers(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	reg := Region{X: 0, Y: 0, W: 4, H: 8}
+	root := noc.Coord{X: 2, Y: 4}.ID(cfg.Width)
+	net := noc.NewNetwork(cfg)
+	ConfigureTorusTreeRegion(net, reg, root, nil)
+	runTraffic(t, net, reg.Tiles(cfg.Width), 4000, 77)
+}
+
+func TestTorusTreeRequestsUseWraparounds(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	reg := Region{X: 0, Y: 0, W: 4, H: 8}
+	root := noc.Coord{X: 2, Y: 4}.ID(cfg.Width)
+
+	meshNet := noc.NewNetwork(cfg)
+	ConfigureMeshRegion(meshNet, reg)
+	ttNet := noc.NewNetwork(cfg)
+	ConfigureTorusTreeRegion(ttNet, reg, root, nil)
+
+	// Requests across the long dimension: ring routing must cut hops.
+	hops := func(net *noc.Network) float64 {
+		k := sim.NewKernel()
+		k.Register(net)
+		var total, n float64
+		net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) {
+			total += float64(p.Hops)
+			n++
+		})
+		for x := 0; x < 4; x++ {
+			src := noc.Coord{X: x, Y: 0}.ID(cfg.Width)
+			dst := noc.Coord{X: x, Y: 7}.ID(cfg.Width)
+			net.Enqueue(net.NewPacket(src, dst, noc.ClassCoherence, noc.VNetRequest, 0), 0)
+		}
+		k.Run(500)
+		if n != 4 {
+			t.Fatalf("delivered %v of 4", n)
+		}
+		return total / n
+	}
+	if mh, th := hops(meshNet), hops(ttNet); th >= mh {
+		t.Fatalf("torus+tree request hops %.2f not below mesh %.2f", th, mh)
+	}
+}
+
+func TestTorusTreeRepliesRideTheTree(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	reg := Region{X: 0, Y: 0, W: 4, H: 4}
+	root := noc.NodeID(0)
+	net := noc.NewNetwork(cfg)
+	ConfigureTorusTreeRegion(net, reg, root, nil)
+
+	k := sim.NewKernel()
+	k.Register(net)
+	delivered := 0
+	net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) {
+		delivered++
+		if p.Hops > 5 {
+			t.Errorf("root reply to %d traversed %d routers, want <= 5", p.Dst, p.Hops)
+		}
+	})
+	for _, tile := range reg.Tiles(cfg.Width) {
+		if tile == root {
+			continue
+		}
+		net.Enqueue(net.NewPacket(root, tile, noc.ClassData, noc.VNetReply, 0), 0)
+	}
+	k.Run(2000)
+	if delivered != reg.Size()-1 {
+		t.Fatalf("delivered %d of %d", delivered, reg.Size()-1)
+	}
+}
+
+func TestTorusTreeDatelinePerVNet(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	reg := Region{X: 0, Y: 0, W: 4, H: 4}
+	net := noc.NewNetwork(cfg)
+	ConfigureTorusTreeRegion(net, reg, 0, nil)
+	r := net.Router(9) // (1,1), inside the region
+	if !r.UsesDateline(noc.VNetRequest) {
+		t.Fatal("request vnet missing dateline classes")
+	}
+	if r.UsesDateline(noc.VNetReply) {
+		t.Fatal("reply vnet must not be dateline-classed (the tree is acyclic)")
+	}
+}

@@ -1,0 +1,217 @@
+package topology
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+)
+
+// ConfigureTreeRegion configures a region with the tree reply network of
+// Section II-B.3: the request virtual network keeps the full mesh with XY
+// routing, while the reply network is a spanning tree rooted at the memory
+// controller's router, built from reversed/segmented adaptable links.
+//
+// Construction follows the paper's scalability principle ("maximize the
+// fanout of the root router, connect root and intermediate routers with
+// their downstream routers at an evenly-spaced distance in each
+// row/column"): a column spine grows from the root as a chain of
+// distance-2 adaptable segments (odd offsets hang off the chain by mesh
+// links), and each spine router spans its row the same way. Each row's and
+// column's single bidirectional adaptable link suffices: the + direction
+// chain rides the forward wire and the − direction chain rides the
+// reversed wire, in disjoint segments (Fig. 3(b)).
+//
+// Reply routing is up*/down*: down along tree edges (which always move
+// away from the root's coordinates), up along XY-toward-root mesh hops
+// (which always move toward them), so the channel sets are disjoint and the
+// dependency graph is acyclic. Replies from the root — the dominant flow
+// the tree exists for — travel pure down paths.
+func ConfigureTreeRegion(net *noc.Network, reg Region, rootTile noc.NodeID, mcTiles []noc.NodeID) {
+	w := net.Cfg.Width
+	root := noc.CoordOf(rootTile, w)
+	if !reg.Contains(root) {
+		panic(fmt.Sprintf("topology: tree root %v outside region %v", root, reg))
+	}
+	WireMeshRegion(net, reg)
+	AttachOneToOne(net, reg)
+	for _, t := range reg.Tiles(w) {
+		EnsureAdaptPorts(net.Router(t))
+	}
+
+	attachMCInjection(net, reg, rootTile, mcTiles)
+	tr := buildTree(net, reg, root, false)
+
+	for _, id := range reg.Tiles(w) {
+		r := net.Router(id)
+		r.SetTable(noc.VNetRequest, XYTableForRouter(net, id, reg))
+		r.SetTable(noc.VNetReply, tr.tableFor(net, id, reg))
+		r.SetDateline(false)
+	}
+}
+
+// treeEdge is a directed parent→child tree connection.
+type treeEdge struct {
+	child   noc.NodeID
+	outPort int
+}
+
+// tree holds the spanning tree and subtree membership.
+type tree struct {
+	root     noc.NodeID
+	children map[noc.NodeID][]treeEdge
+	subtree  map[noc.NodeID]map[noc.NodeID]bool // router -> descendant set (incl. self)
+}
+
+// buildTree wires the adaptable segments and assembles the spanning tree.
+// With intermediate set, segments ride the intermediate metal layers
+// (slower, separate wiring budget) — used by the combined topology whose
+// high-metal wires carry the torus wraparounds.
+func buildTree(net *noc.Network, reg Region, root noc.Coord, intermediate bool) *tree {
+	w := net.Cfg.Width
+	tr := &tree{
+		root:     root.ID(w),
+		children: make(map[noc.NodeID][]treeEdge),
+		subtree:  make(map[noc.NodeID]map[noc.NodeID]bool),
+	}
+
+	addEdge := func(parent, child noc.Coord, outPort int, adapt bool, dist int) {
+		p, c := parent.ID(w), child.ID(w)
+		if adapt {
+			inPort := oppositeAdapt(outPort)
+			lat := net.Cfg.LongLinkLatency(dist)
+			if intermediate {
+				lat = net.Cfg.IntermediateLinkLatency(dist)
+			}
+			ch := net.Connect(
+				noc.Endpoint{Kind: noc.EndRouter, Router: p, Port: outPort},
+				noc.Endpoint{Kind: noc.EndRouter, Router: c, Port: inPort},
+				noc.ChanAdaptable, lat, dist)
+			ch.Intermediate = intermediate
+		}
+		tr.children[p] = append(tr.children[p], treeEdge{child: c, outPort: outPort})
+	}
+
+	// spanDim grows a chain from anchor along one dimension in direction
+	// dir (+1/-1): even offsets ride distance-2 adaptable segments, odd
+	// offsets hang off the previous even router by a mesh link. visit is
+	// called for every router placed (used to grow rows off the spine).
+	spanDim := func(anchor noc.Coord, horizontal bool, dir int, visit func(noc.Coord)) {
+		at := func(off int) (noc.Coord, bool) {
+			c := anchor
+			if horizontal {
+				c.X += dir * off
+			} else {
+				c.Y += dir * off
+			}
+			return c, reg.Contains(c)
+		}
+		meshPort, adaptPort := dimPorts(horizontal, dir)
+		for off := 1; ; off++ {
+			c, ok := at(off)
+			if !ok {
+				return
+			}
+			if off%2 == 1 {
+				parent, _ := at(off - 1)
+				addEdge(parent, c, meshPort, false, 1)
+			} else {
+				parent, _ := at(off - 2)
+				addEdge(parent, c, adaptPort, true, 2)
+			}
+			visit(c)
+		}
+	}
+
+	// Column spine through the root, rows hanging off every spine router.
+	spanRow := func(spine noc.Coord) {
+		spanDim(spine, true, +1, func(noc.Coord) {})
+		spanDim(spine, true, -1, func(noc.Coord) {})
+	}
+	spanRow(root)
+	spanDim(root, false, +1, spanRow)
+	spanDim(root, false, -1, spanRow)
+
+	tr.computeSubtrees(tr.root)
+	return tr
+}
+
+// oppositeAdapt maps an adaptable output port to the matching input port on
+// the receiving router.
+func oppositeAdapt(outPort int) int {
+	switch outPort {
+	case PortAdaptEast:
+		return PortAdaptWest
+	case PortAdaptWest:
+		return PortAdaptEast
+	case PortAdaptNorth:
+		return PortAdaptSouth
+	case PortAdaptSouth:
+		return PortAdaptNorth
+	default:
+		panic(fmt.Sprintf("topology: not an adaptable port: %d", outPort))
+	}
+}
+
+// dimPorts returns the (mesh, adaptable) output ports moving along a
+// dimension in direction dir.
+func dimPorts(horizontal bool, dir int) (meshPort, adaptPort int) {
+	switch {
+	case horizontal && dir > 0:
+		return noc.PortEast, PortAdaptEast
+	case horizontal:
+		return noc.PortWest, PortAdaptWest
+	case dir > 0:
+		return noc.PortSouth, PortAdaptSouth
+	default:
+		return noc.PortNorth, PortAdaptNorth
+	}
+}
+
+// computeSubtrees fills the descendant sets by depth-first traversal.
+func (tr *tree) computeSubtrees(v noc.NodeID) map[noc.NodeID]bool {
+	set := map[noc.NodeID]bool{v: true}
+	for _, e := range tr.children[v] {
+		for d := range tr.computeSubtrees(e.child) {
+			set[d] = true
+		}
+	}
+	tr.subtree[v] = set
+	return set
+}
+
+// tableFor builds the reply-vnet table of one router: down a tree edge
+// when the destination lies in this router's subtree (root-sourced replies
+// — the dominant flow — ride pure tree paths), otherwise dimension-ordered
+// XY toward the destination itself. The combined function is deadlock-free
+// because every route is XY* followed by down*: once a packet enters the
+// subtree containing its destination it descends tree edges only, XY hops
+// are mutually acyclic (dimension order), and down edges always move away
+// from the root's coordinates while never feeding back into XY.
+func (tr *tree) tableFor(net *noc.Network, router noc.NodeID, reg Region) *noc.RoutingTable {
+	w := net.Cfg.Width
+	t := noc.NewRoutingTable(net.Cfg.NumNodes())
+	cur := noc.CoordOf(router, w)
+	for _, tile := range reg.Tiles(w) {
+		serving := net.ServingRouter(tile)
+		if serving == router {
+			t.Set(tile, noc.PortLocal, noc.ClassKeep)
+			continue
+		}
+		if down, port := tr.downPort(router, serving); down {
+			t.Set(tile, port, noc.ClassKeep)
+			continue
+		}
+		t.Set(tile, xyPort(cur, noc.CoordOf(serving, w)), noc.ClassKeep)
+	}
+	return t
+}
+
+// downPort returns the tree edge whose subtree contains dst, if any.
+func (tr *tree) downPort(v, dst noc.NodeID) (bool, int) {
+	for _, e := range tr.children[v] {
+		if tr.subtree[e.child][dst] {
+			return true, e.outPort
+		}
+	}
+	return false, 0
+}

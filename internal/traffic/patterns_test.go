@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+)
+
+func inRegion(c noc.Coord, x, y, w, h int) bool {
+	return c.X >= x && c.X < x+w && c.Y >= y && c.Y < y+h
+}
+
+func TestUniformStaysInRegionAndAvoidsSelf(t *testing.T) {
+	rng := sim.NewRNG(1)
+	u := NewUniform(2, 2, 4, 4)
+	src := noc.Coord{X: 3, Y: 3}
+	for i := 0; i < 2000; i++ {
+		d, ok := u.Dst(src, rng)
+		if !ok {
+			continue
+		}
+		if d == src {
+			t.Fatal("uniform returned the source")
+		}
+		if !inRegion(d, 2, 2, 4, 4) {
+			t.Fatalf("destination %v outside region", d)
+		}
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	f := func(sx, sy uint8) bool {
+		tr := NewTranspose(0, 0, 8, 8)
+		src := noc.Coord{X: int(sx % 8), Y: int(sy % 8)}
+		d, ok := tr.Dst(src, nil)
+		if !ok {
+			return src.X == src.Y // diagonal has no partner
+		}
+		back, ok2 := tr.Dst(d, nil)
+		return ok2 && back == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeRequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square transpose accepted")
+		}
+	}()
+	NewTranspose(0, 0, 4, 8)
+}
+
+func TestBitComplementIsInvolution(t *testing.T) {
+	f := func(sx, sy uint8) bool {
+		b := NewBitComplement(1, 1, 6, 4)
+		src := noc.Coord{X: 1 + int(sx%6), Y: 1 + int(sy%4)}
+		d, ok := b.Dst(src, nil)
+		if !ok {
+			return true // centre tile maps to itself
+		}
+		back, _ := b.Dst(d, nil)
+		return back == src && inRegion(d, 1, 1, 6, 4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	rng := sim.NewRNG(3)
+	hot := noc.Coord{X: 2, Y: 2}
+	h := NewHotspot(0, 0, 4, 4, hot, 0.5)
+	src := noc.Coord{X: 0, Y: 0}
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d, ok := h.Dst(src, rng)
+		if ok && d == hot {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	// 50% directed plus the uniform share that happens to land on hot.
+	if frac < 0.45 || frac < 0.5*0.9 {
+		t.Fatalf("hotspot fraction %.3f, want >= ~0.5", frac)
+	}
+}
+
+func TestNeighbourWraps(t *testing.T) {
+	n := NewNeighbour(2, 0, 4, 4)
+	d, ok := n.Dst(noc.Coord{X: 5, Y: 1}, nil)
+	if !ok || d != (noc.Coord{X: 2, Y: 1}) {
+		t.Fatalf("edge neighbour = %v ok=%v, want wrap to (2,1)", d, ok)
+	}
+	d, _ = n.Dst(noc.Coord{X: 3, Y: 2}, nil)
+	if d != (noc.Coord{X: 4, Y: 2}) {
+		t.Fatalf("interior neighbour = %v", d)
+	}
+}
+
+func TestOpenLoopSourceRate(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	net := noc.NewNetwork(cfg)
+	// No topology needed: just count enqueues into NI queues.
+	src := &OpenLoopSource{
+		Net: net, Pat: NewUniform(0, 0, 4, 4),
+		Tiles: []noc.NodeID{0, 1, 2, 3}, Rate: 0.25, DataPct: 0.5,
+		RNG: sim.NewRNG(9),
+	}
+	const cycles = 20000
+	for c := 0; c < cycles; c++ {
+		src.Tick(sim.Cycle(c))
+	}
+	want := 0.25 * 4 * cycles
+	if got := float64(src.Injected); got < 0.9*want || got > 1.1*want {
+		t.Fatalf("injected %v, want ~%v", got, want)
+	}
+	if net.PendingPackets() != int(src.Injected) {
+		t.Fatalf("pending %d != injected %d", net.PendingPackets(), src.Injected)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	pats := []Pattern{
+		NewUniform(0, 0, 4, 4), NewTranspose(0, 0, 4, 4),
+		NewBitComplement(0, 0, 4, 4), NewHotspot(0, 0, 4, 4, noc.Coord{}, 0.2),
+		NewNeighbour(0, 0, 4, 4),
+	}
+	seen := map[string]bool{}
+	for _, p := range pats {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("bad/duplicate pattern name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}

@@ -1,0 +1,175 @@
+// Package traffic defines the synthetic application models that stand in
+// for the paper's Parsec (CPU) and Rodinia (GPU) benchmarks (Table II).
+//
+// A benchmark's NoC-visible behaviour is captured by a sequence of phases,
+// each characterized along the axes the paper's RL state vector observes
+// (Table I): instruction throughput, L1/L2 miss rates (which become L2 and
+// memory-controller traffic), coherence-message intensity, memory-level
+// parallelism, and the spatial spread of L2 accesses. The per-benchmark
+// parameters are plausible characterizations chosen so that the suite
+// spans the space the paper's selection results report: sparse-traffic
+// CPU codes that favour cmesh, memory-intensive codes (CA, SW, X264) with
+// one-to-many reply traffic that favour the tree, and high-throughput GPU
+// codes that spread across mesh/torus/tree.
+package traffic
+
+// Class separates CPU-style and GPU-style cores.
+type Class int
+
+// Application classes.
+const (
+	CPU Class = iota
+	GPU
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == CPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// Phase is one stretch of homogeneous behaviour.
+type Phase struct {
+	// Instructions is the phase length in retired instructions per core.
+	Instructions int64
+	// MemFrac is the fraction of instructions that access the L1D.
+	MemFrac float64
+	// L1MissRate is the fraction of L1D accesses that miss to an L2 slice
+	// (becomes request/reply NoC traffic).
+	L1MissRate float64
+	// L1IMissRate is the instruction-fetch miss rate (stat + light traffic).
+	L1IMissRate float64
+	// L2MissRate is the fraction of L2 accesses forwarded to a memory
+	// controller (off-chip accesses; the tree topology's target traffic).
+	L2MissRate float64
+	// CoherencePerKInstr is coherence/synchronization control messages per
+	// thousand instructions (core-to-core traffic).
+	CoherencePerKInstr float64
+	// Hotspot in [0,1] skews L2 slice selection toward a single home slice
+	// (0 = uniform striping across the region's slices).
+	Hotspot float64
+}
+
+// Profile characterizes one benchmark application.
+type Profile struct {
+	Name  string
+	Class Class
+	// IPC is instructions per cycle per core when not stalled.
+	IPC float64
+	// MLP is the maximum outstanding memory requests per core
+	// (GPU cores are highly latency-tolerant).
+	MLP int
+	// Phases repeat cyclically until the instruction budget is consumed.
+	Phases []Phase
+}
+
+// phase is a convenience constructor.
+func phase(instr int64, memFrac, l1Miss, l1iMiss, l2Miss, cohPerK, hotspot float64) Phase {
+	return Phase{
+		Instructions: instr, MemFrac: memFrac, L1MissRate: l1Miss,
+		L1IMissRate: l1iMiss, L2MissRate: l2Miss,
+		CoherencePerKInstr: cohPerK, Hotspot: hotspot,
+	}
+}
+
+// CPUProfiles returns the seven Parsec-like applications of Table II.
+func CPUProfiles() []Profile {
+	return []Profile{
+		{Name: "blackscholes", Class: CPU, IPC: 1.6, MLP: 4, Phases: []Phase{
+			// Compute-bound option pricing: tiny working set, trivial sharing.
+			phase(120000, 0.22, 0.005, 0.002, 0.10, 0.3, 0.0),
+		}},
+		{Name: "swaptions", Class: CPU, IPC: 1.4, MLP: 4, Phases: []Phase{
+			// Monte-Carlo simulation: moderate misses, periodic bursts of
+			// off-chip traffic (memory-intensive per Fig. 14: selects tree).
+			phase(80000, 0.28, 0.015, 0.003, 0.45, 0.6, 0.1),
+			phase(30000, 0.32, 0.030, 0.003, 0.60, 0.6, 0.2),
+		}},
+		{Name: "x264", Class: CPU, IPC: 1.2, MLP: 6, Phases: []Phase{
+			// Video encoding: streaming frames from memory, phase-heavy.
+			phase(50000, 0.35, 0.025, 0.008, 0.55, 1.2, 0.2),
+			phase(50000, 0.30, 0.010, 0.006, 0.25, 1.0, 0.1),
+		}},
+		{Name: "ferret", Class: CPU, IPC: 1.3, MLP: 4, Phases: []Phase{
+			// Pipeline-parallel similarity search: steady moderate traffic
+			// with inter-stage (core-to-core) communication.
+			phase(100000, 0.30, 0.012, 0.005, 0.30, 2.5, 0.0),
+		}},
+		{Name: "bodytrack", Class: CPU, IPC: 1.4, MLP: 4, Phases: []Phase{
+			// Particle-filter vision: alternating compute and update phases.
+			phase(70000, 0.25, 0.008, 0.004, 0.20, 1.5, 0.0),
+			phase(24000, 0.33, 0.022, 0.004, 0.35, 2.0, 0.1),
+		}},
+		{Name: "canneal", Class: CPU, IPC: 0.9, MLP: 6, Phases: []Phase{
+			// Simulated annealing over a huge netlist: cache-hostile random
+			// accesses, heavy off-chip traffic (selects tree in Fig. 14).
+			phase(60000, 0.38, 0.055, 0.004, 0.70, 0.8, 0.0),
+		}},
+		{Name: "fluidanimate", Class: CPU, IPC: 1.3, MLP: 4, Phases: []Phase{
+			// SPH fluid simulation: neighbour exchanges dominate.
+			phase(90000, 0.30, 0.015, 0.004, 0.25, 3.5, 0.0),
+		}},
+	}
+}
+
+// GPUProfiles returns the seven Rodinia-like applications of Table II.
+// GPU cores are 8-wide SIMD with deep memory-level parallelism, so the
+// same miss rates translate into far greater traffic intensity.
+func GPUProfiles() []Profile {
+	return []Profile{
+		{Name: "kmeans", Class: GPU, IPC: 4.0, MLP: 18, Phases: []Phase{
+			// Streaming distance computation over all points each iteration.
+			phase(960000, 0.40, 0.038, 0.001, 0.70, 0.2, 0.1),
+		}},
+		{Name: "backprop", Class: GPU, IPC: 4.5, MLP: 18, Phases: []Phase{
+			// Forward/backward passes alternate dense and sparse traffic.
+			phase(480000, 0.35, 0.035, 0.001, 0.55, 0.3, 0.2),
+			phase(480000, 0.30, 0.016, 0.001, 0.35, 0.3, 0.1),
+		}},
+		{Name: "heartwall", Class: GPU, IPC: 5.0, MLP: 8, Phases: []Phase{
+			// Compute-heavy tracking with modest memory traffic.
+			phase(1200000, 0.25, 0.012, 0.001, 0.30, 0.2, 0.0),
+		}},
+		{Name: "gaussian", Class: GPU, IPC: 3.5, MLP: 14, Phases: []Phase{
+			// Elimination rows shrink: traffic decays across phases.
+			phase(400000, 0.42, 0.042, 0.001, 0.60, 0.2, 0.3),
+			phase(400000, 0.38, 0.024, 0.001, 0.45, 0.2, 0.2),
+			phase(400000, 0.30, 0.012, 0.001, 0.30, 0.2, 0.1),
+		}},
+		{Name: "bfs", Class: GPU, IPC: 2.5, MLP: 24, Phases: []Phase{
+			// Irregular frontier expansion: bursty, cache-hostile, heavily
+			// off-chip (highest memory intensity in the suite).
+			phase(320000, 0.48, 0.055, 0.001, 0.65, 0.4, 0.15),
+			phase(160000, 0.35, 0.022, 0.001, 0.50, 0.3, 0.1),
+		}},
+		{Name: "nw", Class: GPU, IPC: 3.0, MLP: 10, Phases: []Phase{
+			// Wavefront dynamic programming: neighbour-tile dependencies.
+			phase(640000, 0.36, 0.030, 0.001, 0.40, 1.0, 0.0),
+		}},
+		{Name: "hotspot", Class: GPU, IPC: 4.0, MLP: 14, Phases: []Phase{
+			// Stencil thermal simulation: regular neighbour + stream traffic.
+			phase(800000, 0.38, 0.025, 0.001, 0.45, 0.8, 0.0),
+		}},
+	}
+}
+
+// ByName finds a profile in the combined suite.
+func ByName(name string) (Profile, bool) {
+	for _, p := range append(CPUProfiles(), GPUProfiles()...) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists the suite for CLI help.
+func Names() []string {
+	var out []string
+	for _, p := range append(CPUProfiles(), GPUProfiles()...) {
+		out = append(out, p.Name)
+	}
+	return out
+}

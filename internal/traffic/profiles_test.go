@@ -1,0 +1,118 @@
+package traffic
+
+import "testing"
+
+func TestSuiteMatchesTableII(t *testing.T) {
+	cpu, gpu := CPUProfiles(), GPUProfiles()
+	if len(cpu) != 7 {
+		t.Fatalf("CPU suite has %d apps, Table II lists 7", len(cpu))
+	}
+	if len(gpu) != 7 {
+		t.Fatalf("GPU suite has %d apps, Table II lists 7", len(gpu))
+	}
+	wantCPU := []string{"blackscholes", "swaptions", "x264", "ferret", "bodytrack", "canneal", "fluidanimate"}
+	for i, p := range cpu {
+		if p.Name != wantCPU[i] {
+			t.Errorf("CPU[%d] = %s, want %s", i, p.Name, wantCPU[i])
+		}
+		if p.Class != CPU {
+			t.Errorf("%s misclassified", p.Name)
+		}
+	}
+	wantGPU := []string{"kmeans", "backprop", "heartwall", "gaussian", "bfs", "nw", "hotspot"}
+	for i, p := range gpu {
+		if p.Name != wantGPU[i] {
+			t.Errorf("GPU[%d] = %s, want %s", i, p.Name, wantGPU[i])
+		}
+		if p.Class != GPU {
+			t.Errorf("%s misclassified", p.Name)
+		}
+	}
+}
+
+func TestProfilesAreWellFormed(t *testing.T) {
+	for _, p := range append(CPUProfiles(), GPUProfiles()...) {
+		if p.IPC <= 0 || p.IPC > 8 {
+			t.Errorf("%s: IPC %v implausible", p.Name, p.IPC)
+		}
+		if p.MLP < 1 {
+			t.Errorf("%s: MLP %d", p.Name, p.MLP)
+		}
+		if len(p.Phases) == 0 {
+			t.Errorf("%s: no phases", p.Name)
+		}
+		for i, ph := range p.Phases {
+			if ph.Instructions <= 0 {
+				t.Errorf("%s phase %d: no instructions", p.Name, i)
+			}
+			for name, rate := range map[string]float64{
+				"MemFrac": ph.MemFrac, "L1MissRate": ph.L1MissRate,
+				"L1IMissRate": ph.L1IMissRate, "L2MissRate": ph.L2MissRate,
+				"Hotspot": ph.Hotspot,
+			} {
+				if rate < 0 || rate > 1 {
+					t.Errorf("%s phase %d: %s = %v out of [0,1]", p.Name, i, name, rate)
+				}
+			}
+			if ph.CoherencePerKInstr < 0 || ph.CoherencePerKInstr > 1000 {
+				t.Errorf("%s phase %d: coherence rate %v", p.Name, i, ph.CoherencePerKInstr)
+			}
+		}
+	}
+}
+
+func TestGPUTrafficIntensityExceedsCPU(t *testing.T) {
+	// The defining property of the two suites: per-cycle memory traffic
+	// (IPC × MemFrac × L1MissRate, first phase) is higher for every GPU
+	// app than the CPU median.
+	intensity := func(p Profile) float64 {
+		ph := p.Phases[0]
+		return p.IPC * ph.MemFrac * ph.L1MissRate
+	}
+	var cpuMax float64
+	for _, p := range CPUProfiles() {
+		if v := intensity(p); v > cpuMax {
+			cpuMax = v
+		}
+	}
+	higher := 0
+	for _, p := range GPUProfiles() {
+		if intensity(p) > cpuMax/2 {
+			higher++
+		}
+	}
+	if higher < 5 {
+		t.Errorf("only %d of 7 GPU apps exceed half the heaviest CPU intensity", higher)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("bfs"); !ok {
+		t.Fatal("bfs missing")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Fatal("unknown profile found")
+	}
+	if got := len(Names()); got != 14 {
+		t.Fatalf("Names() = %d entries, want 14", got)
+	}
+}
+
+func TestMemoryIntensiveAppsForTree(t *testing.T) {
+	// The paper's Fig. 14 calls out CA, SW, X264 as the memory-intensive
+	// CPU apps that sometimes pick the tree; their L2 miss rates must
+	// stand out within the CPU suite.
+	get := func(name string) Profile {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return p
+	}
+	light := get("blackscholes").Phases[0].L2MissRate
+	for _, name := range []string{"canneal", "swaptions", "x264"} {
+		if get(name).Phases[0].L2MissRate <= light {
+			t.Errorf("%s L2 miss rate not above blackscholes", name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package train
+
+import (
+	"testing"
+
+	"adaptnoc"
+	"adaptnoc/internal/rl"
+	"adaptnoc/internal/topology"
+)
+
+// lightState and heavyState are hand-made Table I observations: a sparse
+// CPU phase and a bandwidth-saturating GPU phase, both currently on cmesh.
+func lightState(cur topology.Kind) []float64 {
+	// Per-tile per-epoch rates (see rl.Scales).
+	return rl.DefaultScales().Normalize(rl.RawState{
+		L1DMisses: 40, L1IMisses: 10, L2Misses: 15, RetiredInstr: 45000,
+		CoherencePackets: 60, DataPackets: 45,
+		RouterBufUtil: 0.02, InjBufUtil: 0.01, RouterThroughput: 0.05,
+		Current: cur, Cols: 4, Rows: 4,
+	})
+}
+
+func heavyState(cur topology.Kind) []float64 {
+	return rl.DefaultScales().Normalize(rl.RawState{
+		L1DMisses: 1900, L1IMisses: 40, L2Misses: 1250, RetiredInstr: 120000,
+		CoherencePackets: 2600, DataPackets: 2300,
+		RouterBufUtil: 0.5, InjBufUtil: 0.8, RouterThroughput: 0.6,
+		Current: cur, Cols: 4, Rows: 8,
+	})
+}
+
+func TestTrainedPolicyDiscriminatesLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := DefaultOptions()
+	o.Rounds = 2
+	o.EpisodeCycles = 120000
+	agent, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq := agent.Prediction.Forward(lightState(topology.CMesh))
+	hq := agent.Prediction.Forward(heavyState(topology.CMesh))
+	t.Logf("light Q: mesh=%.2f cmesh=%.2f torus=%.2f tree=%.2f", lq[0], lq[1], lq[2], lq[3])
+	t.Logf("heavy Q: mesh=%.2f cmesh=%.2f torus=%.2f tree=%.2f", hq[0], hq[1], hq[2], hq[3])
+
+	// Sparse traffic must prefer concentration (Fig. 14); saturating GPU
+	// traffic must avoid it (Fig. 15).
+	if rl.Argmax(lq) != int(topology.CMesh) {
+		t.Errorf("light phase picks %v, want cmesh", topology.Kind(rl.Argmax(lq)))
+	}
+	if rl.Argmax(hq) == int(topology.CMesh) {
+		t.Errorf("heavy phase still picks cmesh: %v", hq)
+	}
+}
+
+func TestCurriculumCoversAllSizes(t *testing.T) {
+	sizes := map[string]bool{}
+	for _, ep := range Curriculum() {
+		if ep.Mixed {
+			continue
+		}
+		sizes[ep.Region.String()] = true
+	}
+	for _, want := range []string{"2x4@(0,0)", "4x4@(0,0)", "4x6@(0,0)", "4x8@(0,0)", "8x8@(0,0)"} {
+		if !sizes[want] {
+			t.Errorf("curriculum missing size %s (paper trains across 2x4..8x8)", want)
+		}
+	}
+}
+
+func TestTrainRejectsUnknownProfile(t *testing.T) {
+	o := DefaultOptions()
+	o.Rounds = 1
+	o.EpisodeCycles = 1000
+	agent, err := Train(o)
+	if err != nil || agent == nil {
+		t.Fatalf("baseline training failed: %v", err)
+	}
+	if err := runEpisode(agent, Episode{Profile: "nope", Region: adaptnoc.Region{W: 4, H: 4}}, o, 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

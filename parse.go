@@ -1,0 +1,86 @@
+package adaptnoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"adaptnoc/internal/traffic"
+)
+
+// ParseAppSpecs parses a compact workload description, one application per
+// semicolon-separated entry:
+//
+//	profile:X,Y,W,H[:topology]
+//
+// e.g. "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh; ferret:4,4,4,4".
+// The topology (mesh, cmesh, torus, tree, torus+tree) pins the subNoC
+// under DesignAdaptNoRL and seeds DesignAdaptNoC; it defaults to mesh.
+// Memory controllers are provisioned one per 2x4 block (BlockMCs).
+func ParseAppSpecs(s string) ([]AppSpec, error) {
+	var out []AppSpec
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("adaptnoc: app entry %q: want profile:X,Y,W,H[:topology]", entry)
+		}
+		profile := strings.TrimSpace(parts[0])
+		if _, ok := traffic.ByName(profile); !ok {
+			return nil, fmt.Errorf("adaptnoc: unknown profile %q (see adaptnoc-sim -profiles)", profile)
+		}
+		dims := strings.Split(parts[1], ",")
+		if len(dims) != 4 {
+			return nil, fmt.Errorf("adaptnoc: app entry %q: region needs X,Y,W,H", entry)
+		}
+		var vals [4]int
+		for i, d := range dims {
+			v, err := strconv.Atoi(strings.TrimSpace(d))
+			if err != nil {
+				return nil, fmt.Errorf("adaptnoc: app entry %q: bad region coordinate %q", entry, d)
+			}
+			vals[i] = v
+		}
+		reg := Region{X: vals[0], Y: vals[1], W: vals[2], H: vals[3]}
+		if reg.W <= 0 || reg.H <= 0 {
+			return nil, fmt.Errorf("adaptnoc: app entry %q: empty region", entry)
+		}
+		spec := AppSpec{Profile: profile, Region: reg, MCTiles: BlockMCs(reg)}
+		if len(parts) == 3 {
+			kind, err := ParseKind(strings.TrimSpace(parts[2]))
+			if err != nil {
+				return nil, fmt.Errorf("adaptnoc: app entry %q: %w", entry, err)
+			}
+			spec.Static = kind
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("adaptnoc: no applications in %q", s)
+	}
+	return out, nil
+}
+
+// ParseKind parses a topology name.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Mesh, CMesh, Torus, Tree, TorusTree} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("adaptnoc: unknown topology %q", s)
+}
+
+// ParseDesign parses a design-point name (baseline, oscar, shortcut, ftby,
+// ftby-pg, adapt-norl, adapt-noc).
+func ParseDesign(s string) (Design, error) {
+	for d := DesignBaseline; d < NumDesigns; d++ {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("adaptnoc: unknown design %q", s)
+}

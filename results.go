@@ -1,0 +1,199 @@
+package adaptnoc
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/power"
+	"adaptnoc/internal/topology"
+)
+
+// AppResult summarizes one application's run.
+type AppResult struct {
+	Profile string
+	Region  Region
+
+	// Latencies are lifetime means over delivered packets, in cycles.
+	AvgTotalLatency float64
+	AvgNetLatency   float64
+	AvgQueueLatency float64
+	AvgHops         float64
+
+	DeliveredPackets int64
+	RetiredInstr     int64
+
+	// ExecTime is the completion cycle for budgeted apps (-1 otherwise).
+	ExecTime Cycle
+
+	// Energy is the region's account (per-epoch for Adapt designs, one
+	// final window otherwise).
+	Energy EnergyBreakdown
+
+	// Adapt-NoC only: per-topology selection fractions (including the
+	// TorusTree extension) and reconfiguration statistics.
+	Selections [int(topology.NumSelectable)]float64
+	Reconfigs  int64
+	FinalKind  Kind
+	MeanReward float64
+}
+
+// Results is one simulation's outcome.
+type Results struct {
+	Design Design
+	Cycles Cycle
+	Apps   []AppResult
+	// TotalEnergy covers the whole chip.
+	TotalEnergy EnergyBreakdown
+}
+
+// Run advances the simulation a fixed number of cycles.
+func (s *Sim) Run(cycles Cycle) { s.Kernel.RunFor(cycles) }
+
+// RunUntilFinished advances until every budgeted application completes or
+// maxCycles elapse; it reports whether everything finished.
+func (s *Sim) RunUntilFinished(maxCycles Cycle) bool {
+	limit := s.Kernel.Now() + maxCycles
+	for s.Kernel.Now() < limit && !s.Machine.AllFinished() {
+		s.Kernel.Step()
+	}
+	return s.Machine.AllFinished()
+}
+
+// Results flushes the remaining energy windows and assembles the outcome.
+// Call once, after running.
+func (s *Sim) Results() Results {
+	now := s.Kernel.Now()
+	res := Results{Design: s.Cfg.Design, Cycles: now}
+
+	// Flush energy windows. Adapt designs collected per epoch already;
+	// this picks up the tail. Other designs get their only window here.
+	covered := make(map[noc.NodeID]bool)
+	perApp := make([]power.Breakdown, len(s.apps))
+	for i, app := range s.apps {
+		tiles := s.specs[i].Region.Tiles(s.Net.Cfg.Width)
+		w := s.Meter.CollectRegionAt(tiles, now)
+		perApp[i] = w.Energy
+		for _, t := range tiles {
+			covered[t] = true
+		}
+		_ = app
+	}
+	// Leftover tiles (outside every app region) still leak static power.
+	var leftovers []noc.NodeID
+	for t := noc.NodeID(0); int(t) < s.Net.Cfg.NumNodes(); t++ {
+		if !covered[t] {
+			leftovers = append(leftovers, t)
+		}
+	}
+	if len(leftovers) > 0 {
+		s.Meter.CollectRegionAt(leftovers, now)
+	}
+	res.TotalEnergy = s.Meter.Total()
+
+	for i, app := range s.apps {
+		tot := app.Totals()
+		ar := AppResult{
+			Profile:          s.specs[i].Profile,
+			Region:           s.specs[i].Region,
+			AvgNetLatency:    tot.AvgNetLatency(),
+			AvgQueueLatency:  tot.AvgQueueLatency(),
+			AvgHops:          tot.AvgHops(),
+			AvgTotalLatency:  tot.AvgNetLatency() + tot.AvgQueueLatency(),
+			DeliveredPackets: tot.Delivered,
+			RetiredInstr:     tot.Retired,
+			ExecTime:         app.FinishedAt(),
+			Energy:           perApp[i],
+			FinalKind:        Mesh,
+		}
+		if s.binds != nil {
+			b := s.binds[i]
+			ar.Selections = b.SelectionFractions()
+			ar.Reconfigs = b.SubNoC.Reconfigs
+			ar.FinalKind = b.SubNoC.Kind
+			ar.MeanReward = b.MeanReward()
+			// Fold the per-epoch energy collections into the app account.
+			e := b.Energy
+			e.Add(perApp[i])
+			ar.Energy = e
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+	return res
+}
+
+// MeanLatency returns the delivery-weighted mean total packet latency
+// across apps (the Fig. 7 metric).
+func (r Results) MeanLatency() float64 {
+	var lat, n float64
+	for _, a := range r.Apps {
+		lat += a.AvgTotalLatency * float64(a.DeliveredPackets)
+		n += float64(a.DeliveredPackets)
+	}
+	if n == 0 {
+		return 0
+	}
+	return lat / n
+}
+
+// MeanHops returns the delivery-weighted mean hop count.
+func (r Results) MeanHops() float64 {
+	var h, n float64
+	for _, a := range r.Apps {
+		h += a.AvgHops * float64(a.DeliveredPackets)
+		n += float64(a.DeliveredPackets)
+	}
+	if n == 0 {
+		return 0
+	}
+	return h / n
+}
+
+// MeanExecTime returns the mean completion cycle over budgeted apps, or -1
+// if any did not finish.
+func (r Results) MeanExecTime() float64 {
+	var s float64
+	n := 0
+	for _, a := range r.Apps {
+		if a.ExecTime < 0 {
+			return -1
+		}
+		s += float64(a.ExecTime)
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	return s / float64(n)
+}
+
+// String renders a human-readable summary.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design=%s cycles=%d energy=%.2fuJ (dyn %.2f, static %.2f)\n",
+		r.Design, r.Cycles, r.TotalEnergy.TotalPJ()/1e6,
+		r.TotalEnergy.DynamicPJ()/1e6, r.TotalEnergy.StaticPJ()/1e6)
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "  %-14s %v lat=%.1f (net %.1f + queue %.1f) hops=%.2f pkts=%d",
+			a.Profile, a.Region, a.AvgTotalLatency, a.AvgNetLatency, a.AvgQueueLatency,
+			a.AvgHops, a.DeliveredPackets)
+		if a.ExecTime >= 0 {
+			fmt.Fprintf(&b, " exec=%d", a.ExecTime)
+		}
+		if a.Reconfigs > 0 || r.Design == DesignAdaptNoC || r.Design == DesignAdaptNoRL {
+			fmt.Fprintf(&b, " kind=%v reconf=%d sel=[", a.FinalKind, a.Reconfigs)
+			for k := 0; k < int(topology.NumSelectable); k++ {
+				if k >= int(topology.NumKinds) && a.Selections[k] == 0 {
+					continue // show the extension only when used
+				}
+				if k > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s:%.0f%%", Kind(k), 100*a.Selections[k])
+			}
+			b.WriteString("]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

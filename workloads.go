@@ -1,0 +1,69 @@
+package adaptnoc
+
+import "adaptnoc/internal/noc"
+
+// BlockMCs returns one memory-controller tile per 2×4 sub-block of a
+// region (the paper's provisioning, Section II-C.2: "we implement one MC
+// to each 2×4 subNoC in an 8×8 NoC"). MCs sit at block origins. The grid
+// width is the standard 8.
+func BlockMCs(reg Region) []NodeID {
+	const gridW = 8
+	var out []NodeID
+	stepY := 4
+	if reg.H < 4 {
+		stepY = reg.H
+	}
+	stepX := 2
+	if reg.W < 2 {
+		stepX = reg.W
+	}
+	for y := reg.Y; y < reg.Y+reg.H; y += stepY {
+		for x := reg.X; x < reg.X+reg.W; x += stepX {
+			out = append(out, noc.Coord{X: x, Y: y}.ID(gridW))
+		}
+	}
+	return out
+}
+
+// MixedWorkload returns the paper's evaluation mapping (Section IV-A):
+// three applications on the 8×8 chip — one Rodinia-like GPU application on
+// a 4×8 region and two Parsec-like CPU applications on 4×4 regions, each
+// region provisioned with one MC per 2×4 block. budget is the per-core
+// instruction budget (0 = run for a fixed cycle window).
+func MixedWorkload(gpu, cpu1, cpu2 string, budget int64) []AppSpec {
+	gpuReg := Region{X: 0, Y: 0, W: 4, H: 8}
+	cpu1Reg := Region{X: 4, Y: 0, W: 4, H: 4}
+	cpu2Reg := Region{X: 4, Y: 4, W: 4, H: 4}
+	return []AppSpec{
+		{
+			Profile: gpu,
+			Region:  gpuReg,
+			MCTiles: BlockMCs(gpuReg),
+			// Mesh is the safe static default for the bandwidth-hungry GPU
+			// app; the oracle probe (Adapt-NoC-noRL) or the RL policy
+			// upgrades it per phase (Fig. 15 spreads selections widely).
+			Static:      Mesh,
+			InstrBudget: budget,
+		},
+		{
+			Profile:     cpu1,
+			Region:      cpu1Reg,
+			MCTiles:     BlockMCs(cpu1Reg),
+			Static:      CMesh, // sparse CPU traffic prefers cmesh (Fig. 14)
+			InstrBudget: budget,
+		},
+		{
+			Profile:     cpu2,
+			Region:      cpu2Reg,
+			MCTiles:     BlockMCs(cpu2Reg),
+			Static:      CMesh,
+			InstrBudget: budget,
+		},
+	}
+}
+
+// DefaultMixed is the default mixed workload: one memory-hungry GPU code
+// and two contrasting CPU codes.
+func DefaultMixed(budget int64) []AppSpec {
+	return MixedWorkload("bfs", "canneal", "ferret", budget)
+}
