@@ -1,0 +1,23 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race bench quick
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# race runs the concurrency-sensitive packages — the experiment runner,
+# the simulation kernel, the network substrate, and the experiment
+# drivers' determinism guard — under the race detector. Short mode keeps
+# it to a couple of minutes; it must stay clean at any -parallel setting.
+race:
+	go test -race -short ./internal/runner ./internal/sim ./internal/noc
+	go test -race ./internal/exp -run DeterministicAcrossParallelism
+
+bench:
+	go test -bench=. -benchtime=1x
+
+quick:
+	go run ./cmd/adaptnoc-experiments -quick

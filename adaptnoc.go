@@ -49,6 +49,9 @@ type (
 	Cycle = sim.Cycle
 	// EnergyBreakdown splits energy by component.
 	EnergyBreakdown = power.Breakdown
+	// TickStats counts executed versus skipped component ticks (the
+	// network's idle-skip work lists).
+	TickStats = noc.TickStats
 )
 
 // Topology kinds. TorusTree is the Section II-B.4 extension (torus
@@ -448,6 +451,11 @@ func (s *Sim) Reconfigure(appIndex int, kind Kind, done func()) error {
 	}
 	return s.Fabric.Reconfigure(s.subnocs[appIndex], kind, done)
 }
+
+// TickStats reports how many router and channel ticks the network skipped
+// through its idle work lists — the observability hook for the hot-path
+// optimization.
+func (s *Sim) TickStats() TickStats { return s.Net.TickStats() }
 
 // Topology reports an application's current subNoC topology (Adapt
 // designs; Mesh otherwise).

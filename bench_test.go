@@ -11,6 +11,7 @@ package adaptnoc_test
 // cmd/adaptnoc-experiments (without -quick) for full-fidelity tables.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"adaptnoc/internal/exp"
 	"adaptnoc/internal/noc"
 	"adaptnoc/internal/rl"
+	"adaptnoc/internal/runner"
 	"adaptnoc/internal/sim"
 	"adaptnoc/internal/topology"
 )
@@ -194,7 +196,7 @@ func BenchmarkTabTiming(b *testing.B) {
 // characterization (not a paper figure; standard NoC methodology).
 func BenchmarkExtraLatencyThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.CharacterizeTopologies(15000, 5); err != nil {
+		if _, err := exp.CharacterizeTopologies(15000, 5, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,6 +218,59 @@ func BenchmarkMeshCycle(b *testing.B) {
 	s.Run(5000) // warm into steady state
 	b.ResetTimer()
 	s.Run(adaptnoc.Cycle(b.N))
+}
+
+// BenchmarkNetworkTickIdle measures one simulated cycle of a mostly-idle
+// 8x8 chip — the hot path the active-router/active-channel work lists
+// target. Reports the fraction of router/channel ticks skipped.
+func BenchmarkNetworkTickIdle(b *testing.B) {
+	s, err := adaptnoc.NewSim(adaptnoc.Config{
+		Design: adaptnoc.DesignBaseline,
+		Apps: []adaptnoc.AppSpec{{
+			Profile: "blackscholes", // near-idle traffic
+			Region:  adaptnoc.Region{W: 4, H: 4},
+		}},
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(5000) // warm past startup transients
+	b.ResetTimer()
+	s.Run(adaptnoc.Cycle(b.N))
+	b.StopTimer()
+	st := s.TickStats()
+	b.ReportMetric(st.RouterSkipRate(), "router_skip_rate")
+	b.ReportMetric(st.ChannelSkipRate(), "chan_skip_rate")
+}
+
+// BenchmarkRunnerFanout measures fanning 8 independent quick simulations
+// over the runner pool (one per CPU) — the experiment drivers' fan-out
+// shape.
+func BenchmarkRunnerFanout(b *testing.B) {
+	seeds := runner.Seeds(2021, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := runner.Map(context.Background(), 0, seeds,
+			func(_ context.Context, seed uint64) (float64, error) {
+				s, err := adaptnoc.NewSim(adaptnoc.Config{
+					Design: adaptnoc.DesignBaseline,
+					Apps: []adaptnoc.AppSpec{{
+						Profile: "bfs",
+						Region:  adaptnoc.Region{W: 4, H: 4},
+					}},
+					Seed: seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				s.Run(4000)
+				return s.Results().MeanLatency(), nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDQNInference measures one forward pass of the 12-15-15-4
@@ -299,7 +354,7 @@ func BenchmarkExtraAblations(b *testing.B) {
 // BenchmarkTabSwitching regenerates the reconfiguration-cost validation.
 func BenchmarkTabSwitching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TabSwitching(); err != nil {
+		if _, err := exp.TabSwitching(0); err != nil {
 			b.Fatal(err)
 		}
 	}

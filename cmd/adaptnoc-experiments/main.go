@@ -3,29 +3,62 @@
 //
 // Usage:
 //
-//	adaptnoc-experiments [-quick] [-fig list]
+//	adaptnoc-experiments [-quick] [-parallel n] [-fig list] [-benchjson file]
 //
 // -fig selects a comma-separated subset: 7,8,9,10,11,12,13,14,15,16,17,
 // 18,19, area, wiring, timing, chars (latency-throughput curves),
 // ablation (design-choice ablations), switching (reconfiguration cost), or
 // "all" (default, excluding chars).
+//
+// -parallel bounds how many independent simulations run at once (0 = one
+// per CPU, 1 = serial). Results are identical at any setting; see
+// internal/runner for the determinism contract.
+//
+// -benchjson additionally times every selected figure twice — serial and
+// at the requested parallelism — and writes the wall-clock comparison as
+// machine-readable JSON (the emitted tables come from the parallel pass).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"adaptnoc"
 	"adaptnoc/internal/exp"
 )
+
+// benchUnit is one figure's wall-clock record in the -benchjson output.
+type benchUnit struct {
+	Figure      string  `json:"figure"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// benchFile is the -benchjson document.
+type benchFile struct {
+	Quick            bool        `json:"quick"`
+	Seed             uint64      `json:"seed"`
+	Parallelism      int         `json:"parallelism"`
+	GOMAXPROCS       int         `json:"gomaxprocs"`
+	Units            []benchUnit `json:"units"`
+	TotalSerialSec   float64     `json:"total_serial_sec"`
+	TotalParallelSec float64     `json:"total_parallel_sec"`
+	Speedup          float64     `json:"speedup"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity runs (seconds instead of minutes)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	figs := flag.String("fig", "all", "comma-separated figures to regenerate")
 	seed := flag.Uint64("seed", 0, "override the random seed (0 keeps the default)")
+	parallel := flag.Int("parallel", 0, "simulations to run at once (0 = one per CPU, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "write serial-vs-parallel wall-clock JSON to this file")
 	flag.Parse()
 
 	o := exp.DefaultOptions()
@@ -35,6 +68,7 @@ func main() {
 	if *seed != 0 {
 		o.Seed = *seed
 	}
+	o.Parallelism = *parallel
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
@@ -56,83 +90,125 @@ func main() {
 		t.Print(os.Stdout)
 	}
 
-	// Figs 7, 10-13 share the mixed-workload runs.
-	if sel("7") || sel("10") || sel("11") || sel("12") || sel("13") {
-		m, err := exp.RunMixed(o, "bfs", "canneal", "ferret")
-		if err != nil {
-			fail(err)
-		}
-		if sel("7") {
-			emit(m.Fig7())
-		}
-		if sel("10") {
-			emit(m.Fig10())
-		}
-		if sel("11") {
-			emit(m.Fig11())
-		}
-		if sel("12") {
-			emit(m.Fig12())
-		}
-		if sel("13") {
-			emit(m.Fig13())
-		}
+	charCycles := adaptnoc.Cycle(60000)
+	if *quick {
+		charCycles = 20000
 	}
-	type figFn struct {
+
+	// Each unit regenerates one figure (or one shared batch of figures)
+	// at the parallelism carried in its Options argument.
+	type unit struct {
 		key string
-		fn  func() (exp.Table, error)
+		run func(o exp.Options) ([]exp.Table, error)
 	}
-	for _, f := range []figFn{
-		{"8", func() (exp.Table, error) { return exp.Fig8(o) }},
-		{"9", func() (exp.Table, error) { return exp.Fig9(o) }},
-		{"14", func() (exp.Table, error) { return exp.Fig14(o) }},
-		{"15", func() (exp.Table, error) { return exp.Fig15(o) }},
-		{"16", func() (exp.Table, error) { return exp.Fig16(o, *quick) }},
-		{"17", func() (exp.Table, error) { return exp.Fig17(o) }},
-		{"18", func() (exp.Table, error) { return exp.Fig18(o) }},
-		{"19", func() (exp.Table, error) { return exp.Fig19(o) }},
-	} {
-		if !sel(f.key) {
+	one := func(t exp.Table, err error) ([]exp.Table, error) {
+		return []exp.Table{t}, err
+	}
+	units := []unit{
+		{"mixed", func(o exp.Options) ([]exp.Table, error) {
+			m, err := exp.RunMixed(o, "bfs", "canneal", "ferret")
+			if err != nil {
+				return nil, err
+			}
+			var ts []exp.Table
+			if sel("7") {
+				ts = append(ts, m.Fig7())
+			}
+			if sel("10") {
+				ts = append(ts, m.Fig10())
+			}
+			if sel("11") {
+				ts = append(ts, m.Fig11())
+			}
+			if sel("12") {
+				ts = append(ts, m.Fig12())
+			}
+			if sel("13") {
+				ts = append(ts, m.Fig13())
+			}
+			return ts, nil
+		}},
+		{"8", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig8(o)) }},
+		{"9", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig9(o)) }},
+		{"14", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig14(o)) }},
+		{"15", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig15(o)) }},
+		{"16", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig16(o, *quick)) }},
+		{"17", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig17(o)) }},
+		{"18", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig18(o)) }},
+		{"19", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig19(o)) }},
+		{"switching", func(o exp.Options) ([]exp.Table, error) { return one(exp.TabSwitching(o.Parallelism)) }},
+		{"ablation", func(o exp.Options) ([]exp.Table, error) { return one(exp.Ablations(o)) }},
+		{"chars", func(o exp.Options) ([]exp.Table, error) {
+			return one(exp.CharacterizeTopologies(charCycles, o.Seed, o.Parallelism))
+		}},
+		{"area", func(exp.Options) ([]exp.Table, error) { return []exp.Table{exp.TabArea()}, nil }},
+		{"wiring", func(exp.Options) ([]exp.Table, error) { return []exp.Table{exp.TabWiring()}, nil }},
+		{"timing", func(exp.Options) ([]exp.Table, error) { return []exp.Table{exp.TabTiming()}, nil }},
+	}
+	selected := func(u unit) bool {
+		if u.key == "mixed" {
+			return sel("7") || sel("10") || sel("11") || sel("12") || sel("13")
+		}
+		return sel(u.key)
+	}
+
+	var bench benchFile
+	for _, u := range units {
+		if !selected(u) {
 			continue
 		}
-		t, err := f.fn()
+		if *benchJSON != "" {
+			serial := o
+			serial.Parallelism = 1
+			start := time.Now()
+			if _, err := u.run(serial); err != nil {
+				fail(err)
+			}
+			serialSec := time.Since(start).Seconds()
+			start = time.Now()
+			ts, err := u.run(o)
+			if err != nil {
+				fail(err)
+			}
+			parSec := time.Since(start).Seconds()
+			rec := benchUnit{Figure: u.key, SerialSec: serialSec, ParallelSec: parSec}
+			if parSec > 0 {
+				rec.Speedup = serialSec / parSec
+			}
+			bench.Units = append(bench.Units, rec)
+			bench.TotalSerialSec += serialSec
+			bench.TotalParallelSec += parSec
+			for _, t := range ts {
+				emit(t)
+			}
+			continue
+		}
+		ts, err := u.run(o)
 		if err != nil {
 			fail(err)
 		}
-		emit(t)
+		for _, t := range ts {
+			emit(t)
+		}
 	}
-	if sel("switching") {
-		tab, err := exp.TabSwitching()
+
+	if *benchJSON != "" {
+		bench.Quick = *quick
+		bench.Seed = o.Seed
+		bench.Parallelism = *parallel
+		bench.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		if bench.TotalParallelSec > 0 {
+			bench.Speedup = bench.TotalSerialSec / bench.TotalParallelSec
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
 			fail(err)
 		}
-		emit(tab)
-	}
-	if sel("ablation") {
-		tab, err := exp.Ablations(o)
-		if err != nil {
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
 			fail(err)
 		}
-		emit(tab)
-	}
-	if sel("chars") {
-		cycles := 60000
-		if *quick {
-			cycles = 20000
-		}
-		tab, err := exp.CharacterizeTopologies(adaptnoc.Cycle(cycles), o.Seed)
-		if err != nil {
-			fail(err)
-		}
-		emit(tab)
-	}
-	if sel("area") {
-		emit(exp.TabArea())
-	}
-	if sel("wiring") {
-		emit(exp.TabWiring())
-	}
-	if sel("timing") {
-		emit(exp.TabTiming())
+		fmt.Fprintf(os.Stderr, "adaptnoc-experiments: wrote %s (serial %.1fs, parallel %.1fs, speedup %.2fx)\n",
+			*benchJSON, bench.TotalSerialSec, bench.TotalParallelSec, bench.Speedup)
 	}
 }

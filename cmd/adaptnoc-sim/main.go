@@ -6,7 +6,7 @@
 //	adaptnoc-sim [-design name] [-gpu profile] [-cpu1 profile] [-cpu2 profile]
 //	             [-apps "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh"]
 //	             [-cycles N | -budget N] [-epoch N] [-seed N] [-share N]
-//	             [-trace] [-layout] [-json]
+//	             [-trace] [-stats] [-layout] [-json]
 //
 // Designs: baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc.
 // Topologies for -apps: mesh, cmesh, torus, tree, torus+tree.
@@ -35,6 +35,7 @@ func main() {
 	share := flag.Int("share", 0, "foreign MCs shared to the GPU application")
 	appsFlag := flag.String("apps", "", `explicit workload, e.g. "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh" (overrides -gpu/-cpu1/-cpu2)`)
 	trace := flag.Bool("trace", false, "print the per-epoch controller trace (Adapt designs)")
+	stats := flag.Bool("stats", false, "print tick work-list statistics (idle-skip rates)")
 	layout := flag.Bool("layout", false, "render each subNoC's final physical configuration")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	listProfiles := flag.Bool("profiles", false, "list available application profiles and exit")
@@ -100,6 +101,12 @@ func main() {
 		fmt.Print(res)
 	}
 
+	if *stats {
+		st := s.TickStats()
+		fmt.Printf("\n# tick stats: %d cycles; routers ticked %d skipped %d (%.1f%% skipped); channels ticked %d skipped %d (%.1f%% skipped)\n",
+			st.Cycles, st.RouterTicks, st.RouterSkips, 100*st.RouterSkipRate(),
+			st.ChannelTicks, st.ChannelSkips, 100*st.ChannelSkipRate())
+	}
 	if *layout {
 		for i := range apps {
 			fmt.Printf("\n# app %d (%s), final topology %v\n%s",

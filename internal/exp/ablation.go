@@ -39,22 +39,24 @@ func Ablations(o Options) (Table, error) {
 			"latency = mean packet latency ratio, energy = subNoC energy ratio",
 		},
 	}
-	var baseLat, baseE float64
-	for i, v := range variants {
+	type metrics struct{ lat, energy float64 }
+	ms, err := mapJobs(o, variants, func(v variant) (metrics, error) {
 		cfg := o.buildConfig(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
 		v.apply(&cfg)
 		s, err := adaptnoc.NewSim(cfg)
 		if err != nil {
-			return t, fmt.Errorf("exp: ablation %q: %w", v.name, err)
+			return metrics{}, fmt.Errorf("exp: ablation %q: %w", v.name, err)
 		}
 		s.Run(o.Cycles)
 		res := s.Results()
-		lat := res.MeanLatency()
-		e := res.Apps[0].Energy.TotalPJ()
-		if i == 0 {
-			baseLat, baseE = lat, e
-		}
-		t.Rows = append(t.Rows, []string{v.name, f3(lat / baseLat), f3(e / baseE)})
+		return metrics{lat: res.MeanLatency(), energy: res.Apps[0].Energy.TotalPJ()}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	base := ms[0] // variants[0] is the full design
+	for i, v := range variants {
+		t.Rows = append(t.Rows, []string{v.name, f3(ms[i].lat / base.lat), f3(ms[i].energy / base.energy)})
 	}
 	return t, nil
 }

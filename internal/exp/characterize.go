@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"adaptnoc/internal/noc"
+	"adaptnoc/internal/runner"
 	"adaptnoc/internal/sim"
 	"adaptnoc/internal/topology"
 	"adaptnoc/internal/traffic"
@@ -17,65 +19,80 @@ type LatThroughputPoint struct {
 	Saturated bool    // latency exceeded the saturation threshold
 }
 
+// latThroughputPoint measures one (topology, rate) point on its own raw
+// network and kernel. It is fully self-contained, so points fan out over
+// the runner pool; seed must already include the per-point offset.
+func latThroughputPoint(kind topology.Kind, reg topology.Region, pat func(topology.Region) traffic.Pattern,
+	rate float64, cyclesPerPoint sim.Cycle, seed uint64) (LatThroughputPoint, error) {
+
+	const satLatency = 500.0
+	cfg := noc.DefaultConfig()
+	cfg.VCsPerVNet = 2
+	cfg.InjectionBypass = true
+	net := noc.NewNetwork(cfg)
+	switch kind {
+	case topology.Mesh:
+		topology.ConfigureMeshRegion(net, reg)
+	case topology.CMesh:
+		topology.ConfigureCMeshRegion(net, reg)
+	case topology.Torus:
+		topology.ConfigureTorusRegion(net, reg)
+	case topology.Tree:
+		topology.ConfigureTreeRegion(net, reg, noc.Coord{X: reg.X, Y: reg.Y}.ID(cfg.Width), nil)
+	case topology.TorusTree:
+		topology.ConfigureTorusTreeRegion(net, reg, noc.Coord{X: reg.X, Y: reg.Y}.ID(cfg.Width), nil)
+	default:
+		return LatThroughputPoint{}, fmt.Errorf("exp: unsupported kind %v", kind)
+	}
+
+	k := sim.NewKernel()
+	k.Register(net)
+	var latSum, n float64
+	net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) {
+		latSum += float64(p.TotalLatency())
+		n++
+	})
+	src := &traffic.OpenLoopSource{
+		Net: net, Pat: pat(reg), Tiles: reg.Tiles(cfg.Width),
+		Rate: rate, DataPct: 0.5, RNG: sim.NewRNG(seed),
+	}
+	k.Register(src)
+	k.Run(cyclesPerPoint)
+
+	pt := LatThroughputPoint{Rate: rate}
+	if n > 0 {
+		pt.Latency = latSum / n
+		pt.Accepted = n / float64(cyclesPerPoint) / float64(len(src.Tiles))
+	}
+	pt.Saturated = pt.Latency > satLatency || pt.Accepted < 0.8*rate
+	return pt, nil
+}
+
 // LatencyThroughput sweeps open-loop injection rate for one subNoC
 // topology and returns the classic latency-throughput curve — the
 // underlying trade-off the Adapt-NoC exploits (cmesh saturates early but
 // has the lowest zero-load latency; torus/tree extend the saturation
 // point). Not a paper figure, but the standard NoC characterization any
-// user of the library will want.
+// user of the library will want. Points run parallelism-wide (<= 0 uses
+// every CPU); each keeps its serial seed (seed + rate index), so the
+// curve is identical at any setting.
 func LatencyThroughput(kind topology.Kind, reg topology.Region, pat func(topology.Region) traffic.Pattern,
-	rates []float64, cyclesPerPoint sim.Cycle, seed uint64) ([]LatThroughputPoint, error) {
+	rates []float64, cyclesPerPoint sim.Cycle, seed uint64, parallelism int) ([]LatThroughputPoint, error) {
 
-	const satLatency = 500.0
-	var out []LatThroughputPoint
-	for i, rate := range rates {
-		cfg := noc.DefaultConfig()
-		cfg.VCsPerVNet = 2
-		cfg.InjectionBypass = true
-		net := noc.NewNetwork(cfg)
-		switch kind {
-		case topology.Mesh:
-			topology.ConfigureMeshRegion(net, reg)
-		case topology.CMesh:
-			topology.ConfigureCMeshRegion(net, reg)
-		case topology.Torus:
-			topology.ConfigureTorusRegion(net, reg)
-		case topology.Tree:
-			topology.ConfigureTreeRegion(net, reg, noc.Coord{X: reg.X, Y: reg.Y}.ID(cfg.Width), nil)
-		case topology.TorusTree:
-			topology.ConfigureTorusTreeRegion(net, reg, noc.Coord{X: reg.X, Y: reg.Y}.ID(cfg.Width), nil)
-		default:
-			return nil, fmt.Errorf("exp: unsupported kind %v", kind)
-		}
-
-		k := sim.NewKernel()
-		k.Register(net)
-		var latSum, n float64
-		net.SetDeliverFunc(func(p *noc.Packet, _ sim.Cycle) {
-			latSum += float64(p.TotalLatency())
-			n++
-		})
-		src := &traffic.OpenLoopSource{
-			Net: net, Pat: pat(reg), Tiles: reg.Tiles(cfg.Width),
-			Rate: rate, DataPct: 0.5, RNG: sim.NewRNG(seed + uint64(i)),
-		}
-		k.Register(src)
-		k.Run(cyclesPerPoint)
-
-		pt := LatThroughputPoint{Rate: rate}
-		if n > 0 {
-			pt.Latency = latSum / n
-			pt.Accepted = n / float64(cyclesPerPoint) / float64(len(src.Tiles))
-		}
-		pt.Saturated = pt.Latency > satLatency || pt.Accepted < 0.8*rate
-		out = append(out, pt)
+	idx := make([]int, len(rates))
+	for i := range idx {
+		idx[i] = i
 	}
-	return out, nil
+	return runner.Map(context.Background(), parallelism, idx,
+		func(_ context.Context, i int) (LatThroughputPoint, error) {
+			return latThroughputPoint(kind, reg, pat, rates[i], cyclesPerPoint, seed+uint64(i))
+		})
 }
 
 // CharacterizeTopologies renders latency-throughput curves for all subNoC
-// topologies under uniform traffic in a 4x4 region.
-func CharacterizeTopologies(cyclesPerPoint sim.Cycle, seed uint64) (Table, error) {
+// topologies under uniform traffic in a 4x4 region. The kind×rate grid is
+// flattened into one pool at the given parallelism.
+func CharacterizeTopologies(cyclesPerPoint sim.Cycle, seed uint64, parallelism int) (Table, error) {
 	rates := []float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.12}
 	reg := topology.Region{W: 4, H: 4}
 	uni := func(r topology.Region) traffic.Pattern {
@@ -91,14 +108,27 @@ func CharacterizeTopologies(cyclesPerPoint sim.Cycle, seed uint64) (Table, error
 		},
 	}
 	kinds := []topology.Kind{topology.Mesh, topology.CMesh, topology.Torus, topology.Tree, topology.TorusTree}
-	curves := make([][]LatThroughputPoint, len(kinds))
-	for ki, kind := range kinds {
+	for _, kind := range kinds {
 		t.Columns = append(t.Columns, kind.String())
-		pts, err := LatencyThroughput(kind, reg, uni, rates, cyclesPerPoint, seed)
-		if err != nil {
-			return t, err
+	}
+	type cell struct{ kind, rate int }
+	var jobs []cell
+	for ki := range kinds {
+		for ri := range rates {
+			jobs = append(jobs, cell{ki, ri})
 		}
-		curves[ki] = pts
+	}
+	pts, err := runner.Map(context.Background(), parallelism, jobs,
+		func(_ context.Context, j cell) (LatThroughputPoint, error) {
+			// seed + rate index matches the serial LatencyThroughput sweep.
+			return latThroughputPoint(kinds[j.kind], reg, uni, rates[j.rate], cyclesPerPoint, seed+uint64(j.rate))
+		})
+	if err != nil {
+		return t, err
+	}
+	curves := make([][]LatThroughputPoint, len(kinds))
+	for ki := range kinds {
+		curves[ki] = pts[ki*len(rates) : (ki+1)*len(rates)]
 	}
 	for ri, rate := range rates {
 		row := []string{fmt.Sprintf("%.3f", rate)}

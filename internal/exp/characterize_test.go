@@ -12,7 +12,7 @@ func TestCharacterizeTopologies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tab, err := CharacterizeTopologies(20000, 5)
+	tab, err := CharacterizeTopologies(20000, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestLatencyThroughputMonotoneAtLowLoad(t *testing.T) {
 		return traffic.NewUniform(r.X, r.Y, r.W, r.H)
 	}
 	pts, err := LatencyThroughput(topology.Mesh, reg, uni,
-		[]float64{0.005, 0.02, 0.6}, 20000, 3)
+		[]float64{0.005, 0.02, 0.6}, 20000, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +52,11 @@ func TestCMeshSaturatesBeforeMesh(t *testing.T) {
 		return traffic.NewUniform(r.X, r.Y, r.W, r.H)
 	}
 	rates := []float64{0.12}
-	mesh, err := LatencyThroughput(topology.Mesh, reg, uni, rates, 20000, 3)
+	mesh, err := LatencyThroughput(topology.Mesh, reg, uni, rates, 20000, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmesh, err := LatencyThroughput(topology.CMesh, reg, uni, rates, 20000, 3)
+	cmesh, err := LatencyThroughput(topology.CMesh, reg, uni, rates, 20000, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

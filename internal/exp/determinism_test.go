@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestRunMixedDeterministicAcrossParallelism is the regression guard for
+// the runner's central promise: the same seed produces bit-identical
+// results and rendered tables whether the simulations run serially or
+// four at a time.
+func TestRunMixedDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(parallelism int) MixedResult {
+		t.Helper()
+		o := quick()
+		o.Parallelism = parallelism
+		m, err := RunMixed(o, "bfs", "canneal", "ferret")
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return m
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("MixedResult differs between parallelism 1 and 4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	for _, tab := range []struct {
+		name string
+		fn   func(MixedResult) Table
+	}{
+		{"Fig7", MixedResult.Fig7},
+		{"Fig10", MixedResult.Fig10},
+		{"Fig11", MixedResult.Fig11},
+	} {
+		var sb, pb bytes.Buffer
+		tab.fn(serial).Print(&sb)
+		tab.fn(parallel).Print(&pb)
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Errorf("%s table differs between parallelism 1 and 4:\n--- serial ---\n%s--- parallel ---\n%s",
+				tab.name, sb.String(), pb.String())
+		}
+	}
+}
+
+// TestCharacterizeDeterministicAcrossParallelism covers the raw-network
+// path (no Sim facade) through the same guarantee.
+func TestCharacterizeDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := CharacterizeTopologies(8000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CharacterizeTopologies(8000, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("characterization differs between parallelism 1 and 4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 
 	"adaptnoc"
 	"adaptnoc/internal/rl"
+	"adaptnoc/internal/runner"
 	"adaptnoc/internal/topology"
 )
 
@@ -34,6 +36,19 @@ type Options struct {
 	// OracleProbeCycles is the probe window used to pick the statically
 	// best topology for Adapt-NoC-noRL (0 = use heuristic defaults).
 	OracleProbeCycles adaptnoc.Cycle
+	// Parallelism bounds how many independent simulations run at once:
+	// <= 0 uses one worker per CPU (GOMAXPROCS), 1 forces serial
+	// execution. Every driver collects results in job order and each
+	// simulation owns its seed and state, so tables are identical at any
+	// setting (see internal/runner).
+	Parallelism int
+}
+
+// mapJobs fans the jobs over the runner pool at the options' parallelism
+// and returns results in job order.
+func mapJobs[J, R any](o Options, jobs []J, worker func(J) (R, error)) ([]R, error) {
+	return runner.Map(context.Background(), o.Parallelism, jobs,
+		func(_ context.Context, j J) (R, error) { return worker(j) })
 }
 
 // DefaultOptions returns full-fidelity settings (tens of minutes for the
@@ -78,11 +93,13 @@ var AllDesigns = []adaptnoc.Design{
 	adaptnoc.DesignAdaptNoC,
 }
 
-// buildConfig assembles the Config for one design on a workload.
+// buildConfig assembles the Config for one design on a workload. The spec
+// slice is copied: NewSim fills in per-app defaults on cfg.Apps, and
+// concurrent runs must not share that storage.
 func (o Options) buildConfig(d adaptnoc.Design, apps []adaptnoc.AppSpec) adaptnoc.Config {
 	cfg := adaptnoc.Config{
 		Design:      d,
-		Apps:        apps,
+		Apps:        append([]adaptnoc.AppSpec(nil), apps...),
 		Seed:        o.Seed,
 		EpochCycles: o.EpochCycles,
 	}
@@ -123,37 +140,54 @@ func (o Options) runDesign(d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc
 // oracleStatics picks the statically best topology per application for the
 // Adapt-NoC-noRL design point by probing each topology in isolation and
 // minimizing the paper's cost power×(Tnet+Tqueue). With no probe budget it
-// keeps the workload's heuristic defaults.
+// keeps the workload's heuristic defaults. The (app, topology) probes are
+// independent simulations and fan out over the runner pool; the
+// first-lowest reduction below walks them in the serial loop's order, so
+// the chosen topologies never depend on parallelism.
 func (o Options) oracleStatics(apps []adaptnoc.AppSpec) ([]adaptnoc.AppSpec, error) {
 	out := append([]adaptnoc.AppSpec(nil), apps...)
 	if o.OracleProbeCycles <= 0 {
 		return out, nil
 	}
+	type probeJob struct {
+		app  int
+		kind topology.Kind
+	}
+	var jobs []probeJob
 	for i := range out {
-		best, bestCost := out[i].Static, 0.0
-		first := true
 		for k := topology.Mesh; k < topology.NumKinds; k++ {
-			probe := out[i]
-			probe.Static = k
-			probe.InstrBudget = 0
-			probe.ShareMCs = 0
-			s, err := adaptnoc.NewSim(adaptnoc.Config{
-				Design:      adaptnoc.DesignAdaptNoRL,
-				Apps:        []adaptnoc.AppSpec{probe},
-				Seed:        o.Seed + uint64(k),
-				EpochCycles: o.EpochCycles,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Run(o.OracleProbeCycles)
-			res := s.Results()
-			a := res.Apps[0]
-			powerMW := a.Energy.TotalPJ() / (float64(res.Cycles) / 2.0) // 2 GHz
-			cost := powerMW * (a.AvgNetLatency + a.AvgQueueLatency)
-			if first || cost < bestCost {
-				best, bestCost = k, cost
-				first = false
+			jobs = append(jobs, probeJob{app: i, kind: k})
+		}
+	}
+	costs, err := mapJobs(o, jobs, func(j probeJob) (float64, error) {
+		probe := out[j.app]
+		probe.Static = j.kind
+		probe.InstrBudget = 0
+		probe.ShareMCs = 0
+		s, err := adaptnoc.NewSim(adaptnoc.Config{
+			Design:      adaptnoc.DesignAdaptNoRL,
+			Apps:        []adaptnoc.AppSpec{probe},
+			Seed:        o.Seed + uint64(j.kind),
+			EpochCycles: o.EpochCycles,
+		})
+		if err != nil {
+			return 0, err
+		}
+		s.Run(o.OracleProbeCycles)
+		res := s.Results()
+		a := res.Apps[0]
+		powerMW := a.Energy.TotalPJ() / (float64(res.Cycles) / 2.0) // 2 GHz
+		return powerMW * (a.AvgNetLatency + a.AvgQueueLatency), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nk := int(topology.NumKinds - topology.Mesh)
+	for i := range out {
+		best, bestCost := topology.Mesh, costs[i*nk]
+		for kj := 1; kj < nk; kj++ {
+			if c := costs[i*nk+kj]; c < bestCost {
+				best, bestCost = topology.Mesh+topology.Kind(kj), c
 			}
 		}
 		out[i].Static = best

@@ -64,15 +64,29 @@ func RunMixed(o Options, gpu, cpu1, cpu2 string) (MixedResult, error) {
 		oracleExec[i].Static = oracleLat[i].Static
 	}
 
+	// One latency run plus one budgeted run per design: 14 independent
+	// simulations, fanned out and collected in design order.
+	type job struct {
+		design adaptnoc.Design
+		apps   []adaptnoc.AppSpec
+	}
+	var jobs []job
 	for _, d := range m.Designs {
 		lApps, eApps := latApps, execApps
 		if d == adaptnoc.DesignAdaptNoRL {
 			lApps, eApps = oracleLat, oracleExec
 		}
-		lr, err := o.runDesign(d, lApps)
-		if err != nil {
-			return m, err
-		}
+		jobs = append(jobs, job{d, lApps}, job{d, eApps})
+	}
+	results, err := mapJobs(o, jobs, func(j job) (adaptnoc.Results, error) {
+		return o.runDesign(j.design, j.apps)
+	})
+	if err != nil {
+		return m, err
+	}
+
+	for i := range m.Designs {
+		lr, er := results[2*i], results[2*i+1]
 		m.Latency = append(m.Latency, lr.MeanLatency())
 		m.Hops = append(m.Hops, lr.MeanHops())
 		var nl, ql, n float64
@@ -84,10 +98,6 @@ func RunMixed(o Options, gpu, cpu1, cpu2 string) (MixedResult, error) {
 		m.NetLatency = append(m.NetLatency, nl/n)
 		m.QueueLatency = append(m.QueueLatency, ql/n)
 
-		er, err := o.runDesign(d, eApps)
-		if err != nil {
-			return m, err
-		}
 		m.ExecTime = append(m.ExecTime, er.MeanExecTime())
 		var perApp []float64
 		for _, a := range er.Apps {

@@ -30,27 +30,41 @@ type PerAppMetrics struct {
 	NetLat   []float64
 }
 
-// RunPerApp measures each named application alone under every design.
+// RunPerApp measures each named application alone under every design. The
+// oracle probes every application in one combined pass (each probe is an
+// isolated single-app simulation, so batching them changes nothing), then
+// the name×design grid fans out over the runner pool.
 func RunPerApp(o Options, names []string, class traffic.Class) ([]PerAppMetrics, error) {
-	var out []PerAppMetrics
-	for _, name := range names {
-		spec := perAppSpec(name, class)
-		specs := []adaptnoc.AppSpec{spec}
-		oracle, err := o.oracleStatics(specs)
-		if err != nil {
-			return nil, err
+	specs := make([]adaptnoc.AppSpec, len(names))
+	for i, name := range names {
+		specs[i] = perAppSpec(name, class)
+	}
+	oracle, err := o.oracleStatics(specs)
+	if err != nil {
+		return nil, err
+	}
+	type job struct{ name, design int }
+	var jobs []job
+	for ni := range names {
+		for di := range AllDesigns {
+			jobs = append(jobs, job{ni, di})
 		}
+	}
+	results, err := mapJobs(o, jobs, func(j job) (adaptnoc.Results, error) {
+		spec := specs[j.name]
+		if AllDesigns[j.design] == adaptnoc.DesignAdaptNoRL {
+			spec = oracle[j.name]
+		}
+		return o.runDesign(AllDesigns[j.design], []adaptnoc.AppSpec{spec})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []PerAppMetrics
+	for ni, name := range names {
 		pm := PerAppMetrics{App: name}
-		for _, d := range AllDesigns {
-			apps := specs
-			if d == adaptnoc.DesignAdaptNoRL {
-				apps = oracle
-			}
-			res, err := o.runDesign(d, apps)
-			if err != nil {
-				return nil, err
-			}
-			a := res.Apps[0]
+		for di := range AllDesigns {
+			a := results[ni*len(AllDesigns)+di].Apps[0]
 			pm.Hops = append(pm.Hops, a.AvgHops)
 			pm.QueueLat = append(pm.QueueLat, a.AvgQueueLatency)
 			pm.NetLat = append(pm.NetLat, a.AvgNetLatency)
@@ -126,16 +140,17 @@ type SelectionResult struct {
 }
 
 // RunSelection runs DesignAdaptNoC per application and collects the
-// per-epoch topology choices (Figs. 14-15).
+// per-epoch topology choices (Figs. 14-15), one pooled run per name.
 func RunSelection(o Options, names []string, class traffic.Class) ([]SelectionResult, error) {
+	results, err := mapJobs(o, names, func(name string) (adaptnoc.Results, error) {
+		return o.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{perAppSpec(name, class)})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []SelectionResult
-	for _, name := range names {
-		spec := perAppSpec(name, class)
-		res, err := o.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SelectionResult{App: name, Fractions: res.Apps[0].Selections})
+	for ni, name := range names {
+		out = append(out, SelectionResult{App: name, Fractions: results[ni].Apps[0].Selections})
 	}
 	return out, nil
 }

@@ -17,7 +17,8 @@ func gpuSweepApps(quick bool) []string {
 }
 
 // runRLvsNoRL runs one GPU app in a region under Adapt-NoC and
-// Adapt-NoC-noRL and returns (latency, energy) for each.
+// Adapt-NoC-noRL and returns (latency, energy) for each. It is used as a
+// pool job body by Fig16, so it runs its own simulations serially.
 func (o Options) runRLvsNoRL(app string, reg adaptnoc.Region) (rlLat, rlEnergy, noLat, noEnergy float64, err error) {
 	spec := adaptnoc.AppSpec{Profile: app, Region: reg, MCTiles: adaptnoc.BlockMCs(reg), Static: adaptnoc.CMesh}
 	specs := []adaptnoc.AppSpec{spec}
@@ -51,22 +52,47 @@ func Fig16(o Options, quick bool) (Table, error) {
 		Columns: []string{"subNoC", "latency reduction", "energy reduction"},
 		Notes:   []string{"paper: latency −5/−12/−17/−24% and energy −28..−35% for 2x4/4x4/4x8/8x8"},
 	}
+	// Each (size, app) combo — oracle probes plus the RL/no-RL pair — is
+	// one pool job; the per-size averaging below walks them in order.
+	apps := gpuSweepApps(quick)
+	type combo struct {
+		reg adaptnoc.Region
+		app string
+	}
+	var jobs []combo
 	for _, reg := range sizes {
-		var latRed, enRed float64
-		apps := gpuSweepApps(quick)
 		for _, app := range apps {
-			rlLat, rlE, noLat, noE, err := o.runRLvsNoRL(app, reg)
-			if err != nil {
-				return t, err
-			}
-			if noLat > 0 {
-				latRed += 1 - rlLat/noLat
-			}
-			if noE > 0 {
-				enRed += 1 - rlE/noE
-			}
+			jobs = append(jobs, combo{reg, app})
 		}
-		n := float64(len(apps))
+	}
+	type reduction struct{ lat, energy float64 }
+	reds, err := mapJobs(o, jobs, func(j combo) (reduction, error) {
+		oo := o
+		oo.Parallelism = 1 // the combos already saturate the pool
+		rlLat, rlE, noLat, noE, err := oo.runRLvsNoRL(j.app, j.reg)
+		if err != nil {
+			return reduction{}, err
+		}
+		var r reduction
+		if noLat > 0 {
+			r.lat = 1 - rlLat/noLat
+		}
+		if noE > 0 {
+			r.energy = 1 - rlE/noE
+		}
+		return r, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	n := float64(len(apps))
+	for si, reg := range sizes {
+		var latRed, enRed float64
+		for ai := range apps {
+			r := reds[si*len(apps)+ai]
+			latRed += r.lat
+			enRed += r.energy
+		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%dx%d", reg.W, reg.H), pct(latRed / n), pct(enRed / n),
 		})
@@ -82,16 +108,18 @@ func Fig17(o Options) (Table, error) {
 	lat := make([]float64, len(epochs))
 	pwr := make([]float64, len(epochs))
 	refIdx := 2
-	for i, e := range epochs {
+	results, err := mapJobs(o, epochs, func(e int) (adaptnoc.Results, error) {
 		oo := o
 		oo.EpochCycles = e
 		if oo.Cycles < adaptnoc.Cycle(4*e) {
 			oo.Cycles = adaptnoc.Cycle(4 * e) // at least a few epochs
 		}
-		res, err := oo.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
-		if err != nil {
-			return Table{}, err
-		}
+		return oo.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for i, res := range results {
 		lat[i] = res.MeanLatency()
 		pwr[i] = res.Apps[0].Energy.TotalPJ() / float64(res.Cycles)
 	}
@@ -159,24 +187,30 @@ func Fig19(o Options) (Table, error) {
 	)
 }
 
-// hyperSweep runs the GPU reference app once per parameter value.
+// hyperSweep runs the GPU reference app once per parameter value, each
+// value (including Fig18's per-gamma offline training) as one pool job.
 func hyperSweep(o Options, title, note string, vals []float64, refIdx int,
 	apply func(*adaptnoc.Config, float64) error, label func(float64) string) (Table, error) {
 	spec := adaptnoc.AppSpec{Profile: "bfs", Region: adaptnoc.Region{W: 4, H: 8},
 		MCTiles: adaptnoc.BlockMCs(adaptnoc.Region{W: 4, H: 8})}
 	lat := make([]float64, len(vals))
 	pwr := make([]float64, len(vals))
-	for i, v := range vals {
+	results, err := mapJobs(o, vals, func(v float64) (adaptnoc.Results, error) {
 		cfg := o.buildConfig(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
 		if err := apply(&cfg, v); err != nil {
-			return Table{}, err
+			return adaptnoc.Results{}, err
 		}
 		s, err := adaptnoc.NewSim(cfg)
 		if err != nil {
-			return Table{}, err
+			return adaptnoc.Results{}, err
 		}
 		s.Run(o.Cycles)
-		res := s.Results()
+		return s.Results(), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for i, res := range results {
 		lat[i] = res.MeanLatency()
 		pwr[i] = res.Apps[0].Energy.TotalPJ() / float64(res.Cycles)
 	}

@@ -96,6 +96,13 @@ type Channel struct {
 
 	active bool
 
+	// net and queued drive the network's active-channel work list: a
+	// channel with nothing in flight is dropped from the per-cycle tick
+	// loop and re-queued by the first send or credit (see Network.Tick).
+	// net is nil for channels built outside a Network (tests).
+	net    *Network
+	queued bool
+
 	fwd     []inFlight // flits toward To, FIFO by deliverAt
 	fwdHead int
 	rev     []inFlight // credits toward From
@@ -137,6 +144,18 @@ func (c *Channel) Busy() bool {
 	return len(c.fwd) > c.fwdHead || len(c.rev) > c.revHead
 }
 
+// wake puts the channel on its network's work list so the new traffic is
+// delivered. Wakes during a tick are buffered and merged at the next tick
+// boundary — every payload has >= 1 cycle of latency, so that is early
+// enough.
+func (c *Channel) wake() {
+	if c.queued || c.net == nil {
+		return
+	}
+	c.queued = true
+	c.net.wokenCh = append(c.net.wokenCh, c)
+}
+
 // send places a flit on the channel at cycle now.
 func (c *Channel) send(f *Flit, now sim.Cycle) {
 	if !c.active {
@@ -149,11 +168,13 @@ func (c *Channel) send(f *Flit, now sim.Cycle) {
 	c.lastSend = now
 	c.fwd = append(c.fwd, inFlight{flit: f, deliverAt: now + sim.Cycle(c.Latency)})
 	c.FlitsCarried++
+	c.wake()
 }
 
 // sendCredit places a credit on the return path at cycle now.
 func (c *Channel) sendCredit(vc int, now sim.Cycle) {
 	c.rev = append(c.rev, inFlight{isCredit: true, credit: creditMsg{vc: vc}, deliverAt: now + sim.Cycle(c.Latency)})
+	c.wake()
 }
 
 // deliverFlits pops all flits due at or before now, preserving order. The

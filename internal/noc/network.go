@@ -34,10 +34,57 @@ type Network struct {
 	onDeliver DeliverFunc
 	nextPkt   uint64
 
+	// Active work lists: only channels with traffic in flight and routers
+	// with work are ticked; idle ones are skipped. Wakes that occur inside
+	// a tick phase are buffered in the woken slices and merged at the next
+	// phase boundary (channels at the next Tick, routers before this
+	// Tick's router phase, since channel deliveries may wake routers that
+	// must still tick this cycle).
+	activeCh []*Channel
+	wokenCh  []*Channel
+	activeR  []*Router
+	wokenR   []*Router
+
+	// lastTick is the cycle most recently passed to Tick (-1 before the
+	// first). Parked routers reconstruct their counters through it when
+	// read (see Router.syncIdle).
+	lastTick sim.Cycle
+
+	stats TickStats
+
 	// Aggregate counters (whole-run, never reset).
 	TotalEnqueued  int64
 	TotalDelivered int64
 }
+
+// TickStats counts executed versus skipped component ticks, proving the
+// idle-skip rate of the active work lists.
+type TickStats struct {
+	Cycles       int64 // network ticks executed
+	RouterTicks  int64 // router ticks actually run
+	RouterSkips  int64 // router ticks skipped (parked routers)
+	ChannelTicks int64 // channel ticks actually run
+	ChannelSkips int64 // channel ticks skipped (idle channels)
+}
+
+// RouterSkipRate is the fraction of router ticks avoided.
+func (s TickStats) RouterSkipRate() float64 {
+	if t := s.RouterTicks + s.RouterSkips; t > 0 {
+		return float64(s.RouterSkips) / float64(t)
+	}
+	return 0
+}
+
+// ChannelSkipRate is the fraction of channel ticks avoided.
+func (s TickStats) ChannelSkipRate() float64 {
+	if t := s.ChannelTicks + s.ChannelSkips; t > 0 {
+		return float64(s.ChannelSkips) / float64(t)
+	}
+	return 0
+}
+
+// TickStats returns the skip counters accumulated so far.
+func (n *Network) TickStats() TickStats { return n.stats }
 
 // NewNetwork creates a W×H network with one 5-port router and one NI per
 // tile and no channels. Topology builders add channels, local attachments,
@@ -46,7 +93,7 @@ func NewNetwork(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{Cfg: cfg}
+	n := &Network{Cfg: cfg, lastTick: -1}
 	count := cfg.NumNodes()
 	n.routers = make([]*Router, count)
 	n.nis = make([]*NI, count)
@@ -89,6 +136,7 @@ func (n *Network) Connect(from, to Endpoint, kind ChannelKind, latency, tiles in
 		panic("noc: Connect is for router-to-router channels; use AttachLocal for NIs")
 	}
 	ch := newChannel(from, to, kind, latency, tiles)
+	ch.net = n
 	src := n.routers[from.Router]
 	dst := n.routers[to.Router]
 	nvc := NumVNets * n.Cfg.VCsPerVNet
@@ -149,6 +197,7 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 		Endpoint{Kind: EndNI, NI: router, Port: port},
 		Endpoint{Kind: EndRouter, Router: router, Port: port},
 		kind, latency, 1)
+	injCh.net = n
 	n.channels = append(n.channels, injCh)
 	r.attachIn(port, injCh)
 	if withEjection {
@@ -156,6 +205,7 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 			Endpoint{Kind: EndRouter, Router: router, Port: port},
 			Endpoint{Kind: EndNI, NI: router, Port: port},
 			kind, latency, 1)
+		ejCh.net = n
 		n.channels = append(n.channels, ejCh)
 		nvc := NumVNets * n.Cfg.VCsPerVNet
 		r.attachOut(port, ejCh, nvc, n.Cfg.VCDepth)
@@ -231,9 +281,15 @@ func (n *Network) DisconnectOut(router NodeID, port int) {
 	n.removeChannel(ch)
 }
 
-// removeChannel deactivates and drops a channel from the live set.
+// removeChannel deactivates and drops a channel from the live set and the
+// active work list.
 func (n *Network) removeChannel(ch *Channel) {
 	ch.setActive(false)
+	if ch.queued {
+		ch.queued = false
+		n.activeCh = dropChannel(n.activeCh, ch)
+		n.wokenCh = dropChannel(n.wokenCh, ch)
+	}
 	for i, c := range n.channels {
 		if c == ch {
 			n.channels[i] = n.channels[len(n.channels)-1]
@@ -241,6 +297,18 @@ func (n *Network) removeChannel(ch *Channel) {
 			return
 		}
 	}
+}
+
+// dropChannel removes ch from list preserving order (the active list's
+// order determines same-cycle delivery order, which must stay a pure
+// function of simulation history).
+func dropChannel(list []*Channel, ch *Channel) []*Channel {
+	for i, c := range list {
+		if c == ch {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // NewPacket allocates a packet with the configured size for its class.
@@ -268,13 +336,56 @@ func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
 // Tick advances the whole network one cycle: channel deliveries, router
 // pipelines, then injection arbitration. All cross-component paths have at
 // least one cycle of latency, so the in-cycle order is not observable.
+//
+// Only the active work lists are walked: a channel with nothing in flight
+// and a router that parked itself (disabled, asleep, or empty) are skipped
+// entirely, which is the common case in drained or power-gated regions.
+// Skipped components stay externally indistinguishable from ticked ones —
+// channels hold no per-cycle state, and parked routers reconstruct their
+// activity counters on demand (Router.syncIdle).
 func (n *Network) Tick(now sim.Cycle) {
-	for _, ch := range n.channels {
+	n.lastTick = now
+	n.stats.Cycles++
+
+	// Channels woken since the previous tick (router traversals, injector
+	// sends, ejection credits) join the list; their earliest delivery is
+	// this cycle at the soonest, so merging here loses nothing.
+	if len(n.wokenCh) > 0 {
+		n.activeCh = append(n.activeCh, n.wokenCh...)
+		n.wokenCh = n.wokenCh[:0]
+	}
+	tickedCh := int64(len(n.activeCh))
+	keepCh := n.activeCh[:0]
+	for _, ch := range n.activeCh {
 		n.tickChannel(ch, now)
+		if ch.Busy() {
+			keepCh = append(keepCh, ch)
+		} else {
+			ch.queued = false
+		}
 	}
-	for _, r := range n.routers {
+	n.activeCh = keepCh
+	n.stats.ChannelTicks += tickedCh
+	n.stats.ChannelSkips += int64(len(n.channels)) - tickedCh
+
+	// Routers woken by this cycle's deliveries must still tick this cycle,
+	// so the merge sits between the channel and router phases.
+	if len(n.wokenR) > 0 {
+		n.activeR = append(n.activeR, n.wokenR...)
+		n.wokenR = n.wokenR[:0]
+	}
+	tickedR := int64(len(n.activeR))
+	keepR := n.activeR[:0]
+	for _, r := range n.activeR {
 		r.Tick(now)
+		if !r.parked {
+			keepR = append(keepR, r)
+		}
 	}
+	n.activeR = keepR
+	n.stats.RouterTicks += tickedR
+	n.stats.RouterSkips += int64(len(n.routers)) - tickedR
+
 	for _, inj := range n.injList {
 		inj.tick(now)
 	}

@@ -32,14 +32,21 @@ func (v *vcState) front() *Flit {
 }
 
 func (v *vcState) push(f *Flit) {
-	v.ring[(v.head+v.n)%len(v.ring)] = f
+	i := v.head + v.n
+	if i >= len(v.ring) {
+		i -= len(v.ring)
+	}
+	v.ring[i] = f
 	v.n++
 }
 
 func (v *vcState) pop() *Flit {
 	f := v.ring[v.head]
 	v.ring[v.head] = nil
-	v.head = (v.head + 1) % len(v.ring)
+	v.head++
+	if v.head == len(v.ring) {
+		v.head = 0
+	}
 	v.n--
 	return f
 }
@@ -129,6 +136,14 @@ type Router struct {
 	// routers skip their pipeline entirely).
 	buffered int
 
+	// parked marks the router as off the network's active work list: its
+	// Tick would only bump counters (disabled, asleep, or no buffered
+	// flits), so the network skips it and the counters are reconstructed
+	// lazily by syncIdle. parkedAt is the first cycle whose counters have
+	// not been applied yet.
+	parked   bool
+	parkedAt sim.Cycle
+
 	// saBuckets is per-output-port request scratch reused across cycles.
 	saBuckets [][]saRequest
 
@@ -153,8 +168,10 @@ type RouterActivity struct {
 }
 
 // newRouter builds a router with nports ports and empty channel attachments.
+// Routers start parked: the first arriving flit puts them on the network's
+// active list.
 func newRouter(id NodeID, nports int, cfg *Config, net *Network) *Router {
-	r := &Router{ID: id, cfg: cfg, net: net}
+	r := &Router{ID: id, cfg: cfg, net: net, parked: true}
 	for p := 0; p < nports; p++ {
 		r.addPortLocked()
 	}
@@ -260,6 +277,7 @@ func (r *Router) SetDisabled(off bool) {
 	if off && r.Occupancy() != 0 {
 		panic(fmt.Sprintf("noc: disabling router %d with %d buffered flits", r.ID, r.Occupancy()))
 	}
+	r.syncIdle(r.net.lastTick)
 	r.disabled = off
 }
 
@@ -281,7 +299,10 @@ func (r *Router) EnablePowerGating(wake, idle sim.Cycle) {
 }
 
 // Asleep reports whether the router is currently clock/power gated.
-func (r *Router) Asleep() bool { return r.asleep }
+func (r *Router) Asleep() bool {
+	r.syncIdle(r.net.lastTick)
+	return r.asleep
+}
 
 // Occupancy returns the number of flits buffered across all input VCs.
 func (r *Router) Occupancy() int { return r.buffered }
@@ -305,19 +326,82 @@ func (r *Router) BufferCapacity() int {
 // TakeActivity returns the activity window accumulated since the previous
 // call and resets it.
 func (r *Router) TakeActivity() RouterActivity {
+	r.syncIdle(r.net.lastTick)
 	a := r.act
 	r.act = RouterActivity{}
 	return a
 }
 
 // PeekActivity returns the current window without resetting.
-func (r *Router) PeekActivity() RouterActivity { return r.act }
+func (r *Router) PeekActivity() RouterActivity {
+	r.syncIdle(r.net.lastTick)
+	return r.act
+}
+
+// park takes the router off the active list after a cycle in which it did
+// no pipeline work and cannot do any until external input arrives; the
+// skipped cycles' counters are owed from now+1 (see syncIdle).
+func (r *Router) park(now sim.Cycle) {
+	r.parked = true
+	r.parkedAt = now + 1
+}
+
+// syncIdle applies the activity counters for the parked cycles up to and
+// including through, exactly as per-cycle Ticks would have: a disabled or
+// asleep router accumulates GatedCycles; an enabled idle router
+// accumulates ActiveCycles until the power-gating sleep transition (if
+// gating is on), which it replays at the same cycle a ticked router would
+// have slept.
+func (r *Router) syncIdle(through sim.Cycle) {
+	if !r.parked || through < r.parkedAt {
+		return
+	}
+	n := int64(through - r.parkedAt + 1)
+	switch {
+	case r.disabled:
+		r.act.GatedCycles += n
+	case r.gateEnabled && r.asleep:
+		r.act.GatedCycles += n
+	case r.gateEnabled:
+		// First cycle s at which Tick's sleep check (now >= wakeAt &&
+		// now-lastActive > sleepAfter, with zero occupancy) passes.
+		s := r.wakeAt
+		if t := r.lastActive + r.sleepAfter + 1; t > s {
+			s = t
+		}
+		if s > r.parkedAt {
+			a := through
+			if s-1 < a {
+				a = s - 1
+			}
+			r.act.ActiveCycles += int64(a - r.parkedAt + 1)
+		}
+		if through >= s {
+			r.asleep = true
+			r.act.GatedCycles += int64(through - s + 1)
+		}
+	default:
+		r.act.ActiveCycles += n
+	}
+	r.parkedAt = through + 1
+}
 
 // receiveFlit is called by the network when a channel delivers a flit into
 // this router. The flit's VC was chosen by the upstream VA stage.
 func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
 	if r.disabled {
 		panic(fmt.Sprintf("noc: flit %v arrived at disabled router %d", f.Pkt, r.ID))
+	}
+	if r.parked {
+		// Channels deliver before routers tick, so the router has only
+		// been skipped through cycle now-1; settle those counters (which
+		// also resolves any pending sleep transition, so the wake check
+		// below sees the same asleep state a per-cycle Tick would have
+		// left), then rejoin the active list in time for this cycle's
+		// router phase.
+		r.syncIdle(now - 1)
+		r.parked = false
+		r.net.wokenR = append(r.net.wokenR, r)
 	}
 	in := r.inputs[port]
 	vc := &in.vcs[f.VC]
@@ -404,25 +488,32 @@ func (r *Router) allowedInjectionVCs(p *Packet, yield func(flatVC int) bool) {
 
 // Tick advances the router one cycle: route computation for new heads,
 // virtual-channel allocation, switch allocation, and switch traversal.
+// A tick that ends with nothing buffered parks the router: subsequent
+// cycles are skipped by the network and their counters owed to syncIdle
+// until a flit arrival unparks it.
 func (r *Router) Tick(now sim.Cycle) {
 	if r.disabled {
 		r.act.GatedCycles++
+		r.park(now)
 		return
 	}
 	if r.gateEnabled {
 		if r.asleep {
 			r.act.GatedCycles++
+			r.park(now)
 			return
 		}
 		if now >= r.wakeAt && r.Occupancy() == 0 && now-r.lastActive > r.sleepAfter {
 			r.asleep = true
 			r.act.GatedCycles++
+			r.park(now)
 			return
 		}
 	}
 	r.act.ActiveCycles++
 
 	if r.buffered == 0 {
+		r.park(now)
 		return
 	}
 	occ := int64(r.buffered)
@@ -432,6 +523,9 @@ func (r *Router) Tick(now sim.Cycle) {
 	}
 
 	r.stagePipeline(now)
+	if r.buffered == 0 {
+		r.park(now)
+	}
 }
 
 // saRequest describes an input VC bidding for an output port this cycle.

@@ -1,0 +1,135 @@
+// Package runner is the worker-pool fan-out layer for independent
+// simulations. Every experiment in internal/exp is dozens of fully
+// independent adaptnoc.NewSim runs; runner.Map executes such a job list
+// across GOMAXPROCS workers while keeping the observable behaviour of a
+// serial loop:
+//
+//   - results come back in job order, so tables built from them are
+//     byte-identical to a serial run;
+//   - each job derives its own seed/config before submission (see Seeds),
+//     so no generator state is shared between workers;
+//   - a panic inside a worker is captured and converted into that job's
+//     error instead of tearing down the process;
+//   - the first failing job cancels the context handed to the remaining
+//     jobs, and unstarted jobs are skipped.
+//
+// Determinism is the contract: Map(jobs, w) with parallelism 1 and
+// parallelism N produce identical result slices for deterministic
+// workers, because scheduling only decides *when* a job runs, never what
+// it computes.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"adaptnoc/internal/sim"
+)
+
+// Parallelism resolves a requested parallelism level: values <= 0 mean
+// "one worker per available CPU" (GOMAXPROCS).
+func Parallelism(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs worker over every job with at most parallelism concurrent
+// workers (<= 0 selects GOMAXPROCS) and returns the results in job order.
+//
+// The first job error (lowest job index among failures) is returned and
+// cancels the context passed to still-running workers; jobs that have not
+// started by then are skipped and keep their zero-value result. A worker
+// panic is captured with its stack and reported as that job's error.
+func Map[J, R any](ctx context.Context, parallelism int, jobs []J, worker func(ctx context.Context, job J) (R, error)) ([]R, error) {
+	results := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	errs := make([]error, len(jobs))
+	p := Parallelism(parallelism)
+	if p > len(jobs) {
+		p = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if p == 1 {
+		// Inline serial path: no goroutines, same early-stop semantics.
+		for i := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
+			results[i], errs[i] = runJob(ctx, jobs[i], worker)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(jobs) || ctx.Err() != nil {
+						return
+					}
+					results[i], errs[i] = runJob(ctx, jobs[i], worker)
+					if errs[i] != nil {
+						cancel() // first failure stops the fleet
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Report the failure with the smallest job index — deterministic no
+	// matter which worker hit it first.
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	// No job failed, so a cancelled context can only mean the caller's
+	// parent context was cancelled while jobs were still queued.
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// runJob executes one job with panic capture.
+func runJob[J, R any](ctx context.Context, job J, worker func(ctx context.Context, job J) (R, error)) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return worker(ctx, job)
+}
+
+// Seeds derives n independent per-job seeds from base using the sim RNG's
+// splitting, so that parallel jobs never share generator state and the
+// seed list is a pure function of (base, n) regardless of scheduling.
+func Seeds(base uint64, n int) []uint64 {
+	root := sim.NewRNG(base)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = root.Split(uint64(i)).Uint64()
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package runner_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"adaptnoc"
+	"adaptnoc/internal/runner"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	jobs := make([]int, 64)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, p := range []int{1, 2, 4, 0} {
+		got, err := runner.Map(context.Background(), p, jobs, func(_ context.Context, j int) (int, error) {
+			return j * j, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: result[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapIdenticalAcrossParallelism(t *testing.T) {
+	jobs := []string{"a", "bb", "ccc", "dddd"}
+	worker := func(_ context.Context, j string) (string, error) {
+		return strings.ToUpper(j), nil
+	}
+	serial, err := runner.Map(context.Background(), 1, jobs, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.Map(context.Background(), 4, jobs, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("serial %v != parallel %v", serial, par)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	wantErr := errors.New("job 2 failed")
+	_, err := runner.Map(context.Background(), 4, jobs, func(_ context.Context, j int) (int, error) {
+		if j == 2 {
+			return 0, wantErr
+		}
+		if j == 5 {
+			return 0, fmt.Errorf("job 5 failed")
+		}
+		return j, nil
+	})
+	if err == nil {
+		t.Fatal("no error reported")
+	}
+	if !errors.Is(err, wantErr) && err.Error() != "job 5 failed" {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// With serial execution the error is deterministic: job 2 fails first
+	// and job 5 never runs.
+	_, err = runner.Map(context.Background(), 1, jobs, func(_ context.Context, j int) (int, error) {
+		if j == 2 {
+			return 0, wantErr
+		}
+		if j >= 3 {
+			t.Errorf("job %d ran after failure", j)
+		}
+		return j, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("serial error %v, want %v", err, wantErr)
+	}
+}
+
+func TestMapCancelsOnFirstFailure(t *testing.T) {
+	var started atomic.Int64
+	jobs := make([]int, 128)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	_, err := runner.Map(context.Background(), 2, jobs, func(ctx context.Context, j int) (int, error) {
+		started.Add(1)
+		if j == 0 {
+			return 0, errors.New("boom")
+		}
+		<-ctx.Done() // later jobs block until cancellation propagates
+		return j, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := started.Load(); n == int64(len(jobs)) {
+		t.Fatalf("all %d jobs started despite early failure", n)
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	jobs := []int{0, 1}
+	_, err := runner.Map(context.Background(), 2, jobs, func(_ context.Context, j int) (int, error) {
+		if j == 1 {
+			panic("kaboom")
+		}
+		return j, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+}
+
+func TestMapHonoursParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := runner.Map(ctx, 4, []int{1, 2, 3}, func(_ context.Context, j int) (int, error) {
+		t.Error("job ran under a cancelled context")
+		return j, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled context not reported")
+	}
+	if len(res) != 3 {
+		t.Fatalf("result slice length %d", len(res))
+	}
+}
+
+func TestSeedsAreStableAndDistinct(t *testing.T) {
+	a := runner.Seeds(7, 16)
+	b := runner.Seeds(7, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Seeds is not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatalf("duplicate derived seed %d", s)
+		}
+		seen[s] = true
+	}
+	if reflect.DeepEqual(runner.Seeds(8, 16), a) {
+		t.Fatal("different bases produced identical seed lists")
+	}
+}
+
+// TestParallelSimsAreIndependent drives whole simulations through the
+// pool — the workload the package exists for — and checks both result
+// determinism and (under -race) the absence of cross-sim data races.
+func TestParallelSimsAreIndependent(t *testing.T) {
+	run := func(parallelism int) []string {
+		seeds := runner.Seeds(2021, 4)
+		out, err := runner.Map(context.Background(), parallelism, seeds, func(_ context.Context, seed uint64) (string, error) {
+			s, err := adaptnoc.NewSim(adaptnoc.Config{
+				Design: adaptnoc.DesignAdaptNoC,
+				Apps: []adaptnoc.AppSpec{{
+					Profile: "bfs",
+					Region:  adaptnoc.Region{W: 4, H: 4},
+					Static:  adaptnoc.CMesh,
+				}},
+				Seed:        seed,
+				EpochCycles: 2000,
+				RL:          adaptnoc.RLOptions{Pretrained: adaptnoc.DefaultPolicy()},
+			})
+			if err != nil {
+				return "", err
+			}
+			s.Run(6000)
+			return s.Results().String(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel runs diverged from serial:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+	for i, s := range serial {
+		for j := 0; j < i; j++ {
+			if s == serial[j] {
+				t.Fatalf("seeds %d and %d produced identical runs", j, i)
+			}
+		}
+	}
+}

@@ -172,7 +172,13 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Sorted returns pending events' cycles in ascending order; used by tests.
+// PendingEvents returns the number of scheduled events that have not yet
+// fired — an observability hook for drivers deciding whether a simulation
+// still has future work queued.
+func (k *Kernel) PendingEvents() int { return len(k.events) }
+
+// pendingCycles returns pending events' cycles in ascending order; used by
+// tests.
 func (k *Kernel) pendingCycles() []Cycle {
 	out := make([]Cycle, len(k.events))
 	for i, ev := range k.events {

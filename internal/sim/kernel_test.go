@@ -129,3 +129,24 @@ func TestPendingCyclesSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestPendingEvents(t *testing.T) {
+	k := NewKernel()
+	if n := k.PendingEvents(); n != 0 {
+		t.Fatalf("fresh kernel has %d pending events", n)
+	}
+	for _, at := range []Cycle{2, 5, 5} {
+		k.Schedule(at, func(Cycle) {})
+	}
+	if n := k.PendingEvents(); n != 3 {
+		t.Fatalf("PendingEvents = %d, want 3", n)
+	}
+	k.Run(3) // fires the cycle-2 event
+	if n := k.PendingEvents(); n != 2 {
+		t.Fatalf("PendingEvents after partial run = %d, want 2", n)
+	}
+	k.Run(6)
+	if n := k.PendingEvents(); n != 0 {
+		t.Fatalf("PendingEvents after full run = %d, want 0", n)
+	}
+}
