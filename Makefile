@@ -1,12 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench quick
+.PHONY: build test race bench quick check fuzzseeds
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# check is the full pre-merge gate: vet, formatting, the complete test
+# suite under the race detector, and every fuzz target replayed over its
+# committed seed corpus (no fuzzing engine — plain deterministic replay).
+check:
+	go vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	go test -race ./...
+	go test -run 'Fuzz' ./...
+
+# fuzzseeds replays the committed corpora only (fast subset of check).
+fuzzseeds:
+	go test -run 'Fuzz' ./...
 
 # race runs the concurrency-sensitive packages — the experiment runner,
 # the simulation kernel, the network substrate, and the experiment

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	adaptnoc-experiments [-quick] [-parallel n] [-fig list] [-benchjson file]
+//	                     [-pprof addr]
 //
 // -fig selects a comma-separated subset: 7,8,9,10,11,12,13,14,15,16,17,
 // 18,19, area, wiring, timing, chars (latency-throughput curves),
@@ -23,6 +24,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -59,7 +62,17 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the random seed (0 keeps the default)")
 	parallel := flag.Int("parallel", 0, "simulations to run at once (0 = one per CPU, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "write serial-vs-parallel wall-clock JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-experiments: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "adaptnoc-experiments: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	o := exp.DefaultOptions()
 	if *quick {

@@ -6,20 +6,32 @@
 //	adaptnoc-sim [-design name] [-gpu profile] [-cpu1 profile] [-cpu2 profile]
 //	             [-apps "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh"]
 //	             [-cycles N | -budget N] [-epoch N] [-seed N] [-share N]
-//	             [-trace] [-stats] [-layout] [-json]
+//	             [-trace out.json] [-traceformat chrome|ring] [-tracecap N]
+//	             [-hist] [-verify N] [-pprof addr]
+//	             [-epochtrace] [-stats] [-layout] [-json]
 //
 // Designs: baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc.
 // Topologies for -apps: mesh, cmesh, torus, tree, torus+tree.
+//
+// -trace captures every flit's lifecycle. The default chrome format loads
+// directly into Perfetto (ui.perfetto.dev) or chrome://tracing; the ring
+// format is a compact fixed-record binary that keeps only the most recent
+// -tracecap events. -hist prints per-vnet latency percentiles and the
+// busiest routers/links. -verify N runs the flit-conservation and
+// credit-balance invariant checker every N cycles.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"adaptnoc"
+	"adaptnoc/internal/obs"
 	"adaptnoc/internal/traffic"
 )
 
@@ -34,7 +46,13 @@ func main() {
 	seed := flag.Uint64("seed", 2021, "random seed")
 	share := flag.Int("share", 0, "foreign MCs shared to the GPU application")
 	appsFlag := flag.String("apps", "", `explicit workload, e.g. "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh" (overrides -gpu/-cpu1/-cpu2)`)
-	trace := flag.Bool("trace", false, "print the per-epoch controller trace (Adapt designs)")
+	traceFile := flag.String("trace", "", "write a flit-level trace to this file")
+	traceFormat := flag.String("traceformat", "chrome", "trace format: chrome (Perfetto JSON) or ring (binary ring buffer)")
+	traceCap := flag.Int("tracecap", 0, "max trace events kept (0 = format default)")
+	hist := flag.Bool("hist", false, "print per-vnet latency histograms and hotspot counters")
+	verifyEvery := flag.Int64("verify", 0, "run the invariant checker every N cycles (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	epochTrace := flag.Bool("epochtrace", false, "print the per-epoch controller trace (Adapt designs)")
 	stats := flag.Bool("stats", false, "print tick work-list statistics (idle-skip rates)")
 	layout := flag.Bool("layout", false, "render each subNoC's final physical configuration")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
@@ -49,6 +67,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
 		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "adaptnoc-sim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	apps := adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
@@ -81,6 +107,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
 		os.Exit(1)
 	}
+
+	// Observability: tracers are fanned out through a Tee so -trace and
+	// -hist compose; the network pays one nil check per event when both
+	// are off.
+	var tee obs.Tee
+	var chrome *obs.ChromeTracer
+	var ring *obs.RingTracer
+	if *traceFile != "" {
+		switch *traceFormat {
+		case "chrome":
+			chrome = &obs.ChromeTracer{Cap: *traceCap}
+			tee = append(tee, chrome)
+		case "ring":
+			capacity := *traceCap
+			if capacity <= 0 {
+				capacity = 1 << 20
+			}
+			ring = obs.NewRingTracer(capacity)
+			tee = append(tee, ring)
+		default:
+			fmt.Fprintf(os.Stderr, "adaptnoc-sim: unknown -traceformat %q (want chrome or ring)\n", *traceFormat)
+			os.Exit(1)
+		}
+	}
+	var metrics *obs.Metrics
+	if *hist {
+		metrics = obs.NewMetrics()
+		tee = append(tee, metrics)
+	}
+	switch len(tee) {
+	case 0:
+	case 1:
+		s.Net.SetTracer(tee[0])
+	default:
+		s.Net.SetTracer(tee)
+	}
+	if *verifyEvery > 0 {
+		s.Net.SetVerifier(*verifyEvery, obs.Verify)
+	}
+
 	if *budget > 0 {
 		if !s.RunUntilFinished(adaptnoc.Cycle(100 * *cycles)) {
 			fmt.Fprintln(os.Stderr, "adaptnoc-sim: workload did not finish; raise -cycles")
@@ -101,6 +167,16 @@ func main() {
 		fmt.Print(res)
 	}
 
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, chrome, ring); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
+	}
+	if metrics != nil {
+		fmt.Println()
+		metrics.Report(os.Stdout, int64(s.Kernel.Now()))
+	}
 	if *stats {
 		st := s.TickStats()
 		fmt.Printf("\n# tick stats: %d cycles; routers ticked %d skipped %d (%.1f%% skipped); channels ticked %d skipped %d (%.1f%% skipped)\n",
@@ -113,7 +189,7 @@ func main() {
 				i, apps[i].Profile, s.Topology(i), s.Layout(i))
 		}
 	}
-	if *trace && s.Ctl != nil {
+	if *epochTrace && s.Ctl != nil {
 		for i, b := range s.Ctl.Bindings() {
 			fmt.Printf("\n# epoch trace, app %d (%s)\n", i, apps[i].Profile)
 			for _, rec := range b.Trace {
@@ -122,4 +198,29 @@ func main() {
 			}
 		}
 	}
+}
+
+func writeTrace(path string, chrome *obs.ChromeTracer, ring *obs.RingTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case chrome != nil:
+		if _, err := chrome.WriteTo(f); err != nil {
+			return err
+		}
+		if chrome.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "adaptnoc-sim: trace cap reached, dropped %d events (raise -tracecap)\n", chrome.Dropped)
+		}
+	case ring != nil:
+		if _, err := ring.WriteTo(f); err != nil {
+			return err
+		}
+		if ring.Total() > uint64(len(ring.Records())) {
+			fmt.Fprintf(os.Stderr, "adaptnoc-sim: ring kept newest %d of %d events\n", len(ring.Records()), ring.Total())
+		}
+	}
+	return f.Sync()
 }

@@ -1,0 +1,161 @@
+package adaptnoc
+
+import (
+	"testing"
+)
+
+// FuzzParseAppSpecs hammers the workload-spec parser: it must reject or
+// accept any input without panicking, and anything it accepts must survive
+// a re-parse of its own canonical rendering (region and profile intact).
+func FuzzParseAppSpecs(f *testing.F) {
+	f.Add("bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh; ferret:4,4,4,4")
+	f.Add("bodytrack:0,0,8,8")
+	f.Add("bfs:0,0,4,8:torus+tree")
+	f.Add("bfs:1,2,3,4:mesh;")
+	f.Add(";;;")
+	f.Add("bfs:0,0,-1,8")
+	f.Add("bfs:0,0,4")
+	f.Add("nosuch:0,0,4,8")
+	f.Add("bfs:a,b,c,d")
+	f.Add("bfs:0,0,4,8:nosuchtopo")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := ParseAppSpecs(s)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("ParseAppSpecs(%q) accepted but returned no specs", s)
+		}
+		for _, sp := range specs {
+			if sp.Region.W <= 0 || sp.Region.H <= 0 {
+				t.Fatalf("ParseAppSpecs(%q) accepted empty region %v", s, sp.Region)
+			}
+			if sp.Profile == "" {
+				t.Fatalf("ParseAppSpecs(%q) accepted empty profile", s)
+			}
+		}
+	})
+}
+
+// FuzzParseKind checks the topology-name parser never panics and only
+// accepts names that render back to themselves.
+func FuzzParseKind(f *testing.F) {
+	for _, s := range []string{"mesh", "cmesh", "torus", "tree", "torus+tree", "MESH", "", "x"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err == nil && k.String() != s {
+			t.Fatalf("ParseKind(%q) = %v which renders %q", s, k, k.String())
+		}
+	})
+}
+
+// FuzzParseDesign likewise for design-point names.
+func FuzzParseDesign(f *testing.F) {
+	for _, s := range []string{"baseline", "oscar", "shortcut", "ftby", "ftby-pg", "adapt-norl", "adapt-noc", "", "ADAPT"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDesign(s)
+		if err == nil && d.String() != s {
+			t.Fatalf("ParseDesign(%q) = %v which renders %q", s, d, d.String())
+		}
+	})
+}
+
+// FuzzParseResultsSummary feeds the results-table parser arbitrary text:
+// it must never panic, and inputs it accepts must carry sane shapes.
+func FuzzParseResultsSummary(f *testing.F) {
+	f.Add("design=baseline cycles=40000 energy=12.34uJ (dyn 10.00, static 2.34)\n" +
+		"  bfs            4x8@(0,0) lat=35.2 (net 30.1 + queue 5.1) hops=4.52 pkts=1234\n")
+	f.Add("design=adapt-noc cycles=500000 energy=90.00uJ (dyn 60.00, static 30.00)\n" +
+		"  canneal        4x4@(4,0) lat=20.0 (net 18.0 + queue 2.0) hops=3.10 pkts=999 exec=48000 kind=cmesh reconf=3 sel=[mesh:25% cmesh:75%]\n")
+	f.Add("design=ftby cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n")
+	f.Add("design=x cycles=y\n")
+	f.Add("")
+	f.Add("  orphan app line\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		sum, err := ParseResultsSummary(s)
+		if err != nil {
+			return
+		}
+		if sum.Design == "" {
+			t.Fatalf("ParseResultsSummary(%q) accepted empty design", s)
+		}
+		for _, a := range sum.Apps {
+			if a.Profile == "" {
+				t.Fatalf("ParseResultsSummary(%q) accepted app with no profile", s)
+			}
+		}
+	})
+}
+
+// TestParseResultsSummaryRoundTrip locks parser and renderer together: a
+// handcrafted Results must survive String -> Parse with every field
+// intact, including the Adapt-only suffix.
+func TestParseResultsSummaryRoundTrip(t *testing.T) {
+	var r Results
+	r.Design = DesignAdaptNoC
+	r.Cycles = 40000
+	r.Apps = []AppResult{
+		{
+			Profile: "bfs", Region: Region{X: 0, Y: 0, W: 4, H: 8},
+			AvgTotalLatency: 35.25, AvgNetLatency: 30.125, AvgQueueLatency: 5.125,
+			AvgHops: 4.52, DeliveredPackets: 1234, ExecTime: -1,
+			FinalKind: Tree, Reconfigs: 2,
+		},
+		{
+			Profile: "canneal", Region: Region{X: 4, Y: 0, W: 4, H: 4},
+			AvgTotalLatency: 20, AvgNetLatency: 18, AvgQueueLatency: 2,
+			AvgHops: 3.1, DeliveredPackets: 999, ExecTime: 48000,
+			FinalKind: CMesh, Reconfigs: 3,
+		},
+	}
+	r.Apps[0].Selections[int(Mesh)] = 0.25
+	r.Apps[0].Selections[int(Tree)] = 0.75
+	r.Apps[1].Selections[int(CMesh)] = 1
+
+	sum, err := ParseResultsSummary(r.String())
+	if err != nil {
+		t.Fatalf("round trip failed on:\n%s\nerror: %v", r.String(), err)
+	}
+	if sum.Design != r.Design.String() || sum.Cycles != int64(r.Cycles) {
+		t.Fatalf("header mismatch: %+v", sum)
+	}
+	if len(sum.Apps) != 2 {
+		t.Fatalf("parsed %d apps, want 2", len(sum.Apps))
+	}
+	a := sum.Apps[0]
+	if a.Profile != "bfs" || a.Region != r.Apps[0].Region ||
+		a.TotalLat != 35.2 /* %.1f rendering */ || a.Hops != 4.52 ||
+		a.Packets != 1234 || a.ExecTime != -1 ||
+		a.Kind != "tree" || a.Reconfigs != 2 {
+		t.Fatalf("app 0 mismatch: %+v", a)
+	}
+	if a.Selections["mesh"] != 0.25 || a.Selections["tree"] != 0.75 {
+		t.Fatalf("app 0 selections mismatch: %v", a.Selections)
+	}
+	b := sum.Apps[1]
+	if b.ExecTime != 48000 || b.Kind != "cmesh" || b.Selections["cmesh"] != 1 {
+		t.Fatalf("app 1 mismatch: %+v", b)
+	}
+}
+
+// TestParseResultsSummaryRejects pins down a few malformed shapes.
+func TestParseResultsSummaryRejects(t *testing.T) {
+	cases := []string{
+		"",
+		"design=baseline cycles=ten energy=0.00uJ (dyn 0.00, static 0.00)",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\nno indent",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n  bfs 4x8@(0,0) lat=1.0",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 sel=[unterminated",
+	}
+	for _, s := range cases {
+		if _, err := ParseResultsSummary(s); err == nil {
+			t.Errorf("ParseResultsSummary accepted malformed input %q", s)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenOptions is a deliberately tiny but fully mixed run: three apps,
+// all seven designs, fixed seed, pretrained agent. Small enough for the
+// ordinary test suite, big enough that every design actually moves flits.
+func goldenOptions() Options {
+	o := QuickOptions()
+	o.Cycles = 12000
+	o.Budget = 400
+	o.EpochCycles = 4000
+	o.OracleProbeCycles = 6000
+	return o
+}
+
+// TestGoldenMixedTables locks the complete mixed-workload table output to
+// testdata/golden_mixed.txt. The determinism test guarantees identical
+// results across -parallel settings; this golden file additionally
+// catches silent drift across code changes — a routing tweak or idle-skip
+// regression that shifts any latency/energy/selection number fails here
+// with a readable diff. Refresh intentionally with:
+//
+//	go test ./internal/exp -run TestGoldenMixedTables -update
+func TestGoldenMixedTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden mixed run is a full 14-simulation sweep")
+	}
+	m, err := RunMixed(goldenOptions(), "bfs", "canneal", "ferret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tab := range []Table{m.Fig7(), m.Fig10(), m.Fig11(), m.Fig12(), m.Fig13()} {
+		tab.Print(&buf)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "golden_mixed.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mixed-workload tables drifted from %s.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, refresh with -update.",
+			path, got, want)
+	}
+}

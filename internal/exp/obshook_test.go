@@ -1,0 +1,14 @@
+package exp
+
+import (
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/obs"
+)
+
+// Every network the experiment drivers build during tests runs the obs
+// invariant checker. The interval is coarser than the noc package's (these
+// tests simulate hundreds of thousands of cycles across many designs), but
+// a conservation or credit-balance break still fails the suite loudly.
+func init() {
+	noc.InstallTestVerifier(2048, obs.Verify)
+}

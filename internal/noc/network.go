@@ -52,9 +52,22 @@ type Network struct {
 
 	stats TickStats
 
+	// Observability: optional lifecycle tracer and periodic invariant
+	// checker (see trace.go). Both are nil/0 unless explicitly installed;
+	// the hot path pays one nil or integer comparison per guarded site.
+	tracer      Tracer
+	verifier    VerifyFunc
+	verifyEvery int64
+
 	// Aggregate counters (whole-run, never reset).
 	TotalEnqueued  int64
 	TotalDelivered int64
+	// Flit-granularity conservation counters: a flit is injected when it
+	// leaves an NI on an injection channel and ejected when the
+	// destination NI consumes it, so at any cycle boundary
+	// TotalFlitsInjected == TotalFlitsEjected + InFlightFlits().
+	TotalFlitsInjected int64
+	TotalFlitsEjected  int64
 }
 
 // TickStats counts executed versus skipped component ticks, proving the
@@ -94,6 +107,9 @@ func NewNetwork(cfg Config) *Network {
 		panic(err)
 	}
 	n := &Network{Cfg: cfg, lastTick: -1}
+	if testVerifier != nil {
+		n.verifier, n.verifyEvery = testVerifier, testVerifyEvery
+	}
 	count := cfg.NumNodes()
 	n.routers = make([]*Router, count)
 	n.nis = make([]*NI, count)
@@ -331,6 +347,9 @@ func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
 	}
 	n.nis[p.Src].enqueue(p, now)
 	n.TotalEnqueued++
+	if n.tracer != nil {
+		n.tracer.PacketEnqueued(p, now)
+	}
 }
 
 // Tick advances the whole network one cycle: channel deliveries, router
@@ -389,6 +408,12 @@ func (n *Network) Tick(now sim.Cycle) {
 	for _, inj := range n.injList {
 		inj.tick(now)
 	}
+
+	if n.verifyEvery > 0 && int64(now)%n.verifyEvery == 0 {
+		if err := n.verifier(n, now); err != nil {
+			panic(fmt.Sprintf("noc: invariant violated at cycle %d: %v", now, err))
+		}
+	}
 }
 
 // tickChannel delivers due credits and flits.
@@ -406,6 +431,9 @@ func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
 		}
 	})
 	ch.deliverFlits(now, func(f *Flit) {
+		if n.tracer != nil {
+			n.tracer.LinkTraversed(ch, f, now-sim.Cycle(ch.Latency), now)
+		}
 		switch ch.To.Kind {
 		case EndRouter:
 			n.routers[ch.To.Router].receiveFlit(ch.To.Port, f, now)
@@ -421,6 +449,10 @@ func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
 					f.Pkt, ch.From.Router, n.attach[dst]))
 			}
 			ch.sendCredit(f.VC, now)
+			n.TotalFlitsEjected++
+			if n.tracer != nil {
+				n.tracer.FlitEjected(dst, f, now)
+			}
 			n.nis[dst].receiveFlit(f, now, n.deliver)
 		}
 	})
@@ -428,6 +460,9 @@ func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
 
 func (n *Network) deliver(p *Packet, now sim.Cycle) {
 	n.TotalDelivered++
+	if n.tracer != nil {
+		n.tracer.PacketDelivered(p, now)
+	}
 	if n.onDeliver != nil {
 		n.onDeliver(p, now)
 	}
@@ -443,6 +478,20 @@ func (n *Network) InFlightFlits() int {
 		c += len(ch.fwd) - ch.fwdHead
 	}
 	return c
+}
+
+// ForEachInFlightFlit visits every flit currently buffered in a router
+// input VC or travelling on a channel, in deterministic order. Used by the
+// invariant checker to validate per-flit timestamps and VC FIFO ordering.
+func (n *Network) ForEachInFlightFlit(fn func(f *Flit)) {
+	for _, r := range n.routers {
+		r.ForEachBufferedFlit(func(port, vc int, f *Flit) { fn(f) })
+	}
+	for _, ch := range n.channels {
+		for _, e := range ch.fwd[ch.fwdHead:] {
+			fn(e.flit)
+		}
+	}
 }
 
 // Quiescent reports whether no flit is buffered or in flight anywhere and
@@ -468,19 +517,16 @@ func (n *Network) PendingPackets() int {
 	return c
 }
 
-// CheckCreditInvariant validates, for every router-to-router channel, that
-// upstream credits + downstream buffered flits + flits/credits in flight
-// equal the buffer depth for every VC. Used by tests after quiescing.
+// CheckCreditInvariant validates, for every live channel, that upstream
+// credits + downstream buffered flits + flits/credits in flight equal the
+// buffer depth for every VC. Router-to-router channels check against the
+// downstream input VCs; injection channels against the serving router's
+// local input VCs (the injector holds the credit mirror); ejection
+// channels have no downstream buffer (the NI consumes immediately), so
+// credits plus in-flight entries must make up the full depth. Holds at any
+// cycle boundary, not just at quiescence.
 func (n *Network) CheckCreditInvariant() error {
 	for _, ch := range n.channels {
-		if ch.From.Kind != EndRouter || ch.To.Kind != EndRouter {
-			continue
-		}
-		up := n.routers[ch.From.Router].outputs[ch.From.Port]
-		down := n.routers[ch.To.Router].inputs[ch.To.Port]
-		if up.out != ch {
-			continue
-		}
 		inFlightFlits := make(map[int]int)
 		for _, e := range ch.fwd[ch.fwdHead:] {
 			inFlightFlits[e.flit.VC]++
@@ -489,12 +535,47 @@ func (n *Network) CheckCreditInvariant() error {
 		for _, e := range ch.rev[ch.revHead:] {
 			inFlightCredits[e.credit.vc]++
 		}
-		for vc := range up.credits {
-			total := up.credits[vc] + down.vcs[vc].len() + inFlightFlits[vc] + inFlightCredits[vc]
-			if total != up.depth {
-				return fmt.Errorf("noc: credit invariant broken on %v->%v vc %d: %d+%d+%d+%d != %d",
-					ch.From, ch.To, vc, up.credits[vc], down.vcs[vc].len(),
-					inFlightFlits[vc], inFlightCredits[vc], up.depth)
+		switch {
+		case ch.From.Kind == EndRouter && ch.To.Kind == EndRouter:
+			up := n.routers[ch.From.Router].outputs[ch.From.Port]
+			down := n.routers[ch.To.Router].inputs[ch.To.Port]
+			if up.out != ch {
+				continue
+			}
+			for vc := range up.credits {
+				total := up.credits[vc] + down.vcs[vc].len() + inFlightFlits[vc] + inFlightCredits[vc]
+				if total != up.depth {
+					return fmt.Errorf("noc: credit invariant broken on %v->%v vc %d: %d+%d+%d+%d != %d",
+						ch.From, ch.To, vc, up.credits[vc], down.vcs[vc].len(),
+						inFlightFlits[vc], inFlightCredits[vc], up.depth)
+				}
+			}
+		case ch.From.Kind == EndNI && ch.To.Kind == EndRouter:
+			inj := n.injectors[injKey{ch.From.NI, ch.From.Port}]
+			down := n.routers[ch.To.Router].inputs[ch.To.Port]
+			if inj == nil || down == nil || down.in != ch {
+				continue
+			}
+			for vc := range inj.credits {
+				total := inj.credits[vc] + down.vcs[vc].len() + inFlightFlits[vc] + inFlightCredits[vc]
+				if total != inj.depth {
+					return fmt.Errorf("noc: injection credit invariant broken on %v->%v vc %d: %d+%d+%d+%d != %d",
+						ch.From, ch.To, vc, inj.credits[vc], down.vcs[vc].len(),
+						inFlightFlits[vc], inFlightCredits[vc], inj.depth)
+				}
+			}
+		case ch.From.Kind == EndRouter && ch.To.Kind == EndNI:
+			up := n.routers[ch.From.Router].outputs[ch.From.Port]
+			if up == nil || up.out != ch {
+				continue
+			}
+			for vc := range up.credits {
+				total := up.credits[vc] + inFlightFlits[vc] + inFlightCredits[vc]
+				if total != up.depth {
+					return fmt.Errorf("noc: ejection credit invariant broken on %v->%v vc %d: %d+%d+%d != %d",
+						ch.From, ch.To, vc, up.credits[vc],
+						inFlightFlits[vc], inFlightCredits[vc], up.depth)
+				}
 			}
 		}
 	}

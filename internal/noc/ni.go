@@ -261,10 +261,15 @@ func (inj *injector) trySend(st *niStream, now sim.Cycle) bool {
 	inj.credits[st.vcFlat]--
 	inj.ch.send(f, now)
 	st.nextSeq++
+	net := inj.router.net
+	net.TotalFlitsInjected++
 	if f.Head {
 		st.cur.InjectedAt = now
 		st.ni.act.InjectedPackets++
 		st.ni.act.QueuingCycles += int64(st.cur.QueuingLatency())
+		if net.tracer != nil {
+			net.tracer.PacketInjected(st.cur, inj.router.ID, now)
+		}
 	}
 	if f.Tail {
 		inj.owner[st.vcFlat] = nil

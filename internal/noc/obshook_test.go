@@ -1,0 +1,15 @@
+package noc_test
+
+import (
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/obs"
+)
+
+// Every network built by any test in this package runs the obs invariant
+// checker (flit conservation, credit balance, timestamp monotonicity)
+// periodically, so each simulation test doubles as a conservation check.
+// The hook lives in the external test package because internal/obs imports
+// this one.
+func init() {
+	noc.InstallTestVerifier(64, obs.Verify)
+}

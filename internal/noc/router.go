@@ -432,6 +432,9 @@ func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
 	r.buffered++
 	r.act.BufferWrites++
 	r.lastActive = now
+	if r.net.tracer != nil {
+		r.net.tracer.FlitArrived(r.ID, port, f, now)
+	}
 }
 
 // receiveCredit is called by the network when a credit returns to one of
@@ -592,6 +595,9 @@ func (r *Router) stagePipeline(now sim.Cycle) {
 					vc.classAfter = 0
 				}
 				r.act.RoutedPackets++
+				if r.net.tracer != nil {
+					r.net.tracer.FlitRouted(r.ID, f, vc.outPort, now)
+				}
 			}
 			if !vc.routed {
 				continue
@@ -617,6 +623,9 @@ func (r *Router) stagePipeline(now sim.Cycle) {
 				vc.outVC = granted
 				out.owner[granted] = f.Pkt
 				r.act.VAGrants++
+				if r.net.tracer != nil {
+					r.net.tracer.FlitVCAllocated(r.ID, f, granted, now)
+				}
 			}
 			// SA request: eligible when credits exist and the output is
 			// not held by another packet.
@@ -687,6 +696,9 @@ func (r *Router) traverse(out *OutputPort, port, vcIdx int, now sim.Cycle) {
 	r.act.CrossbarTrav++
 	r.act.SAGrants++
 	r.lastActive = now
+	if r.net.tracer != nil {
+		r.net.tracer.FlitTraversed(r.ID, out.index, f, now)
+	}
 
 	if f.Head {
 		f.Pkt.Hops++
@@ -698,6 +710,37 @@ func (r *Router) traverse(out *OutputPort, port, vcIdx int, now sim.Cycle) {
 	} else {
 		out.holdPort, out.holdVC = port, vcIdx
 	}
+}
+
+// ForEachBufferedFlit visits every flit buffered in this router's input
+// VCs in deterministic (port, VC, FIFO) order. Observability/debug only.
+func (r *Router) ForEachBufferedFlit(fn func(port, vc int, f *Flit)) {
+	if r.buffered == 0 {
+		return
+	}
+	for _, in := range r.inputs {
+		if in.occupied == 0 {
+			continue
+		}
+		for i := range in.vcs {
+			vc := &in.vcs[i]
+			for k := 0; k < vc.n; k++ {
+				fn(in.index, i, vc.ring[(vc.head+k)%len(vc.ring)])
+			}
+		}
+	}
+}
+
+// DebugDropCredit silently discards one upstream credit on an output port,
+// deliberately breaking the flow-control accounting. It exists solely so
+// tests can prove the invariant checker detects a credit leak; nothing in
+// the simulator calls it.
+func (r *Router) DebugDropCredit(port, vc int) {
+	out := r.outputs[port]
+	if out.credits[vc] <= 0 {
+		panic(fmt.Sprintf("noc: DebugDropCredit with no credit at router %d port %d vc %d", r.ID, port, vc))
+	}
+	out.credits[vc]--
 }
 
 // attachIn connects a channel to an input port (the input mux selection).

@@ -1,0 +1,84 @@
+// Package obs is the observability layer of the simulator: flit lifecycle
+// tracing (Chrome trace_event export and a compact binary ring buffer),
+// per-vnet latency histograms with tail percentiles, per-router/per-link
+// utilization counters, and a network-wide invariant checker.
+//
+// Everything here hangs off noc.Network's nil-checkable Tracer/VerifyFunc
+// hooks, so a simulation that installs nothing pays one predicted branch
+// per event site and nothing else.
+package obs
+
+import (
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+)
+
+// Cycle aliases sim.Cycle to keep the tracer signatures readable here.
+type Cycle = sim.Cycle
+
+// Tee fans every tracer event out to each element in order, letting a run
+// collect a Chrome trace and histogram metrics at the same time.
+type Tee []noc.Tracer
+
+// PacketEnqueued implements noc.Tracer.
+func (t Tee) PacketEnqueued(p *noc.Packet, now Cycle) {
+	for _, x := range t {
+		x.PacketEnqueued(p, now)
+	}
+}
+
+// PacketInjected implements noc.Tracer.
+func (t Tee) PacketInjected(p *noc.Packet, router noc.NodeID, now Cycle) {
+	for _, x := range t {
+		x.PacketInjected(p, router, now)
+	}
+}
+
+// FlitArrived implements noc.Tracer.
+func (t Tee) FlitArrived(router noc.NodeID, port int, f *noc.Flit, now Cycle) {
+	for _, x := range t {
+		x.FlitArrived(router, port, f, now)
+	}
+}
+
+// FlitRouted implements noc.Tracer.
+func (t Tee) FlitRouted(router noc.NodeID, f *noc.Flit, outPort int, now Cycle) {
+	for _, x := range t {
+		x.FlitRouted(router, f, outPort, now)
+	}
+}
+
+// FlitVCAllocated implements noc.Tracer.
+func (t Tee) FlitVCAllocated(router noc.NodeID, f *noc.Flit, outVC int, now Cycle) {
+	for _, x := range t {
+		x.FlitVCAllocated(router, f, outVC, now)
+	}
+}
+
+// FlitTraversed implements noc.Tracer.
+func (t Tee) FlitTraversed(router noc.NodeID, outPort int, f *noc.Flit, now Cycle) {
+	for _, x := range t {
+		x.FlitTraversed(router, outPort, f, now)
+	}
+}
+
+// LinkTraversed implements noc.Tracer.
+func (t Tee) LinkTraversed(ch *noc.Channel, f *noc.Flit, sent, arrived Cycle) {
+	for _, x := range t {
+		x.LinkTraversed(ch, f, sent, arrived)
+	}
+}
+
+// FlitEjected implements noc.Tracer.
+func (t Tee) FlitEjected(ni noc.NodeID, f *noc.Flit, now Cycle) {
+	for _, x := range t {
+		x.FlitEjected(ni, f, now)
+	}
+}
+
+// PacketDelivered implements noc.Tracer.
+func (t Tee) PacketDelivered(p *noc.Packet, now Cycle) {
+	for _, x := range t {
+		x.PacketDelivered(p, now)
+	}
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"adaptnoc/internal/noc"
+)
+
+// RecordKind labels one ring-buffer record.
+type RecordKind uint8
+
+// Ring record kinds, one per tracer event.
+const (
+	RecEnqueue RecordKind = iota + 1
+	RecInject
+	RecArrive
+	RecRoute
+	RecVCAlloc
+	RecTraverse
+	RecLink
+	RecEject
+	RecDeliver
+)
+
+// String implements fmt.Stringer.
+func (k RecordKind) String() string {
+	switch k {
+	case RecEnqueue:
+		return "enqueue"
+	case RecInject:
+		return "inject"
+	case RecArrive:
+		return "arrive"
+	case RecRoute:
+		return "route"
+	case RecVCAlloc:
+		return "vcalloc"
+	case RecTraverse:
+		return "traverse"
+	case RecLink:
+		return "link"
+	case RecEject:
+		return "eject"
+	case RecDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one fixed-size lifecycle event. Loc is the router or NI tile
+// for router/NI events and the link index (see RingTracer.LinkNames) for
+// RecLink. Aux carries the event-specific detail: input port for
+// RecArrive, output port for RecRoute/RecTraverse, granted VC for
+// RecVCAlloc, and the wire latency for RecLink.
+type Record struct {
+	Cycle int64
+	Pkt   uint64
+	Loc   int32
+	Aux   int32
+	Seq   uint16
+	Kind  RecordKind
+	_     [5]byte // pad to 32 bytes so the on-disk layout is stable
+}
+
+// RingTracer keeps the last N lifecycle events as fixed-size records — a
+// flight recorder for multi-million-cycle runs where full JSON tracing is
+// too heavy. The binary dump is ~32 bytes/event regardless of run length.
+type RingTracer struct {
+	recs  []Record
+	next  int
+	wrap  bool
+	total uint64
+
+	linkIDs   map[*noc.Channel]int32
+	linkNames []string
+}
+
+// NewRingTracer returns a tracer retaining the last capacity events.
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity < 1 {
+		panic("obs: ring capacity must be >= 1")
+	}
+	return &RingTracer{
+		recs:    make([]Record, capacity),
+		linkIDs: make(map[*noc.Channel]int32),
+	}
+}
+
+// Total returns the number of events observed (retained or evicted).
+func (r *RingTracer) Total() uint64 { return r.total }
+
+// LinkNames returns the name table indexed by RecLink records' Loc.
+func (r *RingTracer) LinkNames() []string { return r.linkNames }
+
+// Records returns the retained records oldest-first.
+func (r *RingTracer) Records() []Record {
+	if !r.wrap {
+		return append([]Record(nil), r.recs[:r.next]...)
+	}
+	out := make([]Record, 0, len(r.recs))
+	out = append(out, r.recs[r.next:]...)
+	return append(out, r.recs[:r.next]...)
+}
+
+func (r *RingTracer) add(rec Record) {
+	r.recs[r.next] = rec
+	r.next++
+	r.total++
+	if r.next == len(r.recs) {
+		r.next = 0
+		r.wrap = true
+	}
+}
+
+func (r *RingTracer) linkID(ch *noc.Channel) int32 {
+	if id, ok := r.linkIDs[ch]; ok {
+		return id
+	}
+	id := int32(len(r.linkNames))
+	r.linkIDs[ch] = id
+	r.linkNames = append(r.linkNames, fmt.Sprintf("%v->%v %v", ch.From, ch.To, ch.Kind))
+	return id
+}
+
+// PacketEnqueued implements noc.Tracer.
+func (r *RingTracer) PacketEnqueued(p *noc.Packet, now Cycle) {
+	r.add(Record{Kind: RecEnqueue, Cycle: int64(now), Pkt: p.ID, Loc: int32(p.Src), Aux: int32(p.Dst)})
+}
+
+// PacketInjected implements noc.Tracer.
+func (r *RingTracer) PacketInjected(p *noc.Packet, router noc.NodeID, now Cycle) {
+	r.add(Record{Kind: RecInject, Cycle: int64(now), Pkt: p.ID, Loc: int32(router)})
+}
+
+// FlitArrived implements noc.Tracer.
+func (r *RingTracer) FlitArrived(router noc.NodeID, port int, f *noc.Flit, now Cycle) {
+	r.add(Record{Kind: RecArrive, Cycle: int64(now), Pkt: f.Pkt.ID, Seq: uint16(f.Seq), Loc: int32(router), Aux: int32(port)})
+}
+
+// FlitRouted implements noc.Tracer.
+func (r *RingTracer) FlitRouted(router noc.NodeID, f *noc.Flit, outPort int, now Cycle) {
+	r.add(Record{Kind: RecRoute, Cycle: int64(now), Pkt: f.Pkt.ID, Seq: uint16(f.Seq), Loc: int32(router), Aux: int32(outPort)})
+}
+
+// FlitVCAllocated implements noc.Tracer.
+func (r *RingTracer) FlitVCAllocated(router noc.NodeID, f *noc.Flit, outVC int, now Cycle) {
+	r.add(Record{Kind: RecVCAlloc, Cycle: int64(now), Pkt: f.Pkt.ID, Seq: uint16(f.Seq), Loc: int32(router), Aux: int32(outVC)})
+}
+
+// FlitTraversed implements noc.Tracer.
+func (r *RingTracer) FlitTraversed(router noc.NodeID, outPort int, f *noc.Flit, now Cycle) {
+	r.add(Record{Kind: RecTraverse, Cycle: int64(now), Pkt: f.Pkt.ID, Seq: uint16(f.Seq), Loc: int32(router), Aux: int32(outPort)})
+}
+
+// LinkTraversed implements noc.Tracer.
+func (r *RingTracer) LinkTraversed(ch *noc.Channel, f *noc.Flit, sent, arrived Cycle) {
+	r.add(Record{Kind: RecLink, Cycle: int64(arrived), Pkt: f.Pkt.ID, Seq: uint16(f.Seq),
+		Loc: r.linkID(ch), Aux: int32(arrived - sent)})
+}
+
+// FlitEjected implements noc.Tracer.
+func (r *RingTracer) FlitEjected(ni noc.NodeID, f *noc.Flit, now Cycle) {
+	r.add(Record{Kind: RecEject, Cycle: int64(now), Pkt: f.Pkt.ID, Seq: uint16(f.Seq), Loc: int32(ni)})
+}
+
+// PacketDelivered implements noc.Tracer.
+func (r *RingTracer) PacketDelivered(p *noc.Packet, now Cycle) {
+	r.add(Record{Kind: RecDeliver, Cycle: int64(now), Pkt: p.ID, Loc: int32(p.Dst)})
+}
+
+// ringMagic opens every binary ring dump.
+const ringMagic = "ANOCRNG1"
+
+// RingDump is a decoded binary ring-buffer file.
+type RingDump struct {
+	Total     uint64 // events observed over the whole run
+	LinkNames []string
+	Records   []Record // oldest first
+}
+
+// WriteTo dumps the ring as a self-describing little-endian binary file:
+// magic, total event count, link-name table, then the retained records
+// oldest-first.
+func (r *RingTracer) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countWriter{w: bw}
+	if _, err := io.WriteString(cw, ringMagic); err != nil {
+		return cw.n, err
+	}
+	recs := r.Records()
+	hdr := []uint64{r.total, uint64(len(r.linkNames)), uint64(len(recs))}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return cw.n, err
+	}
+	for _, name := range r.linkNames {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return cw.n, err
+		}
+		if _, err := io.WriteString(cw, name); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, recs); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadRing decodes a dump produced by RingTracer.WriteTo.
+func ReadRing(rd io.Reader) (*RingDump, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(ringMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("obs: reading ring magic: %w", err)
+	}
+	if string(magic) != ringMagic {
+		return nil, fmt.Errorf("obs: bad ring magic %q", magic)
+	}
+	var hdr [3]uint64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("obs: reading ring header: %w", err)
+	}
+	total, nNames, nRecs := hdr[0], hdr[1], hdr[2]
+	const sane = 1 << 30
+	if nNames > sane || nRecs > sane {
+		return nil, fmt.Errorf("obs: implausible ring header (%d names, %d records)", nNames, nRecs)
+	}
+	d := &RingDump{Total: total, LinkNames: make([]string, nNames)}
+	for i := range d.LinkNames {
+		var ln uint32
+		if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+			return nil, fmt.Errorf("obs: reading link name %d: %w", i, err)
+		}
+		if ln > 4096 {
+			return nil, fmt.Errorf("obs: implausible link name length %d", ln)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("obs: reading link name %d: %w", i, err)
+		}
+		d.LinkNames[i] = string(buf)
+	}
+	d.Records = make([]Record, nRecs)
+	if err := binary.Read(br, binary.LittleEndian, d.Records); err != nil {
+		return nil, fmt.Errorf("obs: reading ring records: %w", err)
+	}
+	return d, nil
+}

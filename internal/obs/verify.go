@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+)
+
+// Verify checks network-wide conservation invariants at a cycle boundary.
+// It is valid at ANY cycle, not just at quiescence, so it can be installed
+// as a periodic checker (Network.SetVerifier) under live traffic:
+//
+//  1. Flit conservation: every flit ever injected is either ejected or
+//     still in flight (router buffers + channel queues).
+//  2. Packet conservation once drained: with nothing in flight and no
+//     packet queued, enqueued == delivered.
+//  3. Credit balance: for every channel, upstream credits + downstream
+//     occupancy + in-flight flits/credits equal the buffer depth per VC
+//     (noc.Network.CheckCreditInvariant).
+//  4. Timestamp sanity: every in-flight flit's packet was enqueued before
+//     it was injected, and neither stamp lies in the future.
+//  5. VC FIFO ordering: flits of one packet sit in consecutive-Seq order
+//     inside any input VC (virtual cut-through forbids interleaving).
+//
+// The signature matches noc.VerifyFunc.
+func Verify(n *noc.Network, now sim.Cycle) error {
+	inFlight := int64(n.InFlightFlits())
+	if n.TotalFlitsInjected != n.TotalFlitsEjected+inFlight {
+		return fmt.Errorf("obs: flit conservation broken: injected %d != ejected %d + in-flight %d",
+			n.TotalFlitsInjected, n.TotalFlitsEjected, inFlight)
+	}
+	if inFlight == 0 && n.Quiescent() && n.PendingPackets() == 0 &&
+		n.TotalEnqueued != n.TotalDelivered {
+		return fmt.Errorf("obs: packet conservation broken at quiescence: enqueued %d != delivered %d",
+			n.TotalEnqueued, n.TotalDelivered)
+	}
+	if err := n.CheckCreditInvariant(); err != nil {
+		return err
+	}
+
+	var err error
+	n.ForEachInFlightFlit(func(f *noc.Flit) {
+		if err != nil {
+			return
+		}
+		p := f.Pkt
+		switch {
+		case p.EnqueuedAt > p.InjectedAt:
+			err = fmt.Errorf("obs: %v flit %d injected at %d before enqueue at %d",
+				p, f.Seq, p.InjectedAt, p.EnqueuedAt)
+		case p.InjectedAt > now:
+			err = fmt.Errorf("obs: %v flit %d injected at %d, in flight at %d",
+				p, f.Seq, p.InjectedAt, now)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, r := range n.Routers() {
+		var (
+			lastPort, lastVC = -1, -1
+			lastPkt          *noc.Packet
+			lastSeq          int
+		)
+		r.ForEachBufferedFlit(func(port, vc int, f *noc.Flit) {
+			if err != nil {
+				return
+			}
+			if port == lastPort && vc == lastVC && f.Pkt == lastPkt && f.Seq != lastSeq+1 {
+				err = fmt.Errorf("obs: %v flits out of order in router %d port %d vc %d: seq %d after %d",
+					f.Pkt, r.ID, port, vc, f.Seq, lastSeq)
+			}
+			lastPort, lastVC, lastPkt, lastSeq = port, vc, f.Pkt, f.Seq
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -128,6 +128,16 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return int64(h.acc.Max())
 }
 
+// Overflow returns the number of samples beyond the last bucket.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Summary renders count, mean, and the p50/p95/p99 tail on one line — the
+// shape the observability layer prints per virtual network.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d p99=%d max=%.0f",
+		h.N(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
 // Reset discards all samples but keeps the shape.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {

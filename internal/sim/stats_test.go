@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -107,5 +108,25 @@ func TestQuantile(t *testing.T) {
 	}
 	if Quantile(nil, 0.5) != 0 {
 		t.Fatal("empty input")
+	}
+}
+
+func TestHistogramOverflowAndSummary(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, v := range []int64{5, 15, 25, 35, 45, 1000} {
+		h.Add(v)
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d, want 2 (40+ falls past the last bucket)", h.Overflow())
+	}
+	s := h.Summary()
+	for _, want := range []string{"n=6", "p50=", "p95=", "p99=", "max=1000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary %q missing %q", s, want)
+		}
+	}
+	h.Reset()
+	if h.Overflow() != 0 {
+		t.Fatalf("Overflow survived Reset: %d", h.Overflow())
 	}
 }

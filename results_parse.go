@@ -1,0 +1,160 @@
+package adaptnoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ResultsSummary is the machine-readable form of the Results.String table,
+// recovered by ParseResultsSummary. Experiment post-processing (and the
+// golden-file regression test) round-trips through it instead of scraping
+// ad hoc.
+type ResultsSummary struct {
+	Design   string
+	Cycles   int64
+	EnergyUJ float64
+	DynUJ    float64
+	StaticUJ float64
+	Apps     []AppSummary
+}
+
+// AppSummary is one parsed application line of a Results table.
+type AppSummary struct {
+	Profile  string
+	Region   Region
+	TotalLat float64
+	NetLat   float64
+	QueueLat float64
+	Hops     float64
+	Packets  int64
+
+	// ExecTime is -1 when the line carries no exec= field.
+	ExecTime int64
+
+	// Adapt designs only; Kind is "" and Selections nil otherwise.
+	Kind       string
+	Reconfigs  int64
+	Selections map[string]float64
+}
+
+// ParseResultsSummary parses the exact text Results.String renders back
+// into a structured summary. It is deliberately strict about field shapes
+// but tolerant of the optional suffixes (exec=, kind=/reconf=/sel=[...]),
+// and never panics on malformed input.
+func ParseResultsSummary(s string) (ResultsSummary, error) {
+	var out ResultsSummary
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return out, fmt.Errorf("adaptnoc: empty results table")
+	}
+	n, err := fmt.Sscanf(lines[0], "design=%s cycles=%d energy=%fuJ (dyn %f, static %f)",
+		&out.Design, &out.Cycles, &out.EnergyUJ, &out.DynUJ, &out.StaticUJ)
+	if err != nil || n != 5 {
+		return out, fmt.Errorf("adaptnoc: bad results header %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		app, err := parseAppLine(line)
+		if err != nil {
+			return out, err
+		}
+		out.Apps = append(out.Apps, app)
+	}
+	return out, nil
+}
+
+func parseAppLine(line string) (AppSummary, error) {
+	app := AppSummary{ExecTime: -1}
+	if !strings.HasPrefix(line, "  ") {
+		return app, fmt.Errorf("adaptnoc: app line %q lacks indent", line)
+	}
+
+	// The sel=[...] suffix contains spaces; split it off before fielding.
+	rest := line
+	if i := strings.Index(rest, " sel=["); i >= 0 {
+		selPart := rest[i+len(" sel=["):]
+		j := strings.Index(selPart, "]")
+		if j < 0 {
+			return app, fmt.Errorf("adaptnoc: unterminated sel=[ in %q", line)
+		}
+		if strings.TrimSpace(selPart[j+1:]) != "" {
+			return app, fmt.Errorf("adaptnoc: trailing junk after sel list in %q", line)
+		}
+		app.Selections = make(map[string]float64)
+		for _, tok := range strings.Fields(selPart[:j]) {
+			kind, pct, ok := strings.Cut(tok, ":")
+			if !ok || !strings.HasSuffix(pct, "%") {
+				return app, fmt.Errorf("adaptnoc: bad selection %q in %q", tok, line)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(pct, "%"), 64)
+			if err != nil {
+				return app, fmt.Errorf("adaptnoc: bad selection %q in %q", tok, line)
+			}
+			app.Selections[kind] = v / 100
+		}
+		rest = rest[:i]
+	}
+
+	fields := strings.Fields(rest)
+	// profile region lat=T (net N + queue Q) hops=H pkts=P [exec=E] [kind=K reconf=R]
+	if len(fields) < 10 {
+		return app, fmt.Errorf("adaptnoc: short app line %q", line)
+	}
+	app.Profile = fields[0]
+	var reg Region
+	if n, err := fmt.Sscanf(fields[1], "%dx%d@(%d,%d)", &reg.W, &reg.H, &reg.X, &reg.Y); err != nil || n != 4 {
+		return app, fmt.Errorf("adaptnoc: bad region %q in %q", fields[1], line)
+	}
+	app.Region = reg
+
+	var err error
+	take := func(i int, prefix, suffix string) float64 {
+		if err != nil {
+			return 0
+		}
+		tok := fields[i]
+		if !strings.HasPrefix(tok, prefix) || !strings.HasSuffix(tok, suffix) {
+			err = fmt.Errorf("adaptnoc: expected %s…%s at %q in %q", prefix, suffix, tok, line)
+			return 0
+		}
+		v, perr := strconv.ParseFloat(tok[len(prefix):len(tok)-len(suffix)], 64)
+		if perr != nil {
+			err = fmt.Errorf("adaptnoc: bad number %q in %q", tok, line)
+		}
+		return v
+	}
+	app.TotalLat = take(2, "lat=", "")
+	if fields[3] != "(net" || fields[5] != "+" || fields[6] != "queue" {
+		return app, fmt.Errorf("adaptnoc: bad latency breakdown in %q", line)
+	}
+	app.NetLat = take(4, "", "")
+	app.QueueLat = take(7, "", ")")
+	app.Hops = take(8, "hops=", "")
+	app.Packets = int64(take(9, "pkts=", ""))
+	if err != nil {
+		return app, err
+	}
+
+	for i := 10; i < len(fields); i++ {
+		tok := fields[i]
+		switch {
+		case strings.HasPrefix(tok, "exec="):
+			v, perr := strconv.ParseInt(tok[len("exec="):], 10, 64)
+			if perr != nil {
+				return app, fmt.Errorf("adaptnoc: bad exec %q in %q", tok, line)
+			}
+			app.ExecTime = v
+		case strings.HasPrefix(tok, "kind="):
+			app.Kind = tok[len("kind="):]
+		case strings.HasPrefix(tok, "reconf="):
+			v, perr := strconv.ParseInt(tok[len("reconf="):], 10, 64)
+			if perr != nil {
+				return app, fmt.Errorf("adaptnoc: bad reconf %q in %q", tok, line)
+			}
+			app.Reconfigs = v
+		default:
+			return app, fmt.Errorf("adaptnoc: unexpected field %q in %q", tok, line)
+		}
+	}
+	return app, nil
+}
