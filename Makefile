@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench quick check fuzzseeds
+.PHONY: build test race bench bench-serve quick check fuzzseeds serve-smoke
 
 build:
 	go build ./...
@@ -17,6 +17,7 @@ check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	go test -race ./...
 	go test -run 'Fuzz' ./...
+	go run ./cmd/adaptnoc-serve -smoke
 
 # fuzzseeds replays the committed corpora only (fast subset of check).
 fuzzseeds:
@@ -27,11 +28,21 @@ fuzzseeds:
 # drivers' determinism guard — under the race detector. Short mode keeps
 # it to a couple of minutes; it must stay clean at any -parallel setting.
 race:
-	go test -race -short ./internal/runner ./internal/sim ./internal/noc
+	go test -race -short ./internal/runner ./internal/sim ./internal/noc ./internal/serve
 	go test -race ./internal/exp -run DeterministicAcrossParallelism
 
 bench:
 	go test -bench=. -benchtime=1x
+
+# serve-smoke boots the daemon on a loopback port, round-trips one job
+# over real HTTP, and verifies the cache-hit path (also part of check).
+serve-smoke:
+	go run ./cmd/adaptnoc-serve -smoke
+
+# bench-serve measures one uncached simulation against repeated cached
+# submissions of the identical request and records BENCH_serve.json.
+bench-serve:
+	go run ./cmd/adaptnoc-serve -benchjson BENCH_serve.json
 
 quick:
 	go run ./cmd/adaptnoc-experiments -quick

@@ -105,81 +105,83 @@ func (d Design) String() string {
 // AppSpec describes one application to map onto the chip.
 type AppSpec struct {
 	// Profile names a benchmark from internal/traffic (Table II).
-	Profile string
+	Profile string `json:"profile"`
 	// Region is the tile rectangle the application occupies.
-	Region Region
+	Region Region `json:"region"`
 	// MCTiles host the region's memory controllers — the paper provisions
 	// one per 2x4 sub-block (Section II-C.2). Empty defaults to one MC at
 	// the region's origin tile. The first MC is primary (tree root).
-	MCTiles []NodeID
+	MCTiles []NodeID `json:"mcTiles,omitempty"`
 	// InstrBudget is instructions per core; 0 runs until the simulation
 	// cycle limit (latency experiments).
-	InstrBudget int64
+	InstrBudget int64 `json:"instrBudget,omitempty"`
 	// Static pins the subNoC topology under DesignAdaptNoRL (and is the
 	// initial topology under DesignAdaptNoC).
-	Static Kind
+	Static Kind `json:"static,omitempty"`
 	// ShareMCs asks the fabric for access to that many foreign MCs
 	// (Adapt designs only).
-	ShareMCs int
+	ShareMCs int `json:"shareMCs,omitempty"`
 }
 
 // RLOptions configure the DesignAdaptNoC policy.
 type RLOptions struct {
 	// Pretrained supplies offline-trained weights (Section III-E); nil
 	// starts from fresh weights.
-	Pretrained *rl.Net
+	Pretrained *rl.Net `json:"pretrained,omitempty"`
 	// SharedAgent makes every subNoC controller use this one agent
 	// instance — the offline training harness accumulates experience
-	// across episodes through it. Overrides Pretrained.
-	SharedAgent *rl.DQN
+	// across episodes through it. Overrides Pretrained. It is an in-process
+	// handle and deliberately has no JSON representation: configurations
+	// that carry one cannot travel over the serving API or be hashed.
+	SharedAgent *rl.DQN `json:"-"`
 	// Train enables online learning (used by the offline training harness).
-	Train bool
+	Train bool `json:"train,omitempty"`
 	// DQN overrides hyper-parameters; zero value uses the paper's.
-	DQN rl.DQNConfig
+	DQN rl.DQNConfig `json:"dqn"`
 	// Epsilon overrides the exploration rate when EpsilonSet (Fig. 19
 	// sweep; zero is a valid rate).
-	Epsilon    float64
-	EpsilonSet bool
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	EpsilonSet bool    `json:"epsilonSet,omitempty"`
 	// Gamma overrides the discount factor when > 0 (Fig. 18 sweep).
-	Gamma float64
+	Gamma float64 `json:"gamma,omitempty"`
 }
 
 // Config assembles a simulation.
 type Config struct {
-	Design Design
-	Apps   []AppSpec
+	Design Design    `json:"design"`
+	Apps   []AppSpec `json:"apps"`
 
 	// Seed drives every random stream; equal seeds give identical runs.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// EpochCycles is the control epoch (paper: 50000).
-	EpochCycles int
+	EpochCycles int `json:"epochCycles,omitempty"`
 	// Memory overrides the memory-hierarchy timing; zero value uses
 	// defaults.
-	Memory system.Params
+	Memory system.Params `json:"memory"`
 	// Power overrides the energy model; zero value uses defaults.
-	Power power.Params
+	Power power.Params `json:"power"`
 	// RL configures the DesignAdaptNoC policy.
-	RL RLOptions
+	RL RLOptions `json:"rl"`
 	// ShortcutLinksPerApp is the express-link budget per application
 	// under DesignShortcut (default 2).
-	ShortcutLinksPerApp int
+	ShortcutLinksPerApp int `json:"shortcutLinksPerApp,omitempty"`
 	// PGWakeCycles / PGIdleCycles configure DesignFTBYPG power gating.
-	PGWakeCycles int
-	PGIdleCycles int
+	PGWakeCycles int `json:"pgWakeCycles,omitempty"`
+	PGIdleCycles int `json:"pgIdleCycles,omitempty"`
 
 	// Ablation knobs (default off = the paper's design).
 	//
 	// NoInjectionBypass removes the Adapt-NoC bypass at the injection
 	// port's VCs (Section II-A.1).
-	NoInjectionBypass bool
+	NoInjectionBypass bool `json:"noInjectionBypass,omitempty"`
 	// VCsPerVNet overrides the per-design virtual-channel count when > 0.
-	VCsPerVNet int
+	VCsPerVNet int `json:"vcsPerVNet,omitempty"`
 	// SetupCycles overrides the reconfiguration table-setup time Ts when
 	// > 0 (paper: 14).
-	SetupCycles int
+	SetupCycles int `json:"setupCycles,omitempty"`
 	// UseQTable replaces the DQN with the tabular Q-learning agent the
 	// paper argues against (Section III-A).
-	UseQTable bool
+	UseQTable bool `json:"useQTable,omitempty"`
 }
 
 // Sim is a fully assembled simulation of one design point.
@@ -213,22 +215,21 @@ func netConfig(d Design) noc.Config {
 	return cfg
 }
 
-// NewSim assembles a simulation. Regions must be disjoint and on-grid.
-func NewSim(cfg Config) (*Sim, error) {
-	if len(cfg.Apps) == 0 {
-		return nil, fmt.Errorf("adaptnoc: no applications")
-	}
+// Canonical resolves the configuration into the form NewSim actually
+// simulates: every defaulted field is filled with its explicit value and
+// every knob the selected design ignores is reset to its zero value, so
+// that two configurations produce identical simulations if and only if
+// their canonical forms are identical. NewSim(cfg) and
+// NewSim(cfg.Canonical()) build the same simulation.
+//
+// The returned config owns fresh Apps/MCTiles/DQN.Hidden storage; the
+// RL.Pretrained and RL.SharedAgent pointers are shared (pretrained weights
+// are treated as immutable, and NewSim clones them before use).
+func (c Config) Canonical() Config {
+	cfg := c
+	cfg.Apps = append([]AppSpec(nil), c.Apps...)
 	if cfg.EpochCycles == 0 {
 		cfg.EpochCycles = 50000
-	}
-	if cfg.ShortcutLinksPerApp == 0 {
-		cfg.ShortcutLinksPerApp = 2
-	}
-	if cfg.PGWakeCycles == 0 {
-		cfg.PGWakeCycles = 16
-	}
-	if cfg.PGIdleCycles == 0 {
-		cfg.PGIdleCycles = 10
 	}
 	if cfg.Memory == (system.Params{}) {
 		cfg.Memory = system.DefaultParams()
@@ -236,6 +237,90 @@ func NewSim(cfg Config) (*Sim, error) {
 	if cfg.Power == (power.Params{}) {
 		cfg.Power = power.DefaultParams()
 	}
+
+	adapt := cfg.Design == DesignAdaptNoRL || cfg.Design == DesignAdaptNoC
+
+	// Per-design knobs: fill defaults where the design reads them, zero
+	// them where it does not (NewSim never looks, so differing values
+	// would change nothing but the config's hash).
+	if cfg.Design == DesignShortcut {
+		if cfg.ShortcutLinksPerApp == 0 {
+			cfg.ShortcutLinksPerApp = 2
+		}
+	} else {
+		cfg.ShortcutLinksPerApp = 0
+	}
+	if cfg.Design == DesignFTBYPG {
+		if cfg.PGWakeCycles == 0 {
+			cfg.PGWakeCycles = 16
+		}
+		if cfg.PGIdleCycles == 0 {
+			cfg.PGIdleCycles = 10
+		}
+	} else {
+		cfg.PGWakeCycles, cfg.PGIdleCycles = 0, 0
+	}
+	if adapt {
+		if cfg.SetupCycles == 0 {
+			cfg.SetupCycles = fabric.DefaultConfig().SetupCycles
+		}
+	} else {
+		cfg.SetupCycles = 0
+		cfg.NoInjectionBypass = false
+	}
+	// The effective VC count is the design default unless overridden;
+	// recording it explicitly makes "override with the default" and "no
+	// override" the same config.
+	if cfg.VCsPerVNet == 0 {
+		cfg.VCsPerVNet = netConfig(cfg.Design).VCsPerVNet
+	}
+
+	// RL options only steer DesignAdaptNoC's learned policy.
+	if cfg.Design != DesignAdaptNoC {
+		cfg.RL = RLOptions{}
+		cfg.UseQTable = false
+	} else if cfg.UseQTable {
+		cfg.RL = RLOptions{} // the tabular agent takes no hyper-parameters
+	} else {
+		if cfg.RL.SharedAgent != nil {
+			cfg.RL.Pretrained = nil // SharedAgent overrides
+		}
+		if cfg.RL.DQN.ReplaySize == 0 {
+			cfg.RL.DQN = rl.DefaultDQNConfig()
+		}
+		cfg.RL.DQN.Hidden = append([]int(nil), cfg.RL.DQN.Hidden...)
+		if cfg.RL.EpsilonSet {
+			cfg.RL.DQN.Epsilon = cfg.RL.Epsilon
+			cfg.RL.Epsilon, cfg.RL.EpsilonSet = 0, false
+		}
+		if cfg.RL.Gamma > 0 {
+			cfg.RL.DQN.Gamma = cfg.RL.Gamma
+			cfg.RL.Gamma = 0
+		}
+	}
+
+	// Static topology pins are only read by the Adapt designs.
+	gridW := netConfig(cfg.Design).Width
+	for i := range cfg.Apps {
+		a := &cfg.Apps[i]
+		if len(a.MCTiles) == 0 {
+			a.MCTiles = []NodeID{noc.Coord{X: a.Region.X, Y: a.Region.Y}.ID(gridW)}
+		} else {
+			a.MCTiles = append([]NodeID(nil), a.MCTiles...)
+		}
+		if !adapt {
+			a.Static = Mesh
+		}
+	}
+	return cfg
+}
+
+// NewSim assembles a simulation. Regions must be disjoint and on-grid.
+func NewSim(cfg Config) (*Sim, error) {
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("adaptnoc: no applications")
+	}
+	cfg = cfg.Canonical()
 
 	ncfg := netConfig(cfg.Design)
 	if cfg.NoInjectionBypass {
@@ -246,9 +331,6 @@ func NewSim(cfg Config) (*Sim, error) {
 	}
 	for i := range cfg.Apps {
 		a := &cfg.Apps[i]
-		if len(a.MCTiles) == 0 {
-			a.MCTiles = []NodeID{noc.Coord{X: a.Region.X, Y: a.Region.Y}.ID(ncfg.Width)}
-		}
 		for _, mc := range a.MCTiles {
 			if !a.Region.Contains(noc.CoordOf(mc, ncfg.Width)) {
 				return nil, fmt.Errorf("adaptnoc: app %d MC tile %d outside region %v", i, mc, a.Region)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"adaptnoc"
@@ -40,14 +41,16 @@ func Ablations(o Options) (Table, error) {
 		},
 	}
 	type metrics struct{ lat, energy float64 }
-	ms, err := mapJobs(o, variants, func(v variant) (metrics, error) {
+	ms, err := mapJobs(o, variants, func(ctx context.Context, v variant) (metrics, error) {
 		cfg := o.buildConfig(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
 		v.apply(&cfg)
 		s, err := adaptnoc.NewSim(cfg)
 		if err != nil {
 			return metrics{}, fmt.Errorf("exp: ablation %q: %w", v.name, err)
 		}
-		s.Run(o.Cycles)
+		if err := s.RunContext(ctx, o.Cycles); err != nil {
+			return metrics{}, fmt.Errorf("exp: ablation %q: %w", v.name, err)
+		}
 		res := s.Results()
 		return metrics{lat: res.MeanLatency(), energy: res.Apps[0].Energy.TotalPJ()}, nil
 	})

@@ -45,10 +45,12 @@ type Options struct {
 }
 
 // mapJobs fans the jobs over the runner pool at the options' parallelism
-// and returns results in job order.
-func mapJobs[J, R any](o Options, jobs []J, worker func(J) (R, error)) ([]R, error) {
-	return runner.Map(context.Background(), o.Parallelism, jobs,
-		func(_ context.Context, j J) (R, error) { return worker(j) })
+// and returns results in job order. Workers receive the pool's context and
+// must thread it into Sim.RunContext / RunUntilFinishedContext so that the
+// first failing job interrupts the sims still running, not just the ones
+// not yet started.
+func mapJobs[J, R any](o Options, jobs []J, worker func(context.Context, J) (R, error)) ([]R, error) {
+	return runner.Map(context.Background(), o.Parallelism, jobs, worker)
 }
 
 // DefaultOptions returns full-fidelity settings (tens of minutes for the
@@ -114,8 +116,10 @@ func (o Options) buildConfig(d adaptnoc.Design, apps []adaptnoc.AppSpec) adaptno
 }
 
 // runDesign executes one design for the options' window (or until budgeted
-// apps finish) and returns results.
-func (o Options) runDesign(d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc.Results, error) {
+// apps finish) and returns results. The context interrupts a run in flight
+// (within runCheckCycles kernel cycles) — pool cancellation does not wait
+// for the remaining simulation window.
+func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc.Results, error) {
 	s, err := adaptnoc.NewSim(o.buildConfig(d, apps))
 	if err != nil {
 		return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
@@ -128,11 +132,17 @@ func (o Options) runDesign(d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc
 		}
 	}
 	if budgeted {
-		if !s.RunUntilFinished(100 * o.Cycles) {
+		finished, err := s.RunUntilFinishedContext(ctx, 100*o.Cycles)
+		if err != nil {
+			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+		}
+		if !finished {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v did not finish within %d cycles", d, 100*o.Cycles)
 		}
 	} else {
-		s.Run(o.Cycles)
+		if err := s.RunContext(ctx, o.Cycles); err != nil {
+			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+		}
 	}
 	return s.Results(), nil
 }
@@ -159,7 +169,7 @@ func (o Options) oracleStatics(apps []adaptnoc.AppSpec) ([]adaptnoc.AppSpec, err
 			jobs = append(jobs, probeJob{app: i, kind: k})
 		}
 	}
-	costs, err := mapJobs(o, jobs, func(j probeJob) (float64, error) {
+	costs, err := mapJobs(o, jobs, func(ctx context.Context, j probeJob) (float64, error) {
 		probe := out[j.app]
 		probe.Static = j.kind
 		probe.InstrBudget = 0
@@ -173,7 +183,9 @@ func (o Options) oracleStatics(apps []adaptnoc.AppSpec) ([]adaptnoc.AppSpec, err
 		if err != nil {
 			return 0, err
 		}
-		s.Run(o.OracleProbeCycles)
+		if err := s.RunContext(ctx, o.OracleProbeCycles); err != nil {
+			return 0, err
+		}
 		res := s.Results()
 		a := res.Apps[0]
 		powerMW := a.Energy.TotalPJ() / (float64(res.Cycles) / 2.0) // 2 GHz

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"adaptnoc"
@@ -78,8 +79,8 @@ func RunMixed(o Options, gpu, cpu1, cpu2 string) (MixedResult, error) {
 		}
 		jobs = append(jobs, job{d, lApps}, job{d, eApps})
 	}
-	results, err := mapJobs(o, jobs, func(j job) (adaptnoc.Results, error) {
-		return o.runDesign(j.design, j.apps)
+	results, err := mapJobs(o, jobs, func(ctx context.Context, j job) (adaptnoc.Results, error) {
+		return o.runDesign(ctx, j.design, j.apps)
 	})
 	if err != nil {
 		return m, err

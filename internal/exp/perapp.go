@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"adaptnoc"
 	"adaptnoc/internal/topology"
 	"adaptnoc/internal/traffic"
@@ -50,12 +52,12 @@ func RunPerApp(o Options, names []string, class traffic.Class) ([]PerAppMetrics,
 			jobs = append(jobs, job{ni, di})
 		}
 	}
-	results, err := mapJobs(o, jobs, func(j job) (adaptnoc.Results, error) {
+	results, err := mapJobs(o, jobs, func(ctx context.Context, j job) (adaptnoc.Results, error) {
 		spec := specs[j.name]
 		if AllDesigns[j.design] == adaptnoc.DesignAdaptNoRL {
 			spec = oracle[j.name]
 		}
-		return o.runDesign(AllDesigns[j.design], []adaptnoc.AppSpec{spec})
+		return o.runDesign(ctx, AllDesigns[j.design], []adaptnoc.AppSpec{spec})
 	})
 	if err != nil {
 		return nil, err
@@ -142,8 +144,8 @@ type SelectionResult struct {
 // RunSelection runs DesignAdaptNoC per application and collects the
 // per-epoch topology choices (Figs. 14-15), one pooled run per name.
 func RunSelection(o Options, names []string, class traffic.Class) ([]SelectionResult, error) {
-	results, err := mapJobs(o, names, func(name string) (adaptnoc.Results, error) {
-		return o.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{perAppSpec(name, class)})
+	results, err := mapJobs(o, names, func(ctx context.Context, name string) (adaptnoc.Results, error) {
+		return o.runDesign(ctx, adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{perAppSpec(name, class)})
 	})
 	if err != nil {
 		return nil, err

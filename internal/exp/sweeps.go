@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"adaptnoc"
@@ -19,18 +20,18 @@ func gpuSweepApps(quick bool) []string {
 // runRLvsNoRL runs one GPU app in a region under Adapt-NoC and
 // Adapt-NoC-noRL and returns (latency, energy) for each. It is used as a
 // pool job body by Fig16, so it runs its own simulations serially.
-func (o Options) runRLvsNoRL(app string, reg adaptnoc.Region) (rlLat, rlEnergy, noLat, noEnergy float64, err error) {
+func (o Options) runRLvsNoRL(ctx context.Context, app string, reg adaptnoc.Region) (rlLat, rlEnergy, noLat, noEnergy float64, err error) {
 	spec := adaptnoc.AppSpec{Profile: app, Region: reg, MCTiles: adaptnoc.BlockMCs(reg), Static: adaptnoc.CMesh}
 	specs := []adaptnoc.AppSpec{spec}
 	oracle, err := o.oracleStatics(specs)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	no, err := o.runDesign(adaptnoc.DesignAdaptNoRL, oracle)
+	no, err := o.runDesign(ctx, adaptnoc.DesignAdaptNoRL, oracle)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	withRL, err := o.runDesign(adaptnoc.DesignAdaptNoC, specs)
+	withRL, err := o.runDesign(ctx, adaptnoc.DesignAdaptNoC, specs)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -66,10 +67,10 @@ func Fig16(o Options, quick bool) (Table, error) {
 		}
 	}
 	type reduction struct{ lat, energy float64 }
-	reds, err := mapJobs(o, jobs, func(j combo) (reduction, error) {
+	reds, err := mapJobs(o, jobs, func(ctx context.Context, j combo) (reduction, error) {
 		oo := o
 		oo.Parallelism = 1 // the combos already saturate the pool
-		rlLat, rlE, noLat, noE, err := oo.runRLvsNoRL(j.app, j.reg)
+		rlLat, rlE, noLat, noE, err := oo.runRLvsNoRL(ctx, j.app, j.reg)
 		if err != nil {
 			return reduction{}, err
 		}
@@ -108,13 +109,13 @@ func Fig17(o Options) (Table, error) {
 	lat := make([]float64, len(epochs))
 	pwr := make([]float64, len(epochs))
 	refIdx := 2
-	results, err := mapJobs(o, epochs, func(e int) (adaptnoc.Results, error) {
+	results, err := mapJobs(o, epochs, func(ctx context.Context, e int) (adaptnoc.Results, error) {
 		oo := o
 		oo.EpochCycles = e
 		if oo.Cycles < adaptnoc.Cycle(4*e) {
 			oo.Cycles = adaptnoc.Cycle(4 * e) // at least a few epochs
 		}
-		return oo.runDesign(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
+		return oo.runDesign(ctx, adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
 	})
 	if err != nil {
 		return Table{}, err
@@ -195,7 +196,7 @@ func hyperSweep(o Options, title, note string, vals []float64, refIdx int,
 		MCTiles: adaptnoc.BlockMCs(adaptnoc.Region{W: 4, H: 8})}
 	lat := make([]float64, len(vals))
 	pwr := make([]float64, len(vals))
-	results, err := mapJobs(o, vals, func(v float64) (adaptnoc.Results, error) {
+	results, err := mapJobs(o, vals, func(ctx context.Context, v float64) (adaptnoc.Results, error) {
 		cfg := o.buildConfig(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
 		if err := apply(&cfg, v); err != nil {
 			return adaptnoc.Results{}, err
@@ -204,7 +205,9 @@ func hyperSweep(o Options, title, note string, vals []float64, refIdx int,
 		if err != nil {
 			return adaptnoc.Results{}, err
 		}
-		s.Run(o.Cycles)
+		if err := s.RunContext(ctx, o.Cycles); err != nil {
+			return adaptnoc.Results{}, err
+		}
 		return s.Results(), nil
 	})
 	if err != nil {

@@ -268,3 +268,26 @@ func sprint(v any) string {
 	}
 	return ""
 }
+
+func TestWritePromHistogram(t *testing.T) {
+	h := sim.NewHistogram(250, 4)
+	for _, v := range []int64{100, 300, 900, 5000} {
+		h.Add(v)
+	}
+	var b strings.Builder
+	obs.WritePromHistogram(&b, "job_seconds", "Job wall time.", h, 1e-3)
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE job_seconds histogram",
+		`job_seconds_bucket{le="0.25"} 1`,
+		`job_seconds_bucket{le="0.5"} 2`,
+		`job_seconds_bucket{le="1"} 3`, // cumulative: counts accumulate
+		`job_seconds_bucket{le="+Inf"} 4`,
+		"job_seconds_sum 6.3",
+		"job_seconds_count 4",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}

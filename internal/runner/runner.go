@@ -69,7 +69,7 @@ func Map[J, R any](ctx context.Context, parallelism int, jobs []J, worker func(c
 			if ctx.Err() != nil {
 				break
 			}
-			results[i], errs[i] = runJob(ctx, jobs[i], worker)
+			results[i], errs[i] = One(ctx, jobs[i], worker)
 			if errs[i] != nil {
 				break
 			}
@@ -87,7 +87,7 @@ func Map[J, R any](ctx context.Context, parallelism int, jobs []J, worker func(c
 					if i >= len(jobs) || ctx.Err() != nil {
 						return
 					}
-					results[i], errs[i] = runJob(ctx, jobs[i], worker)
+					results[i], errs[i] = One(ctx, jobs[i], worker)
 					if errs[i] != nil {
 						cancel() // first failure stops the fleet
 					}
@@ -112,8 +112,12 @@ func Map[J, R any](ctx context.Context, parallelism int, jobs []J, worker func(c
 	return results, nil
 }
 
-// runJob executes one job with panic capture.
-func runJob[J, R any](ctx context.Context, job J, worker func(ctx context.Context, job J) (R, error)) (r R, err error) {
+// One executes a single job with the pool's panic-capture semantics: a
+// panic inside the worker is converted into the job's error (with its
+// stack) instead of tearing down the process. Long-lived worker pools that
+// pull jobs from a queue instead of a slice (internal/serve) reuse it so
+// one poisoned job cannot take the daemon down.
+func One[J, R any](ctx context.Context, job J, worker func(ctx context.Context, job J) (R, error)) (r R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("runner: job panicked: %v\n%s", p, debug.Stack())

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed result store: canonical-request hash →
+// marshaled Results bytes. Because the simulator is deterministic, an entry
+// is not an approximation of a re-run — it IS the re-run, byte for byte,
+// which is why the daemon can answer a repeated submission without
+// committing a worker.
+//
+// In memory it is an LRU bounded by a byte budget. With a directory
+// configured, entries are also written through to <dir>/<key>.json
+// (temp-file + rename, so a crash never leaves a torn entry) and misses
+// fall back to reading the directory — a restarted daemon keeps its
+// history.
+type Cache struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	size  int64 // sum of value lengths
+	limit int64
+	dir   string
+
+	hits, misses, diskHits atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded to limit bytes of values (<= 0 selects
+// 64 MiB). dir is the optional persistence directory ("" disables disk).
+func NewCache(limit int64, dir string) *Cache {
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	return &Cache{ll: list.New(), items: make(map[string]*list.Element), limit: limit, dir: dir}
+}
+
+// Get returns the cached bytes for key. Callers must not modify the
+// returned slice. A memory miss consults the persistence directory before
+// giving up.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return val, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if val, err := os.ReadFile(c.path(key)); err == nil {
+			c.diskHits.Add(1)
+			c.hits.Add(1)
+			c.put(key, val, false) // already on disk
+			return val, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores val under key, evicting least-recently-used entries while the
+// budget is exceeded (the newest entry always stays, even when it alone is
+// over budget). With persistence enabled the entry is written to disk
+// immediately.
+func (c *Cache) Put(key string, val []byte) { c.put(key, val, true) }
+
+func (c *Cache) put(key string, val []byte, persist bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.size += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.size > c.limit && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.val))
+	}
+	c.mu.Unlock()
+
+	if persist && c.dir != "" {
+		c.writeThrough(key, val) // disk keeps evicted entries; only memory is bounded
+	}
+}
+
+// writeThrough persists one entry atomically; a failure degrades to
+// memory-only caching rather than failing the job.
+func (c *Cache) writeThrough(key string, val []byte) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries        int
+	Bytes          int64
+	Hits, Misses   int64
+	DiskHits       int64
+	BudgetBytes    int64
+	PersistenceDir string
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.size
+	c.mu.Unlock()
+	return CacheStats{
+		Entries: entries, Bytes: bytes,
+		Hits: c.hits.Load(), Misses: c.misses.Load(), DiskHits: c.diskHits.Load(),
+		BudgetBytes: c.limit, PersistenceDir: c.dir,
+	}
+}
+
+// Flush is the shutdown barrier: because writes go through synchronously
+// it only has to verify the persistence directory is reachable, but
+// callers should treat it as "everything cached so far survives a restart".
+func (c *Cache) Flush() error {
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("serve: cache flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adaptnoc/internal/serve"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := serve.NewCache(1<<20, "")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", []byte("alpha"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("alpha")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry / 5 bytes", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := serve.NewCache(100, "")
+	val := bytes.Repeat([]byte("x"), 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Get("a") // refresh a, making b the eviction victim
+	c.Put("c", val)
+	if _, ok := c.Get("b"); ok {
+		t.Error("least-recently-used entry survived over-budget Put")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newest entry was evicted")
+	}
+
+	// A single entry larger than the whole budget must still be kept.
+	c.Put("big", bytes.Repeat([]byte("y"), 500))
+	if _, ok := c.Get("big"); !ok {
+		t.Error("over-budget entry was not retained")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d after over-budget Put, want 1", st.Entries)
+	}
+}
+
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c := serve.NewCache(1<<20, dir)
+	c.Put("deadbeef", []byte(`{"ok":true}`))
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef.json")); err != nil {
+		t.Fatalf("entry not written through: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// A fresh cache over the same directory — a restarted daemon — serves
+	// the entry from disk.
+	c2 := serve.NewCache(1<<20, dir)
+	got, ok := c2.Get("deadbeef")
+	if !ok || !bytes.Equal(got, []byte(`{"ok":true}`)) {
+		t.Fatalf("disk read-through: got %q, %v", got, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want one disk hit", st)
+	}
+	// Second Get is served from memory.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want memory hit on second Get", st)
+	}
+}
+
+func TestCacheEvictedEntrySurvivesOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := serve.NewCache(64, dir)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("z"), 40))
+	}
+	// k0 was evicted from memory long ago but persists on disk.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("evicted entry not recovered from disk")
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want one disk hit", st)
+	}
+}

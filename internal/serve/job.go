@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: queued → running → one of the three terminal states.
+// Cache hits are born done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one per-epoch progress report, streamed over SSE while a job
+// runs: how far the simulated clock has advanced and how effective the
+// idle-skip work lists are for this workload.
+type Event struct {
+	Cycle           int64   `json:"cycle"`
+	RouterSkipRate  float64 `json:"routerSkipRate"`
+	ChannelSkipRate float64 `json:"channelSkipRate"`
+}
+
+// JobInfo is the wire representation of a job (POST /v1/sims and
+// GET /v1/jobs/{id} responses).
+type JobInfo struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Key is the content address of the canonical request.
+	Key string `json:"key"`
+	// Cache is "hit" when the result was served from the cache without
+	// running, "miss" otherwise.
+	Cache string `json:"cache"`
+	// Seq is the completion order across the daemon's lifetime (1-based);
+	// 0 while not terminal.
+	Seq   int64  `json:"seq,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Results carries the marshaled adaptnoc.Results for done jobs. It is
+	// stored marshaled-once, so resubmissions of the same request return
+	// byte-identical documents.
+	Results json.RawMessage `json:"results,omitempty"`
+}
+
+// job is the server-side record.
+type job struct {
+	id     string
+	key    string
+	req    Request // canonical
+	hit    bool
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	seq    int64
+	errMsg string
+	result []byte // marshaled Results, nil unless done
+	events []Event
+	subs   []chan Event
+	done   chan struct{} // closed on reaching a terminal state
+}
+
+func newJob(id, key string, req Request) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id: id, key: key, req: req,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+}
+
+// info snapshots the wire representation.
+func (j *job) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cache := "miss"
+	if j.hit {
+		cache = "hit"
+	}
+	return JobInfo{
+		ID: j.id, State: j.state, Key: j.key, Cache: cache,
+		Seq: j.seq, Error: j.errMsg, Results: j.result,
+	}
+}
+
+// setRunning moves queued → running; it reports false when the job already
+// reached a terminal state (canceled while waiting in the queue), in which
+// case the worker must not execute it.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// emit records a progress event and fans it out to subscribers. A slow
+// subscriber's full channel drops the event rather than stalling the
+// worker; the history replay on subscribe keeps late listeners complete.
+func (j *job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finish moves the job to a terminal state exactly once, closes every
+// subscriber channel, and reports whether this call was the one that did
+// it (so counters increment exactly once even when cancel races a worker).
+func (j *job) finish(state State, seq int64, result []byte, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.seq = seq
+	j.result = result
+	j.errMsg = errMsg
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	return true
+}
+
+// subscribe returns the events recorded so far plus a live channel for the
+// rest. The channel is nil when the job is already terminal — the history
+// is then complete. The channel is closed when the job finishes.
+func (j *job) subscribe() (history []Event, live <-chan Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]Event(nil), j.events...)
+	if j.state.Terminal() {
+		return history, nil
+	}
+	ch := make(chan Event, 256)
+	j.subs = append(j.subs, ch)
+	return history, ch
+}

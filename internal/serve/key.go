@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"adaptnoc"
+)
+
+// ConfigKey returns the content address of a simulation configuration: the
+// SHA-256 of the canonical JSON encoding of cfg.Canonical(). Because the
+// simulator is deterministic — equal canonical configs produce identical
+// Results — the key is a perfect memoization handle: semantically equal
+// configurations (fields spelled in any order on the wire, defaults left
+// implicit or written out, knobs the selected design ignores set to
+// anything) hash identically, while any change that could alter the
+// simulation (seed, design, apps, hyper-parameters) produces a new key.
+//
+// Configurations carrying an in-process RL.SharedAgent have no canonical
+// byte representation and are rejected.
+func ConfigKey(cfg adaptnoc.Config) (string, error) {
+	if cfg.RL.SharedAgent != nil {
+		return "", fmt.Errorf("serve: config with in-process RL.SharedAgent is not content-addressable")
+	}
+	blob, err := json.Marshal(cfg.Canonical())
+	if err != nil {
+		return "", fmt.Errorf("serve: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RequestKey extends ConfigKey over the whole job request: the run window
+// (cycles/maxCycles) is part of what a simulation computes, so two
+// submissions share a cache entry iff their canonical configs AND their
+// canonical run windows match.
+func RequestKey(req Request) (string, error) {
+	req = req.Canonical()
+	ck, err := ConfigKey(req.Config)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|cycles=%d|maxCycles=%d", ck, req.Cycles, req.MaxCycles)))
+	return hex.EncodeToString(sum[:]), nil
+}

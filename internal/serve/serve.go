@@ -1,0 +1,431 @@
+// Package serve turns the simulator into a service: an HTTP daemon that
+// accepts canonical-JSON simulation configurations, runs them on a bounded
+// worker pool, streams per-epoch progress, and memoizes results in a
+// content-addressed cache.
+//
+// The design leans on two properties the rest of the repository already
+// guarantees. First, simulations are deterministic — a canonical config
+// names its Results uniquely, so the cache (keyed by RequestKey, a SHA-256
+// of the canonical request) returns byte-identical documents instead of
+// approximations. Second, jobs are independent — the worker pool reuses
+// runner.One's panic-capture semantics so one poisoned config cannot take
+// the daemon down.
+//
+// Backpressure is explicit: the job queue is a bounded channel, and a full
+// queue answers 429 with Retry-After instead of buffering without bound.
+// Shutdown is graceful: admission stops (healthz flips to 503), queued and
+// running jobs drain, then the cache flushes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptnoc"
+	"adaptnoc/internal/runner"
+	"adaptnoc/internal/sim"
+)
+
+// Options configure a Server. The zero value is usable.
+type Options struct {
+	// QueueDepth bounds the number of admitted-but-unstarted jobs
+	// (default 64). A full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// Workers is the pool size; <= 0 selects one per CPU.
+	Workers int
+	// CacheBytes bounds the in-memory result cache (<= 0 selects 64 MiB).
+	CacheBytes int64
+	// CacheDir, when set, persists results to disk so a restarted daemon
+	// keeps its cache.
+	CacheDir string
+}
+
+// Server is the simulation daemon. Create with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	opts  Options
+	cache *Cache
+	mux   *http.ServeMux
+
+	// admitMu serializes admission against shutdown: queue sends happen
+	// under it, so closing the queue (also under it) can never race a send.
+	admitMu  sync.Mutex
+	draining bool
+	queue    chan *job
+
+	jobsMu sync.Mutex
+	jobs   map[string]*job
+
+	nextID   atomic.Int64
+	seq      atomic.Int64 // completion order
+	inflight atomic.Int64
+	started  atomic.Int64
+	counts   [3]atomic.Int64 // done, failed, canceled
+
+	histMu  sync.Mutex
+	latency *sim.Histogram // job wall time, ms
+
+	wg sync.WaitGroup
+}
+
+// latencyBucketMS is the job-latency histogram shape: 40 × 250 ms buckets
+// (10 s span) plus overflow, exported in seconds on /metrics.
+const (
+	latencyBucketMS = 250
+	latencyBuckets  = 40
+)
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	opts.Workers = runner.Parallelism(opts.Workers)
+	s := &Server{
+		opts:    opts,
+		cache:   NewCache(opts.CacheBytes, opts.CacheDir),
+		queue:   make(chan *job, opts.QueueDepth),
+		jobs:    make(map[string]*job),
+		latency: sim.NewHistogram(latencyBucketMS, latencyBuckets),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sims", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the daemon: admission stops immediately (submissions and
+// health checks answer 503), workers finish every admitted job, and the
+// cache flushes. If ctx expires first, running jobs are cancelled
+// cooperatively and the context error is returned after they stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+		return s.cache.Flush()
+	case <-ctx.Done():
+		s.jobsMu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.jobsMu.Unlock()
+		<-drained
+		if err := s.cache.Flush(); err != nil {
+			return err
+		}
+		return ctx.Err()
+	}
+}
+
+// --- workers ---
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: state transitions, panic-safe
+// execution via runner.One, latency accounting, and result caching.
+func (s *Server) runJob(j *job) {
+	if !j.setRunning() {
+		return // canceled while queued; finish already ran
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.finishJob(j, StateCanceled, nil, "canceled before start")
+		return
+	}
+	s.inflight.Add(1)
+	s.started.Add(1)
+	start := time.Now()
+	result, err := runner.One(j.ctx, j, s.execute)
+	s.histMu.Lock()
+	s.latency.Add(time.Since(start).Milliseconds())
+	s.histMu.Unlock()
+	s.inflight.Add(-1)
+
+	switch {
+	case err == nil:
+		s.cache.Put(j.key, result)
+		s.finishJob(j, StateDone, result, "")
+	case j.ctx.Err() != nil:
+		s.finishJob(j, StateCanceled, nil, "canceled")
+	default:
+		s.finishJob(j, StateFailed, nil, err.Error())
+	}
+}
+
+// finishJob assigns the completion sequence number and bumps the terminal
+// counter, exactly once per job.
+func (s *Server) finishJob(j *job, state State, result []byte, errMsg string) {
+	if !j.finish(state, s.seq.Add(1), result, errMsg) {
+		return
+	}
+	switch state {
+	case StateDone:
+		s.counts[0].Add(1)
+	case StateFailed:
+		s.counts[1].Add(1)
+	case StateCanceled:
+		s.counts[2].Add(1)
+	}
+}
+
+// execute runs one simulation in control-epoch slices, emitting a progress
+// event after each slice. The request is canonical, so EpochCycles is
+// always explicit.
+func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
+	simu, err := adaptnoc.NewSim(j.req.Config)
+	if err != nil {
+		return nil, err
+	}
+	epoch := adaptnoc.Cycle(j.req.Config.EpochCycles)
+	emit := func() {
+		ts := simu.TickStats()
+		j.emit(Event{
+			Cycle:           int64(simu.Kernel.Now()),
+			RouterSkipRate:  ts.RouterSkipRate(),
+			ChannelSkipRate: ts.ChannelSkipRate(),
+		})
+	}
+	if j.req.Budgeted() {
+		for remaining := j.req.MaxCycles; remaining > 0; {
+			slice := epoch
+			if remaining < slice {
+				slice = remaining
+			}
+			finished, err := simu.RunUntilFinishedContext(ctx, slice)
+			if err != nil {
+				return nil, err
+			}
+			emit()
+			if finished {
+				break
+			}
+			remaining -= slice
+		}
+	} else {
+		for remaining := j.req.Cycles; remaining > 0; {
+			slice := epoch
+			if remaining < slice {
+				slice = remaining
+			}
+			if err := simu.RunContext(ctx, slice); err != nil {
+				return nil, err
+			}
+			emit()
+			remaining -= slice
+		}
+	}
+	blob, err := json.Marshal(simu.Results())
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshaling results: %w", err)
+	}
+	return blob, nil
+}
+
+// --- handlers ---
+
+// maxRequestBytes bounds a submission body; configurations are small.
+const maxRequestBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req = req.Canonical()
+	key, err := RequestKey(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	j := newJob(id, key, req)
+
+	// Cache hit: the job is born done, no worker involved.
+	if blob, ok := s.cache.Get(key); ok {
+		j.hit = true
+		j.state = StateRunning // finish() requires a non-terminal state
+		s.finishJob(j, StateDone, blob, "")
+		s.addJob(j)
+		writeJSON(w, http.StatusOK, j.info())
+		return
+	}
+
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.admitMu.Unlock()
+	default:
+		s.admitMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue full")
+		return
+	}
+	s.addJob(j)
+	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+func (s *Server) addJob(j *job) {
+	s.jobsMu.Lock()
+	s.jobs[j.id] = j
+	s.jobsMu.Unlock()
+}
+
+func (s *Server) lookup(id string) *job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	infos := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		info := j.info()
+		info.Results = nil // summaries only; fetch one job for its results
+		infos = append(infos, info)
+	}
+	s.jobsMu.Unlock()
+	sort.Slice(infos, func(a, b int) bool { return infos[a].ID < infos[b].ID })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	// A queued job can be finished right here; a running one stops at the
+	// worker's next cancellation poll (within one control epoch).
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if queued {
+		s.finishJob(j, StateCanceled, nil, "canceled while queued")
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(name string, v any) {
+		blob, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, blob)
+		flusher.Flush()
+	}
+
+	history, live := j.subscribe()
+	for _, ev := range history {
+		writeEvent("epoch", ev)
+	}
+	if live != nil {
+	stream:
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					break stream // job finished
+				}
+				writeEvent("epoch", ev)
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	info := j.info()
+	info.Results = nil // the results document is fetched, not streamed
+	writeEvent("done", info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.Lock()
+	draining := s.draining
+	s.admitMu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// --- small helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

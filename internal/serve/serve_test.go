@@ -1,0 +1,509 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptnoc"
+	"adaptnoc/internal/serve"
+)
+
+// newTestServer starts a daemon behind httptest and registers a drain on
+// cleanup. Tests that park slow jobs must DELETE them before returning so
+// the drain stays fast.
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, string) {
+	t.Helper()
+	srv := serve.New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("drain on cleanup: %v", err)
+		}
+		ts.Close()
+	})
+	return srv, ts.URL
+}
+
+// fastRequest is a cheap two-app baseline run: a couple of thousand cycles
+// finishes in well under a second.
+func fastRequest(seed uint64) serve.Request {
+	return serve.Request{
+		Config: adaptnoc.Config{
+			Design: adaptnoc.DesignBaseline,
+			Apps: []adaptnoc.AppSpec{
+				{Profile: "bfs", Region: adaptnoc.Region{X: 0, Y: 0, W: 4, H: 4}},
+				{Profile: "canneal", Region: adaptnoc.Region{X: 4, Y: 0, W: 4, H: 4}},
+			},
+			Seed:        seed,
+			EpochCycles: 1000,
+		},
+		Cycles: 3000,
+	}
+}
+
+// slowRequest occupies a worker for a long time unless canceled: the
+// cancellation poll runs every 1024 cycles, so DELETE still lands quickly.
+func slowRequest(seed uint64) serve.Request {
+	req := fastRequest(seed)
+	req.Config.EpochCycles = 0 // default 50000-cycle epochs
+	req.Cycles = 2_000_000_000
+	return req
+}
+
+func submit(t *testing.T, base string, req serve.Request) (serve.JobInfo, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sims", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info serve.JobInfo
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(blob, &info); err != nil {
+			t.Fatalf("decoding %s: %v", blob, err)
+		}
+	}
+	return info, resp
+}
+
+func getJob(t *testing.T, base, id string) serve.JobInfo {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: %s", id, resp.Status)
+	}
+	var info serve.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func waitTerminal(t *testing.T, base, id string, timeout time.Duration) serve.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info := getJob(t, base, id)
+		if info.State.Terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, info.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitState(t *testing.T, base, id string, want serve.State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info := getJob(t, base, id)
+		if info.State == want {
+			return
+		}
+		if info.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s in state %s, want %s", id, info.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func cancelJob(t *testing.T, base, id string) serve.JobInfo {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info serve.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	info, resp := submit(t, base, fastRequest(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if info.Cache != "miss" || info.Key == "" {
+		t.Errorf("fresh submission: cache=%s key=%q", info.Cache, info.Key)
+	}
+	done := waitTerminal(t, base, info.ID, 30*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	if done.Seq == 0 {
+		t.Error("terminal job has no completion sequence number")
+	}
+	res, err := adaptnoc.ParseResults(done.Results)
+	if err != nil {
+		t.Fatalf("results do not parse: %v", err)
+	}
+	if res.Cycles != 3000 {
+		t.Errorf("ran %d cycles, want 3000", res.Cycles)
+	}
+}
+
+// Resubmitting an identical request must come back from the cache, marked
+// as a hit, with byte-identical results — determinism makes the cache
+// exact, not approximate.
+func TestCacheHitByteIdentical(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	first, _ := submit(t, base, fastRequest(2))
+	done := waitTerminal(t, base, first.ID, 30*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("first job ended %s: %s", done.State, done.Error)
+	}
+
+	second, resp := submit(t, base, fastRequest(2))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cached submission status %s, want 200", resp.Status)
+	}
+	if second.Cache != "hit" || second.State != serve.StateDone {
+		t.Fatalf("resubmission: cache=%s state=%s", second.Cache, second.State)
+	}
+	if !bytes.Equal(second.Results, done.Results) {
+		t.Error("cached results are not byte-identical to the computed results")
+	}
+	if second.Key != done.Key {
+		t.Errorf("keys differ: %s vs %s", second.Key, done.Key)
+	}
+
+	// A different seed is a different simulation: miss.
+	third, _ := submit(t, base, fastRequest(3))
+	if third.Cache != "miss" {
+		t.Errorf("different seed served from cache")
+	}
+	cancelJob(t, base, third.ID)
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1, QueueDepth: 1})
+
+	running, _ := submit(t, base, slowRequest(10))
+	waitState(t, base, running.ID, serve.StateRunning, 10*time.Second)
+	queued, resp := submit(t, base, slowRequest(11))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submission: %s, want 202", resp.Status)
+	}
+
+	_, resp = submit(t, base, slowRequest(12))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submission: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// Canceling the queued job frees its slot without a worker.
+	info := cancelJob(t, base, queued.ID)
+	if info.State != serve.StateCanceled {
+		t.Errorf("queued job after DELETE: %s, want canceled", info.State)
+	}
+	cancelJob(t, base, running.ID)
+	waitTerminal(t, base, running.ID, 10*time.Second)
+}
+
+// DELETE on a running job must take effect at the next cancellation poll —
+// comfortably within one control epoch, observed here as wall-clock
+// seconds rather than the hours the full window would take.
+func TestCancelRunningJob(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	info, _ := submit(t, base, slowRequest(20))
+	waitState(t, base, info.ID, serve.StateRunning, 10*time.Second)
+	cancelJob(t, base, info.ID)
+	done := waitTerminal(t, base, info.ID, 10*time.Second)
+	if done.State != serve.StateCanceled {
+		t.Fatalf("job ended %s, want canceled", done.State)
+	}
+}
+
+// With one worker, jobs complete in submission order and the completion
+// sequence numbers record it.
+func TestOrderedCompletion(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	var ids []string
+	for seed := uint64(30); seed < 33; seed++ {
+		info, resp := submit(t, base, fastRequest(seed))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s", seed, resp.Status)
+		}
+		ids = append(ids, info.ID)
+	}
+	for i, id := range ids {
+		done := waitTerminal(t, base, id, 30*time.Second)
+		if done.State != serve.StateDone {
+			t.Fatalf("job %s ended %s: %s", id, done.State, done.Error)
+		}
+		if done.Seq != int64(i+1) {
+			t.Errorf("job %s completed with seq %d, want %d", id, done.Seq, i+1)
+		}
+	}
+}
+
+func TestSSEEventStream(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	info, _ := submit(t, base, fastRequest(40))
+
+	resp, err := http.Get(base + "/v1/jobs/" + info.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	// The handler closes the stream after the final "done" event, so the
+	// whole stream can be read to EOF.
+	stream, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := strings.Split(strings.TrimSuffix(string(stream), "\n\n"), "\n\n")
+	var epochs []serve.Event
+	var final serve.JobInfo
+	sawDone := false
+	for _, frame := range frames {
+		lines := strings.SplitN(frame, "\n", 2)
+		if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: ") || !strings.HasPrefix(lines[1], "data: ") {
+			t.Fatalf("malformed SSE frame: %q", frame)
+		}
+		data := strings.TrimPrefix(lines[1], "data: ")
+		switch name := strings.TrimPrefix(lines[0], "event: "); name {
+		case "epoch":
+			var ev serve.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("epoch frame %q: %v", data, err)
+			}
+			epochs = append(epochs, ev)
+		case "done":
+			if err := json.Unmarshal([]byte(data), &final); err != nil {
+				t.Fatalf("done frame %q: %v", data, err)
+			}
+			sawDone = true
+		default:
+			t.Fatalf("unexpected event %q", name)
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	// 3000 cycles at 1000-cycle epochs: three progress reports, with the
+	// simulated clock advancing monotonically to the full window.
+	if len(epochs) != 3 {
+		t.Fatalf("got %d epoch events, want 3", len(epochs))
+	}
+	for i, ev := range epochs {
+		if want := int64(1000 * (i + 1)); ev.Cycle != want {
+			t.Errorf("epoch %d at cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	if final.State != serve.StateDone {
+		t.Errorf("final event state %s: %s", final.State, final.Error)
+	}
+	if len(final.Results) != 0 {
+		t.Error("done event carries the results document; it should be fetched instead")
+	}
+}
+
+// Shutdown must stop admission immediately but let admitted jobs finish.
+func TestDrainOnShutdown(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	base := ts.URL
+
+	info, _ := submit(t, base, fastRequest(50))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	done := getJob(t, base, info.ID)
+	if done.State != serve.StateDone {
+		t.Errorf("in-flight job after drain: %s (%s), want done", done.State, done.Error)
+	}
+	if _, resp := submit(t, base, fastRequest(51)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submission while drained: %s, want 503", resp.Status)
+	}
+	if resp, err := http.Get(base + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz while drained: %s, want 503", resp.Status)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	post := func(body string) (int, string) {
+		resp, err := http.Post(base+"/v1/sims", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(blob)
+	}
+
+	if code, body := post(`{"config": {"design": "warp-drive", "apps": []}}`); code != http.StatusBadRequest {
+		t.Errorf("unknown design: %d %s", code, body)
+	}
+	if code, body := post(`{"config": {"design": "baseline", "apps": [{"profile": "bfs", "region": {"w": 4, "h": 4}}]}, "turbo": true}`); code != http.StatusBadRequest || !strings.Contains(body, "turbo") {
+		t.Errorf("unknown field not named: %d %s", code, body)
+	}
+	if code, body := post(`{"config": {"design": "baseline", "apps": [{"profile": "bfs", "region": {"w": 4, "h": 4}}]}, "cycles": -5}`); code != http.StatusBadRequest || !strings.Contains(body, "cycles") {
+		t.Errorf("negative window not named: %d %s", code, body)
+	}
+	if code, body := post(`{"config": {"design": "baseline", "apps": [{"profile": "nope", "region": {"w": 4, "h": 4}}]}}`); code != http.StatusBadRequest || !strings.Contains(body, "config.apps[0].profile") {
+		t.Errorf("bad profile not named by JSON path: %d %s", code, body)
+	}
+
+	if resp, err := http.Get(base + "/v1/jobs/job-999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("missing job: %s, want 404", resp.Status)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	first, _ := submit(t, base, fastRequest(60))
+	waitTerminal(t, base, first.ID, 30*time.Second)
+	submit(t, base, fastRequest(60)) // cache hit
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	body := string(blob)
+	for _, want := range []string{
+		"adaptnoc_serve_jobs_completed_total 2", // the hit is born done
+		"adaptnoc_serve_cache_hits_total 1",
+		"adaptnoc_serve_cache_misses_total 1",
+		"adaptnoc_serve_queue_depth 0",
+		"adaptnoc_serve_job_seconds_count 1",
+		`adaptnoc_serve_job_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// The jobs listing carries summaries (no result payloads) for every job.
+func TestJobListing(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	a, _ := submit(t, base, fastRequest(70))
+	waitTerminal(t, base, a.ID, 30*time.Second)
+
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []serve.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != a.ID {
+		t.Fatalf("listing = %+v, want the one submitted job", infos)
+	}
+	if len(infos[0].Results) != 0 {
+		t.Error("listing carries result payloads")
+	}
+}
+
+// The disk cache makes results survive a daemon restart.
+func TestServerCacheDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	srv := serve.New(serve.Options{CacheDir: dir})
+	ts := httptest.NewServer(srv.Handler())
+	info, _ := submit(t, ts.URL, fastRequest(80))
+	done := waitTerminal(t, ts.URL, info.ID, 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// A new daemon over the same directory answers from disk.
+	srv2 := serve.New(serve.Options{CacheDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+		ts2.Close()
+	}()
+	again, resp := submit(t, ts2.URL, fastRequest(80))
+	if resp.StatusCode != http.StatusOK || again.Cache != "hit" {
+		t.Fatalf("restarted daemon: status %s cache=%s, want 200 hit", resp.Status, again.Cache)
+	}
+	if !bytes.Equal(again.Results, done.Results) {
+		t.Error("disk-cached results differ from the original run")
+	}
+}
+
+// A budgeted request runs to completion and reports execution times.
+func TestBudgetedRequest(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	req := serve.Request{
+		Config: adaptnoc.Config{
+			Design: adaptnoc.DesignBaseline,
+			Apps: []adaptnoc.AppSpec{
+				{Profile: "bfs", Region: adaptnoc.Region{X: 0, Y: 0, W: 4, H: 4}, InstrBudget: 2000},
+			},
+			Seed:        2021,
+			EpochCycles: 1000,
+		},
+	}
+	info, _ := submit(t, base, req)
+	done := waitTerminal(t, base, info.ID, 60*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	res, err := adaptnoc.ParseResults(done.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 1 || res.Apps[0].ExecTime < 0 {
+		t.Fatalf("budgeted app did not finish: %+v", res.Apps)
+	}
+}

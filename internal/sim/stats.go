@@ -131,6 +131,14 @@ func (h *Histogram) Percentile(p float64) int64 {
 // Overflow returns the number of samples beyond the last bucket.
 func (h *Histogram) Overflow() int64 { return h.over }
 
+// Buckets returns the bucket width, a copy of the per-bucket counts, and
+// the overflow count — the raw shape that exporters (e.g. the serving
+// daemon's Prometheus text exposition) need, which percentile queries
+// alone cannot provide.
+func (h *Histogram) Buckets() (width int64, counts []int64, overflow int64) {
+	return h.width, append([]int64(nil), h.buckets...), h.over
+}
+
 // Summary renders count, mean, and the p50/p95/p99 tail on one line — the
 // shape the observability layer prints per virtual network.
 func (h *Histogram) Summary() string {

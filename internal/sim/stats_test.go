@@ -130,3 +130,26 @@ func TestHistogramOverflowAndSummary(t *testing.T) {
 		t.Fatalf("Overflow survived Reset: %d", h.Overflow())
 	}
 }
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, v := range []int64{5, 15, 25, 35, 45, 1000} {
+		h.Add(v)
+	}
+	width, counts, overflow := h.Buckets()
+	if width != 10 || overflow != 2 {
+		t.Fatalf("Buckets width=%d overflow=%d, want 10 and 2", width, overflow)
+	}
+	want := []int64{1, 1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// histogram an exporter is reading.
+	counts[0] = 99
+	if _, again, _ := h.Buckets(); again[0] != 1 {
+		t.Fatal("Buckets exposed internal storage")
+	}
+}

@@ -68,9 +68,39 @@ func (k Kind) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler, so JSON configurations
+// carry topology names ("mesh", "torus+tree") rather than raw ints.
+func (k Kind) MarshalText() ([]byte, error) {
+	if k < Mesh || k >= NumSelectable {
+		return nil, fmt.Errorf("topology: cannot marshal invalid kind %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. An empty string
+// decodes to Mesh (the zero value), so omitted JSON fields keep their
+// Go-zero-value meaning.
+func (k *Kind) UnmarshalText(text []byte) error {
+	s := string(text)
+	if s == "" {
+		*k = Mesh
+		return nil
+	}
+	for _, cand := range []Kind{Mesh, CMesh, Torus, Tree, TorusTree} {
+		if cand.String() == s {
+			*k = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("topology: unknown kind %q (want mesh, cmesh, torus, tree, or torus+tree)", s)
+}
+
 // Region is a rectangular set of tiles [X, X+W) × [Y, Y+H).
 type Region struct {
-	X, Y, W, H int
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
 }
 
 // Contains reports whether the tile coordinate lies in the region.

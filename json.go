@@ -1,0 +1,177 @@
+package adaptnoc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/topology"
+	"adaptnoc/internal/traffic"
+)
+
+// This file is the package's wire format: Config and Results marshal to
+// JSON (Design and Kind as their flag-style names, fields in lowerCamel),
+// ParseConfig/ParseResults decode strictly, and Validate reports the first
+// invalid field by its JSON path. The serving layer (internal/serve)
+// builds its request/response bodies and its content-addressed cache keys
+// from exactly this encoding.
+
+// MarshalText implements encoding.TextMarshaler; designs travel as their
+// flag-style names ("baseline", "adapt-noc").
+func (d Design) MarshalText() ([]byte, error) {
+	if d < DesignBaseline || d >= NumDesigns {
+		return nil, fmt.Errorf("adaptnoc: cannot marshal invalid design %d", int(d))
+	}
+	return []byte(d.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. An empty string
+// decodes to DesignBaseline (the zero value), so omitted JSON fields keep
+// their Go-zero-value meaning.
+func (d *Design) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*d = DesignBaseline
+		return nil
+	}
+	got, err := ParseDesign(string(text))
+	if err != nil {
+		return err
+	}
+	*d = got
+	return nil
+}
+
+// FieldError reports an invalid configuration field by its JSON path
+// (e.g. "apps[1].region" or "rl.gamma").
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("adaptnoc: config field %s: %s", e.Field, e.Msg)
+}
+
+func fieldErrf(field, format string, args ...any) error {
+	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the configuration without building a simulation and
+// returns a *FieldError naming the first offending field, or nil. It is
+// stricter than NewSim: it also rejects regions that fall off the chip
+// grid and out-of-range hyper-parameters, so a daemon can refuse a job
+// before committing a worker to it.
+func (c Config) Validate() error {
+	if c.Design < DesignBaseline || c.Design >= NumDesigns {
+		return fieldErrf("design", "unknown design %d", int(c.Design))
+	}
+	if len(c.Apps) == 0 {
+		return fieldErrf("apps", "at least one application required")
+	}
+	ncfg := netConfig(c.Design)
+	for i, a := range c.Apps {
+		f := func(sub string) string { return fmt.Sprintf("apps[%d].%s", i, sub) }
+		if a.Profile == "" {
+			return fieldErrf(f("profile"), "missing profile (see adaptnoc-sim -profiles)")
+		}
+		if _, ok := traffic.ByName(a.Profile); !ok {
+			return fieldErrf(f("profile"), "unknown profile %q", a.Profile)
+		}
+		r := a.Region
+		if r.W <= 0 || r.H <= 0 {
+			return fieldErrf(f("region"), "empty region %v", r)
+		}
+		if r.X < 0 || r.Y < 0 || r.X+r.W > ncfg.Width || r.Y+r.H > ncfg.Height {
+			return fieldErrf(f("region"), "region %v outside the %dx%d grid", r, ncfg.Width, ncfg.Height)
+		}
+		for j, mc := range a.MCTiles {
+			if mc < 0 || int(mc) >= ncfg.NumNodes() {
+				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "tile %d outside the chip", mc)
+			}
+			if !r.Contains(noc.CoordOf(mc, ncfg.Width)) {
+				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "MC tile %d outside region %v", mc, r)
+			}
+		}
+		if a.InstrBudget < 0 {
+			return fieldErrf(f("instrBudget"), "negative budget %d", a.InstrBudget)
+		}
+		if a.ShareMCs < 0 {
+			return fieldErrf(f("shareMCs"), "negative share count %d", a.ShareMCs)
+		}
+		if a.Static < Mesh || a.Static >= topology.NumSelectable {
+			return fieldErrf(f("static"), "invalid topology %d", int(a.Static))
+		}
+		for j := 0; j < i; j++ {
+			if a.Region.Overlaps(c.Apps[j].Region) {
+				return fieldErrf(f("region"), "region %v overlaps apps[%d] region %v", a.Region, j, c.Apps[j].Region)
+			}
+		}
+	}
+	if c.EpochCycles < 0 {
+		return fieldErrf("epochCycles", "negative epoch %d", c.EpochCycles)
+	}
+	if c.VCsPerVNet < 0 {
+		return fieldErrf("vcsPerVNet", "negative VC count %d", c.VCsPerVNet)
+	}
+	if c.SetupCycles < 0 {
+		return fieldErrf("setupCycles", "negative setup time %d", c.SetupCycles)
+	}
+	if c.ShortcutLinksPerApp < 0 {
+		return fieldErrf("shortcutLinksPerApp", "negative link budget %d", c.ShortcutLinksPerApp)
+	}
+	if c.PGWakeCycles < 0 || c.PGIdleCycles < 0 {
+		return fieldErrf("pgWakeCycles", "negative power-gating timing %d/%d", c.PGWakeCycles, c.PGIdleCycles)
+	}
+	if c.RL.EpsilonSet && (c.RL.Epsilon < 0 || c.RL.Epsilon > 1) {
+		return fieldErrf("rl.epsilon", "exploration rate %v outside [0,1]", c.RL.Epsilon)
+	}
+	if c.RL.Gamma < 0 || c.RL.Gamma > 1 {
+		return fieldErrf("rl.gamma", "discount factor %v outside [0,1]", c.RL.Gamma)
+	}
+	if d := c.RL.DQN; d.ReplaySize < 0 || d.Minibatch < 0 || d.TargetSync < 0 {
+		return fieldErrf("rl.dqn", "negative replay/minibatch/targetSync size")
+	}
+	return nil
+}
+
+// decodeStrict decodes one JSON value, rejecting unknown fields (typoed
+// field names should fail loudly, not silently fall back to defaults) and
+// trailing garbage.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// ParseConfig decodes and validates a JSON simulation configuration.
+// Unknown fields are rejected; validation errors name the offending field.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	if err := decodeStrict(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("adaptnoc: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// ParseResults decodes a JSON Results document (the inverse of
+// json.Marshal on Results — what adaptnoc-sim -json and the serving API
+// emit).
+func ParseResults(data []byte) (Results, error) {
+	var res Results
+	if err := decodeStrict(data, &res); err != nil {
+		return Results{}, fmt.Errorf("adaptnoc: parsing results: %w", err)
+	}
+	return res, nil
+}

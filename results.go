@@ -1,6 +1,7 @@
 package adaptnoc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,40 +12,40 @@ import (
 
 // AppResult summarizes one application's run.
 type AppResult struct {
-	Profile string
-	Region  Region
+	Profile string `json:"profile"`
+	Region  Region `json:"region"`
 
 	// Latencies are lifetime means over delivered packets, in cycles.
-	AvgTotalLatency float64
-	AvgNetLatency   float64
-	AvgQueueLatency float64
-	AvgHops         float64
+	AvgTotalLatency float64 `json:"avgTotalLatency"`
+	AvgNetLatency   float64 `json:"avgNetLatency"`
+	AvgQueueLatency float64 `json:"avgQueueLatency"`
+	AvgHops         float64 `json:"avgHops"`
 
-	DeliveredPackets int64
-	RetiredInstr     int64
+	DeliveredPackets int64 `json:"deliveredPackets"`
+	RetiredInstr     int64 `json:"retiredInstr"`
 
 	// ExecTime is the completion cycle for budgeted apps (-1 otherwise).
-	ExecTime Cycle
+	ExecTime Cycle `json:"execTime"`
 
 	// Energy is the region's account (per-epoch for Adapt designs, one
 	// final window otherwise).
-	Energy EnergyBreakdown
+	Energy EnergyBreakdown `json:"energy"`
 
 	// Adapt-NoC only: per-topology selection fractions (including the
 	// TorusTree extension) and reconfiguration statistics.
-	Selections [int(topology.NumSelectable)]float64
-	Reconfigs  int64
-	FinalKind  Kind
-	MeanReward float64
+	Selections [int(topology.NumSelectable)]float64 `json:"selections"`
+	Reconfigs  int64                                `json:"reconfigs"`
+	FinalKind  Kind                                 `json:"finalKind"`
+	MeanReward float64                              `json:"meanReward"`
 }
 
 // Results is one simulation's outcome.
 type Results struct {
-	Design Design
-	Cycles Cycle
-	Apps   []AppResult
+	Design Design      `json:"design"`
+	Cycles Cycle       `json:"cycles"`
+	Apps   []AppResult `json:"apps"`
 	// TotalEnergy covers the whole chip.
-	TotalEnergy EnergyBreakdown
+	TotalEnergy EnergyBreakdown `json:"totalEnergy"`
 }
 
 // Run advances the simulation a fixed number of cycles.
@@ -53,11 +54,53 @@ func (s *Sim) Run(cycles Cycle) { s.Kernel.RunFor(cycles) }
 // RunUntilFinished advances until every budgeted application completes or
 // maxCycles elapse; it reports whether everything finished.
 func (s *Sim) RunUntilFinished(maxCycles Cycle) bool {
+	finished, _ := s.RunUntilFinishedContext(context.Background(), maxCycles)
+	return finished
+}
+
+// runCheckCycles is the cancellation-poll granularity of the context-aware
+// run methods: ctx.Err() is consulted every runCheckCycles kernel cycles,
+// so cancellation interrupts a simulation well within one control epoch
+// (epochs are 10K cycles and up) instead of after the remaining window.
+const runCheckCycles = 1024
+
+// RunContext advances the simulation a fixed number of cycles, like Run,
+// but polls ctx every runCheckCycles cycles and stops early with ctx's
+// error when it is cancelled. A nil return means the full window ran.
+// Cancellation never corrupts the simulation: it stops between cycles, and
+// the sim can be resumed or inspected (Results) afterwards.
+func (s *Sim) RunContext(ctx context.Context, cycles Cycle) error {
+	limit := s.Kernel.Now() + cycles
+	for s.Kernel.Now() < limit {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slice := Cycle(runCheckCycles)
+		if rem := limit - s.Kernel.Now(); rem < slice {
+			slice = rem
+		}
+		s.Kernel.RunFor(slice)
+	}
+	return nil
+}
+
+// RunUntilFinishedContext advances until every budgeted application
+// completes, maxCycles elapse, or ctx is cancelled, whichever happens
+// first. It steps cycle-by-cycle (so the stop cycle — and therefore the
+// energy accounting window — is identical to RunUntilFinished) and polls
+// ctx every runCheckCycles cycles. It reports whether everything finished
+// and the context error, if cancellation cut the run short.
+func (s *Sim) RunUntilFinishedContext(ctx context.Context, maxCycles Cycle) (bool, error) {
 	limit := s.Kernel.Now() + maxCycles
-	for s.Kernel.Now() < limit && !s.Machine.AllFinished() {
+	for steps := 0; s.Kernel.Now() < limit && !s.Machine.AllFinished(); steps++ {
+		if steps%runCheckCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.Machine.AllFinished(), err
+			}
+		}
 		s.Kernel.Step()
 	}
-	return s.Machine.AllFinished()
+	return s.Machine.AllFinished(), nil
 }
 
 // Results flushes the remaining energy windows and assembles the outcome.
