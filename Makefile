@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-serve quick check fuzzseeds serve-smoke
+.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke quick check fuzzseeds serve-smoke
 
 build:
 	go build ./...
@@ -18,6 +18,7 @@ check:
 	go test -race ./...
 	go test -run 'Fuzz' ./...
 	go run ./cmd/adaptnoc-serve -smoke
+	$(MAKE) bench-tick-smoke
 
 # fuzzseeds replays the committed corpora only (fast subset of check).
 fuzzseeds:
@@ -33,6 +34,31 @@ race:
 
 bench:
 	go test -bench=. -benchtime=1x
+
+# bench-tick measures the steady-state Network.Tick benchmark (5 runs) and
+# gates it against the committed pre-optimization baseline: fail on >10%
+# mean ns/op regression or any allocs/op at all, and record the before/after
+# comparison in BENCH_tick.json.
+bench-tick:
+	go test -run '^$$' -bench 'BenchmarkNetworkTick$$' -benchmem -count 5 \
+		./internal/noc | tee /tmp/adaptnoc_bench_tick_after.txt
+	go run ./cmd/adaptnoc-benchdiff -bench BenchmarkNetworkTick \
+		-before internal/noc/testdata/bench_tick_before.txt \
+		-after /tmp/adaptnoc_bench_tick_after.txt \
+		-require-zero-allocs -json BENCH_tick.json
+
+# bench-tick-smoke is the fast gate wired into check: one short benchmark
+# iteration plus the comparator end-to-end. Timing on a loaded CI box is
+# meaningless at this length, so the ns gate is opened wide; the allocs/op
+# gate is deterministic and is the real assertion (the tick loop must stay
+# allocation-free).
+bench-tick-smoke:
+	go test -run '^$$' -bench 'BenchmarkNetworkTick$$' -benchmem -benchtime 100x \
+		./internal/noc | tee /tmp/adaptnoc_bench_tick_smoke.txt
+	go run ./cmd/adaptnoc-benchdiff -bench BenchmarkNetworkTick \
+		-before internal/noc/testdata/bench_tick_before.txt \
+		-after /tmp/adaptnoc_bench_tick_smoke.txt \
+		-require-zero-allocs -max-ns-regress 400 -json /tmp/adaptnoc_bench_tick_smoke.json
 
 # serve-smoke boots the daemon on a loopback port, round-trips one job
 # over real HTTP, and verifies the cache-hit path (also part of check).

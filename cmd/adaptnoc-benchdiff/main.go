@@ -1,0 +1,91 @@
+// Command adaptnoc-benchdiff compares two `go test -bench` text outputs and
+// gates performance regressions: it fails (exit 1) when the after run is
+// slower than the before run by more than -max-ns-regress percent on mean
+// ns/op, or when allocs/op regressed at all. With -require-zero-allocs it
+// additionally demands the after run reports exactly 0 allocs/op, which is
+// the steady-state contract of the simulator's arena allocator.
+//
+// The comparison (all runs of both files, min/mean ns/op, B/op, allocs/op,
+// the deltas, and the verdict) is written as JSON to -json, giving the repo
+// a committed before/after record (BENCH_tick.json) next to each optimized
+// benchmark's baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkNetworkTick -benchmem -count 5 ./internal/noc > after.txt
+//	adaptnoc-benchdiff -bench BenchmarkNetworkTick \
+//	    -before internal/noc/testdata/bench_tick_before.txt -after after.txt \
+//	    -json BENCH_tick.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "BenchmarkNetworkTick", "benchmark name to compare (exact, without -N cpu suffix)")
+		beforePath = flag.String("before", "", "`file` with the baseline go test -bench output")
+		afterPath  = flag.String("after", "", "`file` with the candidate go test -bench output")
+		jsonPath   = flag.String("json", "", "write the comparison record to this `file` (optional)")
+		maxNs      = flag.Float64("max-ns-regress", 10, "fail when mean ns/op regresses by more than this `percent`")
+		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail unless the after run reports exactly 0 allocs/op")
+	)
+	flag.Parse()
+	if *beforePath == "" || *afterPath == "" {
+		fmt.Fprintln(os.Stderr, "adaptnoc-benchdiff: -before and -after are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	before, err := summarizeFile(*beforePath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := summarizeFile(*afterPath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cmp := compare(*benchName, before, after, *maxNs, *zeroAllocs)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d\n",
+		*benchName, before.NsPerOpMean, after.NsPerOpMean, cmp.NsDeltaPercent,
+		before.AllocsPerOp, after.AllocsPerOp)
+	if !cmp.Pass {
+		for _, f := range cmp.Failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+func summarizeFile(path, bench string) (Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	runs, err := ParseBench(string(data), bench)
+	if err != nil {
+		return Summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return Summarize(runs), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adaptnoc-benchdiff:", err)
+	os.Exit(2)
+}

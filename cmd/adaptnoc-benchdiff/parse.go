@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark result line from `go test -bench` output.
+type Run struct {
+	Iterations  int64
+	NsPerOp     float64
+	BytesPerOp  int64
+	AllocsPerOp int64
+	HasMem      bool // line carried -benchmem columns
+}
+
+// Summary aggregates the runs of one benchmark across -count repetitions.
+// ns/op keeps both the mean (the gated metric) and the min (the least noisy
+// point estimate on a shared machine).
+type Summary struct {
+	Runs        int     `json:"runs"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Comparison is the JSON record benchdiff emits (BENCH_tick.json).
+type Comparison struct {
+	Bench            string   `json:"bench"`
+	Before           Summary  `json:"before"`
+	After            Summary  `json:"after"`
+	NsDeltaPercent   float64  `json:"ns_delta_percent"` // negative = faster
+	AllocsDelta      int64    `json:"allocs_delta"`
+	MaxNsRegressPct  float64  `json:"max_ns_regress_percent"`
+	RequireZeroAlloc bool     `json:"require_zero_allocs"`
+	Pass             bool     `json:"pass"`
+	Failures         []string `json:"failures,omitempty"`
+}
+
+// ParseBench extracts every result line for the named benchmark. Lines look
+// like
+//
+//	BenchmarkNetworkTick-8   103021   11753 ns/op   0 B/op   0 allocs/op
+//
+// where the -8 GOMAXPROCS suffix and the -benchmem columns are optional.
+func ParseBench(text, bench string) ([]Run, error) {
+	var runs []Run
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || fields[0] != bench && !strings.HasPrefix(fields[0], bench+"-") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Run{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+				ok = true
+			case "B/op":
+				r.BytesPerOp = int64(val)
+				r.HasMem = true
+			case "allocs/op":
+				r.AllocsPerOp = int64(val)
+				r.HasMem = true
+			}
+		}
+		if ok {
+			runs = append(runs, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("no result lines for %s", bench)
+	}
+	for _, r := range runs {
+		if !r.HasMem {
+			return nil, fmt.Errorf("%s results lack B/op and allocs/op; rerun with -benchmem", bench)
+		}
+	}
+	return runs, nil
+}
+
+// Summarize folds repeated runs into one record: mean and min ns/op, and the
+// worst (largest) B/op and allocs/op seen — a single allocating run is a
+// real regression even if its siblings were clean.
+func Summarize(runs []Run) Summary {
+	s := Summary{Runs: len(runs), NsPerOpMin: runs[0].NsPerOp}
+	var sum float64
+	for _, r := range runs {
+		sum += r.NsPerOp
+		if r.NsPerOp < s.NsPerOpMin {
+			s.NsPerOpMin = r.NsPerOp
+		}
+		if r.BytesPerOp > s.BytesPerOp {
+			s.BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp > s.AllocsPerOp {
+			s.AllocsPerOp = r.AllocsPerOp
+		}
+	}
+	s.NsPerOpMean = sum / float64(len(runs))
+	return s
+}
+
+// compare applies the gates and assembles the JSON record.
+func compare(bench string, before, after Summary, maxNsRegressPct float64, requireZeroAllocs bool) Comparison {
+	c := Comparison{
+		Bench:            bench,
+		Before:           before,
+		After:            after,
+		MaxNsRegressPct:  maxNsRegressPct,
+		RequireZeroAlloc: requireZeroAllocs,
+		AllocsDelta:      after.AllocsPerOp - before.AllocsPerOp,
+		Pass:             true,
+	}
+	if before.NsPerOpMean > 0 {
+		c.NsDeltaPercent = (after.NsPerOpMean - before.NsPerOpMean) / before.NsPerOpMean * 100
+	}
+	if c.NsDeltaPercent > maxNsRegressPct {
+		c.Pass = false
+		c.Failures = append(c.Failures, fmt.Sprintf(
+			"ns/op regressed %.1f%% (mean %.0f -> %.0f), limit %.1f%%",
+			c.NsDeltaPercent, before.NsPerOpMean, after.NsPerOpMean, maxNsRegressPct))
+	}
+	if after.AllocsPerOp > before.AllocsPerOp {
+		c.Pass = false
+		c.Failures = append(c.Failures, fmt.Sprintf(
+			"allocs/op regressed %d -> %d", before.AllocsPerOp, after.AllocsPerOp))
+	}
+	if requireZeroAllocs && after.AllocsPerOp != 0 {
+		c.Pass = false
+		c.Failures = append(c.Failures, fmt.Sprintf(
+			"allocs/op = %d, want 0", after.AllocsPerOp))
+	}
+	return c
+}

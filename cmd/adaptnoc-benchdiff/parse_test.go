@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: adaptnoc/internal/noc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNetworkTick-8 	  103021	     14000 ns/op	     729 B/op	      12 allocs/op
+BenchmarkNetworkTick-8 	   89695	     14200 ns/op	     729 B/op	      12 allocs/op
+BenchmarkNetworkTickIdle-8 	 1000000	       100 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	adaptnoc/internal/noc	7.660s
+`
+
+func TestParseBenchSelectsNameAndSuffix(t *testing.T) {
+	runs, err := ParseBench(sample, "BenchmarkNetworkTick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d runs, want 2 (must not match BenchmarkNetworkTickIdle)", len(runs))
+	}
+	if runs[0].NsPerOp != 14000 || runs[0].AllocsPerOp != 12 || runs[0].BytesPerOp != 729 {
+		t.Fatalf("first run parsed wrong: %+v", runs[0])
+	}
+	// The bare name (no GOMAXPROCS suffix) must parse too.
+	bare := strings.ReplaceAll(sample, "BenchmarkNetworkTick-8", "BenchmarkNetworkTick")
+	if runs, err = ParseBench(bare, "BenchmarkNetworkTick"); err != nil || len(runs) != 2 {
+		t.Fatalf("bare-name parse: %d runs, err %v", len(runs), err)
+	}
+}
+
+func TestParseBenchRejectsMissingBenchmem(t *testing.T) {
+	if _, err := ParseBench("BenchmarkNetworkTick 100 14000 ns/op\n", "BenchmarkNetworkTick"); err == nil {
+		t.Fatal("accepted output without -benchmem columns")
+	}
+	if _, err := ParseBench(sample, "BenchmarkAbsent"); err == nil {
+		t.Fatal("accepted absent benchmark")
+	}
+}
+
+func TestSummarizeTakesMeanMinAndWorstAllocs(t *testing.T) {
+	s := Summarize([]Run{
+		{NsPerOp: 10000, AllocsPerOp: 0, BytesPerOp: 0, HasMem: true},
+		{NsPerOp: 14000, AllocsPerOp: 3, BytesPerOp: 128, HasMem: true},
+	})
+	if s.NsPerOpMean != 12000 || s.NsPerOpMin != 10000 {
+		t.Fatalf("ns summary wrong: %+v", s)
+	}
+	if s.AllocsPerOp != 3 || s.BytesPerOp != 128 {
+		t.Fatalf("a single allocating run must dominate the summary: %+v", s)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := Summary{Runs: 5, NsPerOpMean: 14000, NsPerOpMin: 13500, AllocsPerOp: 12}
+	for _, tc := range []struct {
+		name  string
+		after Summary
+		zero  bool
+		pass  bool
+	}{
+		{"improved to zero allocs", Summary{NsPerOpMean: 10500, NsPerOpMin: 10300, AllocsPerOp: 0}, true, true},
+		{"slower beyond limit", Summary{NsPerOpMean: 16000, AllocsPerOp: 0}, false, false},
+		{"within noise", Summary{NsPerOpMean: 14500, AllocsPerOp: 12}, false, true},
+		{"alloc regression", Summary{NsPerOpMean: 13000, AllocsPerOp: 13}, false, false},
+		{"nonzero with zero required", Summary{NsPerOpMean: 13000, AllocsPerOp: 12}, true, false},
+	} {
+		c := compare("BenchmarkNetworkTick", base, tc.after, 10, tc.zero)
+		if c.Pass != tc.pass {
+			t.Errorf("%s: pass = %v, want %v (failures: %v)", tc.name, c.Pass, tc.pass, c.Failures)
+		}
+	}
+}

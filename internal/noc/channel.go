@@ -103,6 +103,15 @@ type Channel struct {
 	net    *Network
 	queued bool
 
+	// Resolved endpoints, set when the channel is wired into a network so
+	// the per-delivery hot path dispatches through a direct pointer rather
+	// than an endpoint-kind switch plus injector map lookup. dstRouter is
+	// nil on ejection channels (the NI consumes); srcRouter is nil on
+	// injection channels, where srcInj holds the credit sink instead.
+	srcRouter *Router
+	dstRouter *Router
+	srcInj    *injector
+
 	fwd     []inFlight // flits toward To, FIFO by deliverAt
 	fwdHead int
 	rev     []inFlight // credits toward From

@@ -32,7 +32,20 @@ type Network struct {
 	attach []NodeID
 
 	onDeliver DeliverFunc
-	nextPkt   uint64
+	// deliverBound is the method value n.deliver, materialized once so the
+	// per-tail-flit delivery call does not rebuild it.
+	deliverBound DeliverFunc
+	nextPkt      uint64
+
+	// pool is the per-network allocation arena: packet free list plus flit
+	// slab arena, recycled at delivery (see pool.go).
+	pool pool
+
+	// ccFlits/ccCredits are CheckCreditInvariant's per-VC tallies, sized to
+	// the flat VC count once and reused so a periodic verifier pass does
+	// not allocate.
+	ccFlits   []int
+	ccCredits []int
 
 	// Active work lists: only channels with traffic in flight and routers
 	// with work are ticked; idle ones are skipped. Wakes that occur inside
@@ -107,6 +120,10 @@ func NewNetwork(cfg Config) *Network {
 		panic(err)
 	}
 	n := &Network{Cfg: cfg, lastTick: -1}
+	n.deliverBound = n.deliver
+	nvc := NumVNets * cfg.VCsPerVNet
+	n.ccFlits = make([]int, nvc)
+	n.ccCredits = make([]int, nvc)
 	if testVerifier != nil {
 		n.verifier, n.verifyEvery = testVerifier, testVerifyEvery
 	}
@@ -155,6 +172,7 @@ func (n *Network) Connect(from, to Endpoint, kind ChannelKind, latency, tiles in
 	ch.net = n
 	src := n.routers[from.Router]
 	dst := n.routers[to.Router]
+	ch.srcRouter, ch.dstRouter = src, dst
 	nvc := NumVNets * n.Cfg.VCsPerVNet
 	src.attachOut(from.Port, ch, nvc, n.Cfg.VCDepth)
 	dst.attachIn(to.Port, ch)
@@ -214,6 +232,7 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 		Endpoint{Kind: EndRouter, Router: router, Port: port},
 		kind, latency, 1)
 	injCh.net = n
+	injCh.dstRouter = r
 	n.channels = append(n.channels, injCh)
 	r.attachIn(port, injCh)
 	if withEjection {
@@ -222,6 +241,7 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 			Endpoint{Kind: EndNI, NI: router, Port: port},
 			kind, latency, 1)
 		ejCh.net = n
+		ejCh.srcRouter = r
 		n.channels = append(n.channels, ejCh)
 		nvc := NumVNets * n.Cfg.VCsPerVNet
 		r.attachOut(port, ejCh, nvc, n.Cfg.VCDepth)
@@ -233,6 +253,7 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 		n.attach[t] = router
 	}
 	inj := newInjector(r, port, injCh, nis, withEjection)
+	injCh.srcInj = inj
 	n.injectors[injKey{router, port}] = inj
 	n.injList = append(n.injList, inj)
 	sort.Slice(n.injList, func(i, j int) bool {
@@ -246,8 +267,14 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 
 // DetachLocal removes every NI attachment of a router (used before
 // re-clustering during reconfiguration). Injection streams must be idle.
+//
+// Detached injectors are marked and the deterministic injection list is
+// compacted once, order-preserving, after all ports are processed — a wide
+// reconfiguration wave detaching k of n injectors costs O(n + k) instead
+// of the O(k·n) of per-injector shift removal.
 func (n *Network) DetachLocal(router NodeID) {
 	r := n.routers[router]
+	detached := 0
 	for port := 0; port < r.NumPorts(); port++ {
 		key := injKey{router, port}
 		inj := n.injectors[key]
@@ -270,13 +297,22 @@ func (n *Network) DetachLocal(router NodeID) {
 		}
 		r.attachIn(port, nil)
 		delete(n.injectors, key)
-		for i, x := range n.injList {
-			if x == inj {
-				n.injList = append(n.injList[:i], n.injList[i+1:]...)
-				break
-			}
+		inj.detached = true
+		detached++
+	}
+	if detached == 0 {
+		return
+	}
+	keep := n.injList[:0]
+	for _, x := range n.injList {
+		if !x.detached {
+			keep = append(keep, x)
 		}
 	}
+	for i := len(keep); i < len(n.injList); i++ {
+		n.injList[i] = nil
+	}
+	n.injList = keep
 }
 
 // DisconnectOut detaches and removes the channel on a router output port.
@@ -297,47 +333,54 @@ func (n *Network) DisconnectOut(router NodeID, port int) {
 	n.removeChannel(ch)
 }
 
-// removeChannel deactivates and drops a channel from the live set and the
-// active work list.
+// removeChannel deactivates and drops a channel from the live set. If the
+// channel sits on the active work list it is NOT spliced out eagerly (an
+// O(active) shift per removal): deactivation alone is enough, because the
+// next Tick skips inactive channels and drops them during its ordinary
+// keep-compaction pass. A removed channel is drained by precondition, so
+// skipping it delivers nothing and same-cycle delivery order — which the
+// active list's order determines and which must stay a pure function of
+// simulation history — is untouched.
+//
+// The n.channels membership slice is unordered (it only feeds sums and
+// invariant sweeps), so swap-removal there is O(1) and stays.
 func (n *Network) removeChannel(ch *Channel) {
 	ch.setActive(false)
-	if ch.queued {
-		ch.queued = false
-		n.activeCh = dropChannel(n.activeCh, ch)
-		n.wokenCh = dropChannel(n.wokenCh, ch)
-	}
 	for i, c := range n.channels {
 		if c == ch {
 			n.channels[i] = n.channels[len(n.channels)-1]
+			n.channels[len(n.channels)-1] = nil
 			n.channels = n.channels[:len(n.channels)-1]
 			return
 		}
 	}
 }
 
-// dropChannel removes ch from list preserving order (the active list's
-// order determines same-cycle delivery order, which must stay a pure
-// function of simulation history).
-func dropChannel(list []*Channel, ch *Channel) []*Channel {
-	for i, c := range list {
-		if c == ch {
-			return append(list[:i], list[i+1:]...)
-		}
-	}
-	return list
-}
-
-// NewPacket allocates a packet with the configured size for its class.
+// NewPacket returns a packet with the configured size for its class, drawn
+// from the network's arena. The packet is valid until its delivery
+// callback returns, at which point it is recycled; see Packet.
 func (n *Network) NewPacket(src, dst NodeID, class PacketClass, vnet VNet, app int) *Packet {
 	n.nextPkt++
 	size := n.Cfg.CtrlFlits
 	if class == ClassData {
 		size = n.Cfg.DataFlits
 	}
-	return &Packet{
+	p := n.pool.getPacket()
+	// Full-literal assignment resets every pooled field (timestamps, hops,
+	// payload, dateline state, reassembly count, slab reference).
+	*p = Packet{
 		ID: n.nextPkt, Src: src, Dst: dst,
 		Class: class, VNet: vnet, Size: size, App: app,
 	}
+	return p
+}
+
+// makeFlits serializes a packet into a pooled slab from the arena.
+func (n *Network) makeFlits(p *Packet) []Flit {
+	if p.Size < 1 {
+		panic("noc: packet with no flits")
+	}
+	return fillFlits(p, n.pool.getSlab(p.Size))
 }
 
 // Enqueue submits a packet at its source NI at cycle now.
@@ -368,20 +411,30 @@ func (n *Network) Tick(now sim.Cycle) {
 
 	// Channels woken since the previous tick (router traversals, injector
 	// sends, ejection credits) join the list; their earliest delivery is
-	// this cycle at the soonest, so merging here loses nothing.
+	// this cycle at the soonest, so merging here loses nothing. Channels
+	// removed by reconfiguration are dropped here too (removeChannel does
+	// not splice work lists eagerly).
 	if len(n.wokenCh) > 0 {
 		n.activeCh = append(n.activeCh, n.wokenCh...)
 		n.wokenCh = n.wokenCh[:0]
 	}
-	tickedCh := int64(len(n.activeCh))
+	var tickedCh int64
 	keepCh := n.activeCh[:0]
 	for _, ch := range n.activeCh {
+		if !ch.active {
+			ch.queued = false
+			continue
+		}
 		n.tickChannel(ch, now)
+		tickedCh++
 		if ch.Busy() {
 			keepCh = append(keepCh, ch)
 		} else {
 			ch.queued = false
 		}
+	}
+	for i := len(keepCh); i < len(n.activeCh); i++ {
+		n.activeCh[i] = nil
 	}
 	n.activeCh = keepCh
 	n.stats.ChannelTicks += tickedCh
@@ -416,45 +469,45 @@ func (n *Network) Tick(now sim.Cycle) {
 	}
 }
 
-// tickChannel delivers due credits and flits.
+// tickChannel delivers due credits and flits. Endpoint targets were
+// resolved to direct pointers when the channel was wired (srcRouter /
+// srcInj / dstRouter), so the per-delivery path does no endpoint switch
+// and no injector map lookup.
 func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
 	ch.deliverCredits(now, func(vc int) {
-		switch ch.From.Kind {
-		case EndRouter:
-			n.routers[ch.From.Router].receiveCredit(ch.From.Port, vc, now)
-		case EndNI:
-			inj := n.injectors[injKey{ch.From.NI, ch.From.Port}]
-			if inj == nil {
-				panic("noc: credit for detached injector")
-			}
-			inj.receiveCredit(vc)
+		if ch.srcRouter != nil {
+			ch.srcRouter.receiveCredit(ch.From.Port, vc, now)
+			return
 		}
+		if ch.srcInj == nil {
+			panic("noc: credit for detached injector")
+		}
+		ch.srcInj.receiveCredit(vc)
 	})
 	ch.deliverFlits(now, func(f *Flit) {
 		if n.tracer != nil {
 			n.tracer.LinkTraversed(ch, f, now-sim.Cycle(ch.Latency), now)
 		}
-		switch ch.To.Kind {
-		case EndRouter:
-			n.routers[ch.To.Router].receiveFlit(ch.To.Port, f, now)
+		if ch.dstRouter != nil {
+			ch.dstRouter.receiveFlit(ch.To.Port, f, now)
 			// Credit returns to the sender as the buffer slot is consumed
 			// downstream; the router emits it at switch traversal via the
 			// input channel (see Router.traverse -> creditUpstream).
-		case EndNI:
-			// Ejection: the NI consumes the flit immediately and the
-			// buffer slot frees right away.
-			dst := f.Pkt.Dst
-			if n.attach[dst] != ch.From.Router {
-				panic(fmt.Sprintf("noc: packet %v ejected at router %d but tile attached to %d",
-					f.Pkt, ch.From.Router, n.attach[dst]))
-			}
-			ch.sendCredit(f.VC, now)
-			n.TotalFlitsEjected++
-			if n.tracer != nil {
-				n.tracer.FlitEjected(dst, f, now)
-			}
-			n.nis[dst].receiveFlit(f, now, n.deliver)
+			return
 		}
+		// Ejection: the NI consumes the flit immediately and the buffer
+		// slot frees right away.
+		dst := f.Pkt.Dst
+		if n.attach[dst] != ch.From.Router {
+			panic(fmt.Sprintf("noc: packet %v ejected at router %d but tile attached to %d",
+				f.Pkt, ch.From.Router, n.attach[dst]))
+		}
+		ch.sendCredit(f.VC, now)
+		n.TotalFlitsEjected++
+		if n.tracer != nil {
+			n.tracer.FlitEjected(dst, f, now)
+		}
+		n.nis[dst].receiveFlit(f, now, n.deliverBound)
 	})
 }
 
@@ -466,6 +519,15 @@ func (n *Network) deliver(p *Packet, now sim.Cycle) {
 	if n.onDeliver != nil {
 		n.onDeliver(p, now)
 	}
+	// The packet is dead: every flit was ejected (the NI checked the tail
+	// count) and every observer has run. Recycle the flit slab and the
+	// packet into the arena; both may be reused by a later NewPacket.
+	if p.flits != nil {
+		n.pool.putSlab(p.flits)
+		p.flits = nil
+	}
+	p.Payload = nil
+	n.pool.putPacket(p)
 }
 
 // InFlightFlits counts flits buffered in routers or travelling on channels.
@@ -526,19 +588,26 @@ func (n *Network) PendingPackets() int {
 // credits plus in-flight entries must make up the full depth. Holds at any
 // cycle boundary, not just at quiescence.
 func (n *Network) CheckCreditInvariant() error {
+	// Per-VC in-flight tallies reuse the network's scratch slices (sized to
+	// the flat VC count at construction) so the periodic verifier sweep
+	// allocates nothing.
+	inFlightFlits := n.ccFlits
+	inFlightCredits := n.ccCredits
 	for _, ch := range n.channels {
-		inFlightFlits := make(map[int]int)
+		for vc := range inFlightFlits {
+			inFlightFlits[vc] = 0
+			inFlightCredits[vc] = 0
+		}
 		for _, e := range ch.fwd[ch.fwdHead:] {
 			inFlightFlits[e.flit.VC]++
 		}
-		inFlightCredits := make(map[int]int)
 		for _, e := range ch.rev[ch.revHead:] {
 			inFlightCredits[e.credit.vc]++
 		}
 		switch {
 		case ch.From.Kind == EndRouter && ch.To.Kind == EndRouter:
-			up := n.routers[ch.From.Router].outputs[ch.From.Port]
-			down := n.routers[ch.To.Router].inputs[ch.To.Port]
+			up := &n.routers[ch.From.Router].outputs[ch.From.Port]
+			down := &n.routers[ch.To.Router].inputs[ch.To.Port]
 			if up.out != ch {
 				continue
 			}
@@ -552,8 +621,8 @@ func (n *Network) CheckCreditInvariant() error {
 			}
 		case ch.From.Kind == EndNI && ch.To.Kind == EndRouter:
 			inj := n.injectors[injKey{ch.From.NI, ch.From.Port}]
-			down := n.routers[ch.To.Router].inputs[ch.To.Port]
-			if inj == nil || down == nil || down.in != ch {
+			down := &n.routers[ch.To.Router].inputs[ch.To.Port]
+			if inj == nil || down.in != ch {
 				continue
 			}
 			for vc := range inj.credits {
@@ -565,8 +634,8 @@ func (n *Network) CheckCreditInvariant() error {
 				}
 			}
 		case ch.From.Kind == EndRouter && ch.To.Kind == EndNI:
-			up := n.routers[ch.From.Router].outputs[ch.From.Port]
-			if up == nil || up.out != ch {
+			up := &n.routers[ch.From.Router].outputs[ch.From.Port]
+			if up.out != ch {
 				continue
 			}
 			for vc := range up.credits {

@@ -52,8 +52,12 @@ type NI struct {
 	// (a tree root MC has several injection ports draining one NI).
 	openStreams int
 
-	// Reassembly: flits received per in-flight inbound packet.
-	rx map[uint64]int
+	// rxOpen counts inbound packets mid-reassembly. The per-packet flit
+	// tally lives on the packet itself (Packet.rxFlits), so the NI keeps
+	// no per-packet reassembly state at all — ejection does no map work
+	// and a long-running simulation's reassembly footprint is exactly the
+	// in-flight packet population.
+	rxOpen int
 
 	// gated blocks the start of new packet streams during subNoC
 	// reconfiguration (a mid-stream packet always finishes first).
@@ -80,8 +84,13 @@ type NIActivity struct {
 }
 
 func newNI(id NodeID) *NI {
-	return &NI{ID: id, rx: make(map[uint64]int)}
+	return &NI{ID: id}
 }
+
+// RxPending returns the number of inbound packets this NI is currently
+// reassembling — the whole of its reassembly state, bounded by the
+// in-flight packet population rather than run length.
+func (n *NI) RxPending() int { return n.rxOpen }
 
 // QueueLen returns the number of packets waiting (not yet fully streamed).
 func (n *NI) QueueLen() int {
@@ -122,13 +131,16 @@ func (n *NI) receiveFlit(f *Flit, now sim.Cycle, deliver func(*Packet, sim.Cycle
 	if p.Dst != n.ID {
 		panic(fmt.Sprintf("noc: flit for %d ejected at NI %d", p.Dst, n.ID))
 	}
-	n.rx[p.ID]++
+	if p.rxFlits == 0 {
+		n.rxOpen++
+	}
+	p.rxFlits++
 	n.act.DeliveredFlits++
 	if f.Tail {
-		if got := n.rx[p.ID]; got != p.Size {
-			panic(fmt.Sprintf("noc: packet %v tail after %d/%d flits", p, got, p.Size))
+		if p.rxFlits != p.Size {
+			panic(fmt.Sprintf("noc: packet %v tail after %d/%d flits", p, p.rxFlits, p.Size))
 		}
-		delete(n.rx, p.ID)
+		n.rxOpen--
 		p.EjectedAt = now
 		n.act.DeliveredPackets++
 		if deliver != nil {
@@ -144,7 +156,7 @@ func (n *NI) receiveFlit(f *Flit, now sim.Cycle, deliver func(*Packet, sim.Cycle
 type niStream struct {
 	ni      *NI
 	cur     *Packet
-	flits   []*Flit
+	flits   []Flit // the packet's arena slab; dropped at tail send
 	nextSeq int
 	vcFlat  int
 }
@@ -165,6 +177,10 @@ type injector struct {
 	// primary marks the injector that accounts its NIs' queue-occupancy
 	// statistics (secondary root-fanout injectors must not double-count).
 	primary bool
+	// detached marks an injector removed by DetachLocal; the network's
+	// injection list drops marked entries in one order-preserving
+	// compaction pass.
+	detached bool
 }
 
 func newInjector(r *Router, port int, ch *Channel, nis []*NI, primary bool) *injector {
@@ -231,7 +247,7 @@ func (inj *injector) tryStart(st *niStream) bool {
 				continue
 			}
 			st.cur = ni.takePacket(v, idx)
-			st.flits = MakeFlits(st.cur)
+			st.flits = inj.router.net.makeFlits(st.cur)
 			st.nextSeq = 0
 			st.vcFlat = granted
 			inj.owner[granted] = st.cur
@@ -256,7 +272,7 @@ func (inj *injector) trySend(st *niStream, now sim.Cycle) bool {
 	if inj.credits[st.vcFlat] <= 0 {
 		return false
 	}
-	f := st.flits[st.nextSeq]
+	f := &st.flits[st.nextSeq]
 	f.VC = st.vcFlat
 	inj.credits[st.vcFlat]--
 	inj.ch.send(f, now)

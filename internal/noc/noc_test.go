@@ -103,7 +103,7 @@ func TestChannelOneFlitPerCycle(t *testing.T) {
 		Endpoint{Kind: EndRouter, Router: 1, Port: PortWest}, ChanMesh, 1, 1)
 	p := &Packet{ID: 1, Size: 2}
 	fs := MakeFlits(p)
-	ch.send(fs[0], 10)
+	ch.send(&fs[0], 10)
 	defer func() {
 		if r := recover(); r == nil {
 			t.Fatal("two sends in one cycle did not panic")
@@ -111,7 +111,7 @@ func TestChannelOneFlitPerCycle(t *testing.T) {
 			t.Fatalf("unexpected panic %v", r)
 		}
 	}()
-	ch.send(fs[1], 10)
+	ch.send(&fs[1], 10)
 }
 
 func TestChannelInactiveSendPanics(t *testing.T) {
@@ -122,13 +122,14 @@ func TestChannelInactiveSendPanics(t *testing.T) {
 			t.Fatal("send on inactive channel did not panic")
 		}
 	}()
-	ch.send(MakeFlits(&Packet{ID: 1, Size: 1})[0], 0)
+	fs := MakeFlits(&Packet{ID: 1, Size: 1})
+	ch.send(&fs[0], 0)
 }
 
 func TestChannelDeliveryLatencyAndHarvest(t *testing.T) {
 	ch := newChannel(Endpoint{Kind: EndRouter}, Endpoint{Kind: EndRouter, Router: 1}, ChanMesh, 3, 1)
-	f := MakeFlits(&Packet{ID: 1, Size: 1})[0]
-	ch.send(f, 5)
+	fs := MakeFlits(&Packet{ID: 1, Size: 1})
+	ch.send(&fs[0], 5)
 	delivered := 0
 	ch.deliverFlits(7, func(*Flit) { delivered++ })
 	if delivered != 0 {

@@ -11,6 +11,12 @@ import (
 // bookkeeping follows the paper's split: queuing latency is time spent
 // waiting at the source network interface, network latency is time from
 // first entering a router until the tail flit is ejected.
+//
+// Packets minted by Network.NewPacket are recycled: when the delivery
+// callback returns, the packet and its flit slab go back to the network's
+// arena (see pool.go) and the same memory may serve a later NewPacket.
+// Observers must copy what they need inside the callback and must not
+// retain the *Packet.
 type Packet struct {
 	ID    uint64
 	Src   NodeID
@@ -42,6 +48,14 @@ type Packet struct {
 	// dimension (lastDim tracks the dimension of the previous hop).
 	datelineClass int
 	lastDim       int8
+
+	// flits is the packet's serialized flit slab, one contiguous []Flit
+	// carved from the owning network's arena; recycled at delivery.
+	flits []Flit
+	// rxFlits counts flits received by the destination NI; replaces the
+	// NI-side reassembly map so ejection does no map work and reassembly
+	// state is exactly O(in-flight packets).
+	rxFlits int
 }
 
 // QueuingLatency returns cycles spent waiting at the source NI.
@@ -61,6 +75,11 @@ func (p *Packet) String() string {
 
 // Flit is the unit of flow control. Flits of one packet always travel in
 // order on the same VC of each hop (virtual cut-through).
+//
+// Flits are values inside their packet's slab; the *Flit pointers passed
+// through channels and router buffers point into that slab and are only
+// valid while the packet is in flight. Identity that must outlive delivery
+// is (Pkt.ID, Seq), never the pointer.
 type Flit struct {
 	Pkt  *Packet
 	Seq  int // 0-based position within the packet
@@ -76,15 +95,23 @@ type Flit struct {
 	visibleAt sim.Cycle
 }
 
-// MakeFlits serializes a packet into its flits.
-func MakeFlits(p *Packet) []*Flit {
+// MakeFlits serializes a packet into a freshly allocated flit slab. The
+// injection path uses the pooled Network.makeFlits instead; this entry
+// point serves tests and standalone channel use.
+func MakeFlits(p *Packet) []Flit {
 	if p.Size < 1 {
 		panic("noc: packet with no flits")
 	}
+	return fillFlits(p, make([]Flit, p.Size))
+}
+
+// fillFlits initializes a slab of exactly p.Size flits in place and records
+// it as the packet's slab for recycling at delivery.
+func fillFlits(p *Packet, fs []Flit) []Flit {
 	p.lastDim = -1
-	fs := make([]*Flit, p.Size)
+	p.flits = fs
 	for i := range fs {
-		fs[i] = &Flit{
+		fs[i] = Flit{
 			Pkt:  p,
 			Seq:  i,
 			Head: i == 0,

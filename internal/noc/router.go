@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"adaptnoc/internal/sim"
 )
@@ -68,6 +69,12 @@ type InputPort struct {
 	in       *Channel
 	vcs      []vcState
 	occupied int
+	// liveMask has bit i set while vcs[i] buffers at least one flit, so the
+	// pipeline visits occupied VCs directly (ascending bit order == the
+	// slice order a full scan would use, so arbitration is unchanged).
+	// Maintained only for the first 64 VCs; configurations beyond that fall
+	// back to the full scan (see stagePipeline).
+	liveMask uint64
 }
 
 // OutputPort is one router output: the attached outgoing channel, credit
@@ -107,8 +114,11 @@ type Router struct {
 	cfg *Config
 	net *Network
 
-	inputs  []*InputPort
-	outputs []*OutputPort
+	// Ports are stored by value so a router's port state is one contiguous
+	// slab (the pipeline touches every occupied port each cycle). Element
+	// pointers are taken only transiently: AddPort may relocate the slices.
+	inputs  []InputPort
+	outputs []OutputPort
 
 	tables       [NumVNets]*RoutingTable
 	tableReadyAt sim.Cycle // RC stalls before this cycle (Ts setup window)
@@ -147,6 +157,15 @@ type Router struct {
 	// saBuckets is per-output-port request scratch reused across cycles.
 	saBuckets [][]saRequest
 
+	// heldMask and reqMask drive the switch-allocation sweep: bit oi is set
+	// while output oi is held by a streaming packet (persistent, maintained
+	// by traverse/attachOut) or received an SA request this cycle (cleared
+	// each stagePipeline). Only outputs with a bit set can do switch work,
+	// so the sweep skips the rest. Maintained for the first 64 ports;
+	// wider routers fall back to sweeping every output.
+	heldMask uint64
+	reqMask  uint64
+
 	// Activity counters (window-accumulated; see TakeActivity).
 	act RouterActivity
 }
@@ -182,13 +201,20 @@ func newRouter(id NodeID, nports int, cfg *Config, net *Network) *Router {
 func (r *Router) addPortLocked() int {
 	p := len(r.inputs)
 	nvc := NumVNets * r.cfg.VCsPerVNet
-	in := &InputPort{index: p, vcs: make([]vcState, nvc)}
+	in := InputPort{index: p, vcs: make([]vcState, nvc)}
+	// All VC rings of a port share one backing array, so the pipeline's
+	// walk over a port's occupied VCs stays within a few cache lines.
+	depth := r.cfg.VCDepth
+	backing := make([]*Flit, nvc*depth)
 	for i := range in.vcs {
-		in.vcs[i].ring = make([]*Flit, r.cfg.VCDepth)
+		in.vcs[i].ring = backing[i*depth : (i+1)*depth : (i+1)*depth]
 		in.vcs[i].resetHeadState()
 	}
 	r.inputs = append(r.inputs, in)
-	r.outputs = append(r.outputs, &OutputPort{index: p, holdPort: -1, holdVC: -1})
+	r.outputs = append(r.outputs, OutputPort{index: p, holdPort: -1, holdVC: -1})
+	// The switch-allocation scratch grows with the port count here, at
+	// construction, so stagePipeline never allocates.
+	r.saBuckets = append(r.saBuckets, nil)
 	return p
 }
 
@@ -309,7 +335,7 @@ func (r *Router) Occupancy() int { return r.buffered }
 
 // PortEmpty reports whether an input port's VC buffers hold no flits.
 func (r *Router) PortEmpty(port int) bool {
-	in := r.inputs[port]
+	in := &r.inputs[port]
 	for i := range in.vcs {
 		if in.vcs[i].len() > 0 {
 			return false
@@ -403,7 +429,7 @@ func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
 		r.parked = false
 		r.net.wokenR = append(r.net.wokenR, r)
 	}
-	in := r.inputs[port]
+	in := &r.inputs[port]
 	vc := &in.vcs[f.VC]
 	if vc.len() >= r.cfg.VCDepth {
 		panic(fmt.Sprintf("noc: buffer overflow at router %d port %d vc %d (credit protocol violated)",
@@ -428,6 +454,9 @@ func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
 		}
 	}
 	vc.push(f)
+	if f.VC < 64 {
+		in.liveMask |= 1 << uint(f.VC)
+	}
 	in.occupied++
 	r.buffered++
 	r.act.BufferWrites++
@@ -440,20 +469,20 @@ func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
 // receiveCredit is called by the network when a credit returns to one of
 // this router's output ports.
 func (r *Router) receiveCredit(port, vc int, now sim.Cycle) {
-	out := r.outputs[port]
+	out := &r.outputs[port]
 	out.credits[vc]++
 	if out.credits[vc] > out.depth {
 		panic(fmt.Sprintf("noc: credit overflow at router %d port %d vc %d", r.ID, port, vc))
 	}
 }
 
-// allowedOutVCs iterates the VCs the packet may be allocated downstream,
-// honouring vnet partitioning, dateline classes, and the VC policy. class
-// is the packet's dateline class after the hop being allocated.
-func (r *Router) allowedOutVCs(p *Packet, class int, yield func(flatVC int) bool) {
-	v := p.VNet
-	lo, hi := 0, r.cfg.VCsPerVNet
-	if r.useDateline[v] && r.cfg.VCsPerVNet > 1 {
+// outVCRange returns the [lo, hi) range of within-vnet VC indices a packet
+// may claim downstream under dateline classing; class is the packet's
+// dateline class after the hop being allocated. The VC policy is applied by
+// the callers on top of this range.
+func (r *Router) outVCRange(p *Packet, class int) (lo, hi int) {
+	lo, hi = 0, r.cfg.VCsPerVNet
+	if r.useDateline[p.VNet] && r.cfg.VCsPerVNet > 1 {
 		half := r.cfg.VCsPerVNet / 2
 		if class == 0 {
 			hi = half
@@ -461,6 +490,15 @@ func (r *Router) allowedOutVCs(p *Packet, class int, yield func(flatVC int) bool
 			lo = half
 		}
 	}
+	return lo, hi
+}
+
+// allowedOutVCs iterates the VCs the packet may be allocated downstream,
+// honouring vnet partitioning, dateline classes, and the VC policy. class
+// is the packet's dateline class after the hop being allocated.
+func (r *Router) allowedOutVCs(p *Packet, class int, yield func(flatVC int) bool) {
+	v := p.VNet
+	lo, hi := r.outVCRange(p, class)
 	for k := lo; k < hi; k++ {
 		if r.policy != nil && !r.policy(p, v, k) {
 			continue
@@ -543,138 +581,183 @@ type saRequest struct {
 // sequential RC -> VA -> SA evaluation order per VC is identical to
 // separate passes.
 func (r *Router) stagePipeline(now sim.Cycle) {
-	if len(r.saBuckets) < len(r.outputs) {
-		r.saBuckets = make([][]saRequest, len(r.outputs))
-	}
-	buckets := r.saBuckets
-	for i := range buckets {
-		buckets[i] = buckets[i][:0]
-	}
 	tablesReady := now >= r.tableReadyAt
+	r.reqMask = 0
 
-	for _, in := range r.inputs {
+	// Walk only the occupied VCs of each port via the live-bit mask; set
+	// bits ascend, so VC order matches the full scan exactly. The mask
+	// tracks 64 VCs — wider configurations scan the whole slice.
+	maskScan := NumVNets*r.cfg.VCsPerVNet <= 64
+	for pi := range r.inputs {
+		in := &r.inputs[pi]
 		if in.occupied == 0 {
 			continue
 		}
-		for i := range in.vcs {
-			vc := &in.vcs[i]
-			f := vc.front()
-			if f == nil || f.visibleAt > now {
-				continue
+		if maskScan {
+			for mask := in.liveMask; mask != 0; mask &= mask - 1 {
+				r.stageVC(in, bits.TrailingZeros64(mask), now, tablesReady)
 			}
-			// RC: route the packet at the head of the VC.
-			if f.Head && !vc.routed {
-				if !tablesReady {
-					continue
-				}
-				tbl := r.tables[f.Pkt.VNet]
-				if tbl == nil {
-					continue
-				}
-				e, ok := tbl.Lookup(f.Pkt.Dst)
-				if !ok {
-					panic(fmt.Sprintf("noc: router %d has no %s route to %d (pkt %v)",
-						r.ID, f.Pkt.VNet, f.Pkt.Dst, f.Pkt))
-				}
-				vc.routed = true
-				vc.outPort = int(e.OutPort)
-				// Dateline class: reset when the hop enters a new
-				// dimension (each ring's dependency cycle is broken
-				// independently under dimension-ordered routing), then
-				// apply the table's operation.
-				base := f.Pkt.datelineClass
-				if PortDim(vc.outPort) != f.Pkt.lastDim {
-					base = 0
-				}
-				switch e.Class {
-				case ClassKeep:
-					vc.classAfter = base
-				case ClassSet1:
-					vc.classAfter = 1
-				case ClassSet0:
-					vc.classAfter = 0
-				}
-				r.act.RoutedPackets++
-				if r.net.tracer != nil {
-					r.net.tracer.FlitRouted(r.ID, f, vc.outPort, now)
-				}
+		} else {
+			for i := range in.vcs {
+				r.stageVC(in, i, now, tablesReady)
 			}
-			if !vc.routed {
-				continue
-			}
-			out := r.outputs[vc.outPort]
-			if out.out == nil {
-				panic(fmt.Sprintf("noc: router %d port %d routed but has no output channel", r.ID, vc.outPort))
-			}
-			// VA: claim a downstream VC for the whole packet (virtual
-			// cut-through: unowned and with credits for every flit).
-			if vc.outVC < 0 {
-				granted := -1
-				r.allowedOutVCs(f.Pkt, vc.classAfter, func(flat int) bool {
-					if out.owner[flat] == nil && out.credits[flat] >= f.Pkt.Size {
-						granted = flat
-						return false
-					}
-					return true
-				})
-				if granted < 0 {
-					continue
-				}
-				vc.outVC = granted
-				out.owner[granted] = f.Pkt
-				r.act.VAGrants++
-				if r.net.tracer != nil {
-					r.net.tracer.FlitVCAllocated(r.ID, f, granted, now)
-				}
-			}
-			// SA request: eligible when credits exist and the output is
-			// not held by another packet.
-			if out.credits[vc.outVC] <= 0 || !out.holdFree() {
-				continue
-			}
-			buckets[vc.outPort] = append(buckets[vc.outPort], saRequest{port: in.index, vc: i})
 		}
 	}
 
+	// Switch allocation visits only outputs that are held or requested;
+	// every other output would no-op. The snapshot stays accurate mid-loop
+	// because a traverse can only change the hold of the output being
+	// visited. Requests are filed only for hold-free outputs and holds only
+	// change during this sweep, so a held output's bucket is always empty.
+	if len(r.outputs) <= 64 {
+		for m := r.heldMask | r.reqMask; m != 0; m &= m - 1 {
+			r.arbitrateOutput(bits.TrailingZeros64(m), now)
+		}
+		return
+	}
+	for oi := range r.outputs {
+		r.arbitrateOutput(oi, now)
+	}
+}
+
+// arbitrateOutput runs switch allocation for one output port: continue the
+// held packet if one streams, else pick the round-robin winner among this
+// cycle's requests and traverse it. Consumed request buckets are reset here.
+func (r *Router) arbitrateOutput(oi int, now sim.Cycle) {
+	out := &r.outputs[oi]
+	if out.out == nil {
+		return
+	}
+	if !out.holdFree() {
+		// Continue the held packet if its next flit is ready.
+		r.saBuckets[oi] = r.saBuckets[oi][:0]
+		vc := &r.inputs[out.holdPort].vcs[out.holdVC]
+		f := vc.front()
+		if f != nil && f.visibleAt <= now && out.credits[vc.outVC] > 0 {
+			r.traverse(out, out.holdPort, out.holdVC, now)
+		}
+		return
+	}
+	reqs := r.saBuckets[oi]
+	if len(reqs) == 0 {
+		return
+	}
+	r.saBuckets[oi] = reqs[:0]
 	nvc := NumVNets * r.cfg.VCsPerVNet
 	total := len(r.inputs) * nvc
-	for oi, out := range r.outputs {
-		if out.out == nil {
-			continue
+	best, bestKey := -1, 1<<30
+	for ri, rq := range reqs {
+		key := (rq.port*nvc + rq.vc - out.rr + total) % total
+		if key < bestKey {
+			bestKey = key
+			best = ri
 		}
-		if !out.holdFree() {
-			// Continue the held packet if its next flit is ready.
-			vc := &r.inputs[out.holdPort].vcs[out.holdVC]
-			f := vc.front()
-			if f != nil && f.visibleAt <= now && out.credits[vc.outVC] > 0 {
-				r.traverse(out, out.holdPort, out.holdVC, now)
-			}
-			continue
-		}
-		reqs := buckets[oi]
-		if len(reqs) == 0 {
-			continue
-		}
-		best, bestKey := -1, 1<<30
-		for ri, rq := range reqs {
-			key := (rq.port*nvc + rq.vc - out.rr + total) % total
-			if key < bestKey {
-				bestKey = key
-				best = ri
-			}
-		}
-		win := reqs[best]
-		out.rr = (win.port*nvc + win.vc + 1) % total
-		r.traverse(out, win.port, win.vc, now)
 	}
+	win := reqs[best]
+	out.rr = (win.port*nvc + win.vc + 1) % total
+	r.traverse(out, win.port, win.vc, now)
+}
+
+// stageVC runs the RC -> VA -> SA-request steps for one input VC: route the
+// head packet, claim a downstream VC (virtual cut-through), and file a
+// switch request into the output's bucket when eligible.
+func (r *Router) stageVC(in *InputPort, i int, now sim.Cycle, tablesReady bool) {
+	vc := &in.vcs[i]
+	f := vc.front()
+	if f == nil || f.visibleAt > now {
+		return
+	}
+	// RC: route the packet at the head of the VC.
+	if f.Head && !vc.routed {
+		if !tablesReady {
+			return
+		}
+		tbl := r.tables[f.Pkt.VNet]
+		if tbl == nil {
+			return
+		}
+		e, ok := tbl.Lookup(f.Pkt.Dst)
+		if !ok {
+			panic(fmt.Sprintf("noc: router %d has no %s route to %d (pkt %v)",
+				r.ID, f.Pkt.VNet, f.Pkt.Dst, f.Pkt))
+		}
+		vc.routed = true
+		vc.outPort = int(e.OutPort)
+		// Dateline class: reset when the hop enters a new dimension (each
+		// ring's dependency cycle is broken independently under
+		// dimension-ordered routing), then apply the table's operation.
+		base := f.Pkt.datelineClass
+		if PortDim(vc.outPort) != f.Pkt.lastDim {
+			base = 0
+		}
+		switch e.Class {
+		case ClassKeep:
+			vc.classAfter = base
+		case ClassSet1:
+			vc.classAfter = 1
+		case ClassSet0:
+			vc.classAfter = 0
+		}
+		r.act.RoutedPackets++
+		if r.net.tracer != nil {
+			r.net.tracer.FlitRouted(r.ID, f, vc.outPort, now)
+		}
+	}
+	if !vc.routed {
+		return
+	}
+	out := &r.outputs[vc.outPort]
+	if out.out == nil {
+		panic(fmt.Sprintf("noc: router %d port %d routed but has no output channel", r.ID, vc.outPort))
+	}
+	// VA: claim a downstream VC for the whole packet (virtual cut-through:
+	// unowned and with credits for every flit). The allowed-VC scan is
+	// written out directly — a closure here is a per-VC-per-cycle indirect
+	// call on the hottest path in the simulator.
+	if vc.outVC < 0 {
+		granted := -1
+		v := f.Pkt.VNet
+		lo, hi := r.outVCRange(f.Pkt, vc.classAfter)
+		for k := lo; k < hi; k++ {
+			if r.policy != nil && !r.policy(f.Pkt, v, k) {
+				continue
+			}
+			flat := r.vcIndex(v, k)
+			if out.owner[flat] == nil && out.credits[flat] >= f.Pkt.Size {
+				granted = flat
+				break
+			}
+		}
+		if granted < 0 {
+			return
+		}
+		vc.outVC = granted
+		out.owner[granted] = f.Pkt
+		r.act.VAGrants++
+		if r.net.tracer != nil {
+			r.net.tracer.FlitVCAllocated(r.ID, f, granted, now)
+		}
+	}
+	// SA request: eligible when credits exist and the output is not held by
+	// another packet.
+	if out.credits[vc.outVC] <= 0 || !out.holdFree() {
+		return
+	}
+	if vc.outPort < 64 {
+		r.reqMask |= 1 << uint(vc.outPort)
+	}
+	r.saBuckets[vc.outPort] = append(r.saBuckets[vc.outPort], saRequest{port: in.index, vc: i})
 }
 
 // traverse moves the front flit of (port, vc) through the crossbar onto the
 // output channel, returns a credit upstream, and updates hold/ownership.
 func (r *Router) traverse(out *OutputPort, port, vcIdx int, now sim.Cycle) {
-	in := r.inputs[port]
+	in := &r.inputs[port]
 	vc := &in.vcs[vcIdx]
 	f := vc.pop()
+	if vc.n == 0 && vcIdx < 64 {
+		in.liveMask &^= 1 << uint(vcIdx)
+	}
 	in.occupied--
 	r.buffered--
 
@@ -707,8 +790,14 @@ func (r *Router) traverse(out *OutputPort, port, vcIdx int, now sim.Cycle) {
 		out.owner[outVC] = nil
 		out.holdPort, out.holdVC = -1, -1
 		vc.resetHeadState()
+		if out.index < 64 {
+			r.heldMask &^= 1 << uint(out.index)
+		}
 	} else {
 		out.holdPort, out.holdVC = port, vcIdx
+		if out.index < 64 {
+			r.heldMask |= 1 << uint(out.index)
+		}
 	}
 }
 
@@ -718,7 +807,8 @@ func (r *Router) ForEachBufferedFlit(fn func(port, vc int, f *Flit)) {
 	if r.buffered == 0 {
 		return
 	}
-	for _, in := range r.inputs {
+	for pi := range r.inputs {
+		in := &r.inputs[pi]
 		if in.occupied == 0 {
 			continue
 		}
@@ -736,7 +826,7 @@ func (r *Router) ForEachBufferedFlit(fn func(port, vc int, f *Flit)) {
 // tests can prove the invariant checker detects a credit leak; nothing in
 // the simulator calls it.
 func (r *Router) DebugDropCredit(port, vc int) {
-	out := r.outputs[port]
+	out := &r.outputs[port]
 	if out.credits[vc] <= 0 {
 		panic(fmt.Sprintf("noc: DebugDropCredit with no credit at router %d port %d vc %d", r.ID, port, vc))
 	}
@@ -745,7 +835,7 @@ func (r *Router) DebugDropCredit(port, vc int) {
 
 // attachIn connects a channel to an input port (the input mux selection).
 func (r *Router) attachIn(port int, ch *Channel) {
-	in := r.inputs[port]
+	in := &r.inputs[port]
 	if in.in != nil && ch != nil && in.in != ch && in.in.Busy() {
 		panic(fmt.Sprintf("noc: re-muxing busy input %d.%d", r.ID, port))
 	}
@@ -755,7 +845,7 @@ func (r *Router) attachIn(port int, ch *Channel) {
 // attachOut connects a channel to an output port and initializes the credit
 // mirror of the downstream buffer (downDepth flits per VC).
 func (r *Router) attachOut(port int, ch *Channel, downVCs, downDepth int) {
-	out := r.outputs[port]
+	out := &r.outputs[port]
 	if out.out != nil && ch != nil && out.out != ch && !out.holdFree() {
 		panic(fmt.Sprintf("noc: re-muxing busy output %d.%d", r.ID, port))
 	}
@@ -767,6 +857,9 @@ func (r *Router) attachOut(port int, ch *Channel, downVCs, downDepth int) {
 		out.credits[i] = downDepth
 	}
 	out.holdPort, out.holdVC = -1, -1
+	if out.index < 64 {
+		r.heldMask &^= 1 << uint(out.index)
+	}
 }
 
 // OutputChannel returns the channel attached to an output port (nil if

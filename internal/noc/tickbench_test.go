@@ -1,0 +1,74 @@
+package noc_test
+
+import (
+	"testing"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/topology"
+)
+
+// steadyState builds an 8x8 mesh carrying a fixed closed-loop population of
+// packets: every delivery immediately enqueues a successor from the
+// delivered packet's destination, so the in-flight load is constant forever
+// and the tick loop runs at its true steady-state cost — no RNG, no open
+// loop drift, fully deterministic. The returned step function advances one
+// cycle.
+func steadyState(population int) (net *noc.Network, step func(), delivered *int64) {
+	cfg := noc.DefaultConfig() // 8x8, Tr=2, Tl=1
+	net = noc.NewNetwork(cfg)
+	topology.BuildMesh(net)
+	// The package test hook installs a periodic invariant verifier on every
+	// network; benchmarks and allocation tests measure the bare tick loop.
+	net.SetVerifier(0, nil)
+
+	nodes := net.Cfg.NumNodes()
+	const stride = 27 // coprime to 64: packets tour the whole chip
+	var count int64
+	next := func(src noc.NodeID, i int64) *noc.Packet {
+		dst := noc.NodeID((int(src) + stride) % nodes)
+		class, vnet := noc.ClassCoherence, noc.VNetRequest
+		if i%4 == 0 { // every fourth packet is multi-flit data
+			class, vnet = noc.ClassData, noc.VNetReply
+		}
+		return net.NewPacket(src, dst, class, vnet, 0)
+	}
+
+	var now sim.Cycle
+	var nDelivered int64
+	net.SetDeliverFunc(func(p *noc.Packet, at sim.Cycle) {
+		nDelivered++
+		count++
+		net.Enqueue(next(p.Dst, count), at)
+	})
+	for i := 0; i < population; i++ {
+		count++
+		net.Enqueue(next(noc.NodeID(i%nodes), count), 0)
+	}
+	step = func() {
+		net.Tick(now)
+		now++
+	}
+	return net, step, &nDelivered
+}
+
+// BenchmarkNetworkTick measures one cycle of the loaded steady-state tick
+// loop — the per-cycle cost every simulation in the serving daemon and the
+// experiment drivers pays. The companion allocation test
+// (TestSteadyStateTickZeroAllocs) asserts the same workload allocates
+// nothing per tick; make bench-tick gates both against the recorded
+// baseline via cmd/adaptnoc-benchdiff.
+func BenchmarkNetworkTick(b *testing.B) {
+	_, step, delivered := steadyState(96)
+	for i := 0; i < 4000; i++ { // warm pools, queues, and work lists
+		step()
+	}
+	if *delivered == 0 {
+		b.Fatal("no deliveries during warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

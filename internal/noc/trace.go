@@ -12,7 +12,9 @@ import "adaptnoc/internal/sim"
 // predicted branch per event and nothing else. Implementations live in
 // internal/obs (Chrome trace_event export, binary ring buffer, latency
 // histograms); they must not mutate the flits or packets they observe and
-// must not retain *Flit pointers past the packet's delivery.
+// must not retain *Flit or *Packet pointers past the packet's delivery:
+// both index into the network's arena and are recycled by a later packet
+// (see pool.go). Identity that must outlive delivery is (Pkt.ID, Seq).
 //
 // All callbacks run synchronously inside Network.Tick in deterministic
 // simulation order, so a tracer needs no locking of its own.

@@ -31,7 +31,7 @@ type ChromeTracer struct {
 	Dropped int64
 
 	events  []chromeEvent
-	pending map[*noc.Flit]hopState
+	pending map[flitKey]hopState
 
 	linkIDs   map[*noc.Channel]int
 	linkNames []string
@@ -50,6 +50,16 @@ const (
 	pidLinks   = 2
 	pidNIs     = 3
 )
+
+// flitKey is the stable identity of a flit across its lifetime. *Flit
+// pointers index into per-packet arena slabs that are recycled at delivery,
+// so a pointer key could alias a past flit; (packet ID, sequence) cannot.
+type flitKey struct {
+	pkt uint64
+	seq int
+}
+
+func keyOf(f *noc.Flit) flitKey { return flitKey{pkt: f.Pkt.ID, seq: f.Seq} }
 
 type hopState struct {
 	router noc.NodeID
@@ -80,7 +90,7 @@ func NewChromeTracer() *ChromeTracer {
 
 func (c *ChromeTracer) ensure() {
 	if c.pending == nil {
-		c.pending = make(map[*noc.Flit]hopState)
+		c.pending = make(map[flitKey]hopState)
 		c.linkIDs = make(map[*noc.Channel]int)
 		c.routerSeen = make(map[noc.NodeID]bool)
 		c.niSeen = make(map[noc.NodeID]bool)
@@ -150,32 +160,32 @@ func (c *ChromeTracer) PacketInjected(p *noc.Packet, router noc.NodeID, now Cycl
 // FlitArrived implements noc.Tracer.
 func (c *ChromeTracer) FlitArrived(router noc.NodeID, port int, f *noc.Flit, now Cycle) {
 	c.ensure()
-	c.pending[f] = hopState{router: router, arrive: now}
+	c.pending[keyOf(f)] = hopState{router: router, arrive: now}
 }
 
 // FlitRouted implements noc.Tracer.
 func (c *ChromeTracer) FlitRouted(router noc.NodeID, f *noc.Flit, outPort int, now Cycle) {
-	if h, ok := c.pending[f]; ok {
+	if h, ok := c.pending[keyOf(f)]; ok {
 		h.rc, h.hasRC = now, true
-		c.pending[f] = h
+		c.pending[keyOf(f)] = h
 	}
 }
 
 // FlitVCAllocated implements noc.Tracer.
 func (c *ChromeTracer) FlitVCAllocated(router noc.NodeID, f *noc.Flit, outVC int, now Cycle) {
-	if h, ok := c.pending[f]; ok {
+	if h, ok := c.pending[keyOf(f)]; ok {
 		h.va, h.hasVA = now, true
-		c.pending[f] = h
+		c.pending[keyOf(f)] = h
 	}
 }
 
 // FlitTraversed implements noc.Tracer.
 func (c *ChromeTracer) FlitTraversed(router noc.NodeID, outPort int, f *noc.Flit, now Cycle) {
-	h, ok := c.pending[f]
+	h, ok := c.pending[keyOf(f)]
 	if !ok {
 		return
 	}
-	delete(c.pending, f)
+	delete(c.pending, keyOf(f))
 	c.touchRouter(router)
 	args := map[string]any{
 		"dst": int(f.Pkt.Dst), "outPort": noc.DirPortName(outPort), "vnet": f.Pkt.VNet.String(),
@@ -201,7 +211,7 @@ func (c *ChromeTracer) LinkTraversed(ch *noc.Channel, f *noc.Flit, sent, arrived
 func (c *ChromeTracer) FlitEjected(ni noc.NodeID, f *noc.Flit, now Cycle) {
 	// The per-flit record of ejection is the tail of its last link slice;
 	// only packet completion gets its own instant (see PacketDelivered).
-	delete(c.pending, f)
+	delete(c.pending, keyOf(f))
 }
 
 // PacketDelivered implements noc.Tracer.
