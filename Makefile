@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke quick check fuzzseeds serve-smoke
+.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-checkpoint quick check cover fuzzseeds serve-smoke
 
 build:
 	go build ./...
@@ -19,6 +19,18 @@ check:
 	go test -run 'Fuzz' ./...
 	go run ./cmd/adaptnoc-serve -smoke
 	$(MAKE) bench-tick-smoke
+	$(MAKE) cover
+
+# cover runs the suite with cross-package coverage (root-package tests
+# exercise internal/noc, internal/system, etc., which per-package numbers
+# would miss) and enforces a floor. Browse with `go tool cover -html=cover.out`.
+COVER_FLOOR := 75.0
+cover:
+	go test -coverpkg=./... -coverprofile=cover.out ./...
+	@total=$$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage below $(COVER_FLOOR)% floor"; exit 1; }
 
 # fuzzseeds replays the committed corpora only (fast subset of check).
 fuzzseeds:
@@ -69,6 +81,11 @@ serve-smoke:
 # submissions of the identical request and records BENCH_serve.json.
 bench-serve:
 	go run ./cmd/adaptnoc-serve -benchjson BENCH_serve.json
+
+# bench-checkpoint measures checkpoint blob size, encode time, and restore
+# time per design point and records BENCH_checkpoint.json.
+bench-checkpoint:
+	go test -run TestCheckpointBenchRecord -checkpoint-benchjson BENCH_checkpoint.json .
 
 quick:
 	go run ./cmd/adaptnoc-experiments -quick

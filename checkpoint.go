@@ -1,0 +1,225 @@
+package adaptnoc
+
+// Checkpoint/restore: the whole simulation round-trips through a single
+// versioned binary blob. The blob embeds the canonical configuration as
+// JSON, so a fresh process rebuilds the identical simulation skeleton with
+// NewSim and then overlays every layer's dynamic state section by section.
+//
+// Section order is fixed and mirrors the restore dependencies:
+//
+//	config   — canonical Config (JSON); drives NewSim
+//	fabric   — subNoC topology kinds; replayed first so the network's
+//	           wiring and routing tables match the checkpoint
+//	machine  — cores, apps, MCs, transaction table; restored before the
+//	           network so packet payloads can resolve transaction IDs
+//	net      — packets, routers, channels, NIs, work lists
+//	meter    — energy account
+//	control  — epoch controller + RL agents (Adapt designs)
+//	oscar    — VC partition state (DesignOSCAR)
+//	kernel   — clock and future-event list; restored last so events
+//	           scheduled during construction and replay are discarded
+//
+// A checkpoint is only valid for the exact simulator version that wrote
+// it (snap.Version pins the format; there is no migration).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"adaptnoc/internal/runner"
+	"adaptnoc/internal/snap"
+)
+
+// Checkpoint serializes the complete simulation state. The simulation can
+// keep running afterwards; a checkpoint is a pure read.
+//
+// Configurations carrying an in-process shared RL agent (RL.SharedAgent)
+// cannot be checkpointed: the handle has no serialized form inside the
+// blob's config, so a restore could not rebuild the sharing.
+func (s *Sim) Checkpoint() ([]byte, error) {
+	if s.Cfg.RL.SharedAgent != nil {
+		return nil, fmt.Errorf("adaptnoc: a simulation with an in-process shared agent cannot be checkpointed")
+	}
+	cfgJSON, err := json.Marshal(s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("adaptnoc: encoding config: %w", err)
+	}
+
+	w := &snap.Writer{}
+	snap.Header(w)
+	w.Section("config", cfgJSON)
+
+	if s.Fabric != nil {
+		var fw snap.Writer
+		s.Fabric.Snapshot(&fw)
+		w.Section("fabric", fw.Bytes())
+	}
+
+	var mw snap.Writer
+	s.Machine.Snapshot(&mw)
+	w.Section("machine", mw.Bytes())
+
+	var nw snap.Writer
+	if err := s.Net.Snapshot(&nw, s.Machine); err != nil {
+		return nil, fmt.Errorf("adaptnoc: snapshotting network: %w", err)
+	}
+	w.Section("net", nw.Bytes())
+
+	var pw snap.Writer
+	s.Meter.Snapshot(&pw)
+	w.Section("meter", pw.Bytes())
+
+	switch {
+	case s.Ctl != nil:
+		var cw snap.Writer
+		s.Ctl.Snapshot(&cw)
+		if err := s.Ctl.SnapshotPolicies(&cw); err != nil {
+			return nil, err
+		}
+		w.Section("control", cw.Bytes())
+	case s.OSCAR != nil:
+		var ow snap.Writer
+		s.OSCAR.Snapshot(&ow)
+		w.Section("oscar", ow.Bytes())
+	}
+
+	var kw snap.Writer
+	if err := s.Kernel.Snapshot(&kw); err != nil {
+		return nil, fmt.Errorf("adaptnoc: snapshotting kernel: %w", err)
+	}
+	w.Section("kernel", kw.Bytes())
+	return w.Bytes(), nil
+}
+
+// RestoreSim rebuilds a simulation from a checkpoint blob, in this or any
+// other process. The restored simulation continues exactly where the
+// checkpointed one stood: running both to the same cycle produces
+// byte-identical results.
+func RestoreSim(blob []byte) (*Sim, error) {
+	r := snap.NewReader(blob)
+	if err := snap.CheckHeader(r); err != nil {
+		return nil, fmt.Errorf("adaptnoc: checkpoint header: %w", err)
+	}
+	cr, err := r.Section("config")
+	if err != nil {
+		return nil, fmt.Errorf("adaptnoc: checkpoint config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(cr.Rest(), &cfg); err != nil {
+		return nil, fmt.Errorf("adaptnoc: checkpoint config: %w", err)
+	}
+	// Validate bounds the config (grid fit, agent sizes) before NewSim
+	// commits any memory to it — a corrupted blob must fail cleanly.
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptnoc: checkpoint config: %w", err)
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("adaptnoc: rebuilding simulation: %w", err)
+	}
+
+	restore := func(name string, fn func(*snap.Reader) error) error {
+		sr, err := r.Section(name)
+		if err != nil {
+			return err
+		}
+		if err := fn(sr); err != nil {
+			return fmt.Errorf("adaptnoc: restoring %s: %w", name, err)
+		}
+		if err := sr.Done(); err != nil {
+			return fmt.Errorf("adaptnoc: restoring %s: %w", name, err)
+		}
+		return nil
+	}
+
+	if s.Fabric != nil {
+		if err := restore("fabric", s.Fabric.Restore); err != nil {
+			return nil, err
+		}
+	}
+	if err := restore("machine", s.Machine.Restore); err != nil {
+		return nil, err
+	}
+	if err := restore("net", func(sr *snap.Reader) error {
+		return s.Net.Restore(sr, s.Machine)
+	}); err != nil {
+		return nil, err
+	}
+	if err := restore("meter", s.Meter.Restore); err != nil {
+		return nil, err
+	}
+	switch {
+	case s.Ctl != nil:
+		if err := restore("control", func(sr *snap.Reader) error {
+			if err := s.Ctl.Restore(sr); err != nil {
+				return err
+			}
+			return s.Ctl.RestorePolicies(sr)
+		}); err != nil {
+			return nil, err
+		}
+	case s.OSCAR != nil:
+		if err := restore("oscar", s.OSCAR.Restore); err != nil {
+			return nil, err
+		}
+	}
+	if err := restore("kernel", s.Kernel.Restore); err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteCheckpoint serializes the simulation and writes it to path
+// atomically (temp file + rename), so a crash mid-write never leaves a
+// torn checkpoint behind.
+func (s *Sim) WriteCheckpoint(path string) error {
+	blob, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreSimFromFile reads a checkpoint written by WriteCheckpoint.
+func RestoreSimFromFile(path string) (*Sim, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreSim(blob)
+}
+
+// RunContextCheckpointed advances the simulation like RunContext but
+// writes a checkpoint to path every `every` cycles and at the end of the
+// window (every <= 0 saves only at the end). The run computes exactly
+// what RunContext computes — slicing never changes simulation behaviour.
+func (s *Sim) RunContextCheckpointed(ctx context.Context, cycles Cycle, path string, every Cycle) error {
+	return runner.Checkpointed(ctx, cycles, every,
+		func(ctx context.Context, slice Cycle) error { return s.RunContext(ctx, slice) },
+		nil,
+		func() error { return s.WriteCheckpoint(path) })
+}
+
+// RunUntilFinishedCheckpointed advances like RunUntilFinishedContext with
+// the same periodic checkpointing as RunContextCheckpointed.
+func (s *Sim) RunUntilFinishedCheckpointed(ctx context.Context, maxCycles Cycle, path string, every Cycle) (bool, error) {
+	var finished bool
+	err := runner.Checkpointed(ctx, maxCycles, every,
+		func(ctx context.Context, slice Cycle) error {
+			var err error
+			finished, err = s.RunUntilFinishedContext(ctx, slice)
+			return err
+		},
+		func() bool { return finished },
+		func() error { return s.WriteCheckpoint(path) })
+	return finished, err
+}

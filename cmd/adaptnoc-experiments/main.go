@@ -4,7 +4,15 @@
 // Usage:
 //
 //	adaptnoc-experiments [-quick] [-parallel n] [-fig list] [-benchjson file]
-//	                     [-pprof addr]
+//	                     [-pprof addr] [-checkpoint dir] [-checkpoint-every n]
+//	                     [-resume]
+//
+// -checkpoint persists every simulation's state to the named directory
+// (content-addressed by canonical config, refreshed every
+// -checkpoint-every cycles, kept after completion). -resume continues an
+// interrupted suite from those files — completed runs fast-forward
+// straight to their results — and the emitted tables are byte-identical
+// either way.
 //
 // -fig selects a comma-separated subset: 7,8,9,10,11,12,13,14,15,16,17,
 // 18,19, area, wiring, timing, chars (latency-throughput curves),
@@ -63,6 +71,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulations to run at once (0 = one per CPU, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "write serial-vs-parallel wall-clock JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	checkpoint := flag.String("checkpoint", "", "persist per-simulation checkpoints to this directory")
+	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoint saves (0 = only at the end of each run)")
+	resume := flag.Bool("resume", false, "continue from checkpoints in the -checkpoint directory")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -82,6 +93,13 @@ func main() {
 		o.Seed = *seed
 	}
 	o.Parallelism = *parallel
+	o.CheckpointDir = *checkpoint
+	o.CheckpointEvery = adaptnoc.Cycle(*checkpointEvery)
+	o.Resume = *resume
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "adaptnoc-experiments: -resume needs -checkpoint")
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {

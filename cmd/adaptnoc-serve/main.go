@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -48,11 +49,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Checkpoints live beside the result cache: a canceled job's mid-run
+	// state persists across daemon restarts just like finished results do.
+	ckptDir := ""
+	if *cacheDir != "" {
+		ckptDir = filepath.Join(*cacheDir, "checkpoints")
+	}
 	srv := serve.New(serve.Options{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		CacheBytes: *cacheBytes,
-		CacheDir:   *cacheDir,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		CacheBytes:    *cacheBytes,
+		CacheDir:      *cacheDir,
+		CheckpointDir: ckptDir,
 	})
 
 	if *smoke || *benchJSON != "" {

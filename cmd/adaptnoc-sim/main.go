@@ -9,6 +9,14 @@
 //	             [-trace out.json] [-traceformat chrome|ring] [-tracecap N]
 //	             [-hist] [-verify N] [-pprof addr]
 //	             [-epochtrace] [-stats] [-layout] [-json]
+//	             [-checkpoint file] [-checkpoint-every N] [-resume file]
+//
+// -checkpoint saves the complete simulation state to a file as the run
+// advances (every -checkpoint-every cycles; 0 saves only at the end).
+// -resume restores such a file — the checkpoint embeds its own
+// configuration, so the workload flags are ignored — and runs the
+// remaining cycles; the results are byte-identical to an uninterrupted
+// run.
 //
 // Designs: baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc.
 // Topologies for -apps: mesh, cmesh, torus, tree, torus+tree.
@@ -22,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,6 +66,9 @@ func main() {
 	layout := flag.Bool("layout", false, "render each subNoC's final physical configuration")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	listProfiles := flag.Bool("profiles", false, "list available application profiles and exit")
+	checkpoint := flag.String("checkpoint", "", "save the simulation state to this file as the run advances")
+	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoint saves (0 = only at the end)")
+	resumeFrom := flag.String("resume", "", "restore this checkpoint and continue (workload flags are ignored)")
 	flag.Parse()
 
 	if *listProfiles {
@@ -77,35 +89,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adaptnoc-sim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	apps := adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
-	apps[0].ShareMCs = *share
-	if *appsFlag != "" {
-		apps, err = adaptnoc.ParseAppSpecs(*appsFlag)
+	var s *adaptnoc.Sim
+	var apps []adaptnoc.AppSpec
+	if *resumeFrom != "" {
+		s, err = adaptnoc.RestoreSimFromFile(*resumeFrom)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
 			os.Exit(1)
 		}
-		for i := range apps {
-			apps[i].InstrBudget = *budget
+		apps = s.Cfg.Apps // the checkpoint's own workload
+		fmt.Fprintf(os.Stderr, "adaptnoc-sim: resumed %s (%s) at cycle %d\n",
+			*resumeFrom, s.Cfg.Design, s.Kernel.Now())
+	} else {
+		apps = adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
+		apps[0].ShareMCs = *share
+		if *appsFlag != "" {
+			apps, err = adaptnoc.ParseAppSpecs(*appsFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
+			for i := range apps {
+				apps[i].InstrBudget = *budget
+			}
 		}
-	}
-	cfg := adaptnoc.Config{
-		Design:      d,
-		Apps:        apps,
-		Seed:        *seed,
-		EpochCycles: *epoch,
-	}
-	if d == adaptnoc.DesignAdaptNoC {
-		cfg.RL.Pretrained = adaptnoc.DefaultPolicy()
-		if cfg.RL.Pretrained == nil {
-			fmt.Fprintln(os.Stderr, "adaptnoc-sim: no embedded policy; training online")
-			cfg.RL.Train = true
+		cfg := adaptnoc.Config{
+			Design:      d,
+			Apps:        apps,
+			Seed:        *seed,
+			EpochCycles: *epoch,
 		}
-	}
-	s, err := adaptnoc.NewSim(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
-		os.Exit(1)
+		if d == adaptnoc.DesignAdaptNoC {
+			cfg.RL.Pretrained = adaptnoc.DefaultPolicy()
+			if cfg.RL.Pretrained == nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim: no embedded policy; training online")
+				cfg.RL.Train = true
+			}
+		}
+		s, err = adaptnoc.NewSim(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
 	}
 
 	// Observability: tracers are fanned out through a Tee so -trace and
@@ -147,13 +172,45 @@ func main() {
 		s.Net.SetVerifier(*verifyEvery, obs.Verify)
 	}
 
-	if *budget > 0 {
-		if !s.RunUntilFinished(adaptnoc.Cycle(100 * *cycles)) {
+	budgeted := *budget > 0
+	if *resumeFrom != "" {
+		budgeted = false
+		for _, a := range apps {
+			if a.InstrBudget > 0 {
+				budgeted = true
+				break
+			}
+		}
+	}
+	every := adaptnoc.Cycle(*checkpointEvery)
+	if budgeted {
+		maxCycles := adaptnoc.Cycle(100 * *cycles)
+		var finished bool
+		if *checkpoint != "" {
+			finished, err = s.RunUntilFinishedCheckpointed(context.Background(),
+				maxCycles-s.Kernel.Now(), *checkpoint, every)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
+		} else if remaining := maxCycles - s.Kernel.Now(); remaining > 0 {
+			finished = s.RunUntilFinished(remaining)
+		}
+		if !finished && !s.Machine.AllFinished() {
 			fmt.Fprintln(os.Stderr, "adaptnoc-sim: workload did not finish; raise -cycles")
 			os.Exit(1)
 		}
 	} else {
-		s.Run(adaptnoc.Cycle(*cycles))
+		total := adaptnoc.Cycle(*cycles)
+		if *checkpoint != "" {
+			if err := s.RunContextCheckpointed(context.Background(),
+				total-s.Kernel.Now(), *checkpoint, every); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
+		} else if remaining := total - s.Kernel.Now(); remaining > 0 {
+			s.Run(remaining)
+		}
 	}
 	res := s.Results()
 	if *jsonOut {

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	adaptnoc-train [-rounds N] [-cycles N] [-epoch N] [-seed N] [-o weights.json]
+//	               [-checkpoint file] [-checkpoint-every N] [-resume]
+//	               [-max-episodes N]
+//
+// With -checkpoint the trainer saves its full learning state every
+// -checkpoint-every episodes; -resume continues from that file, producing
+// an agent byte-identical to an uninterrupted run. -max-episodes bounds
+// one session so long trainings can be split across invocations.
 package main
 
 import (
@@ -23,14 +30,26 @@ func main() {
 	seed := flag.Uint64("seed", o.Seed, "random seed")
 	out := flag.String("o", "weights.json", "output path for the trained network")
 	quiet := flag.Bool("q", false, "suppress per-episode progress")
+	checkpoint := flag.String("checkpoint", "", "save training state to this file as episodes complete")
+	every := flag.Int("checkpoint-every", 1, "episodes between checkpoint saves")
+	resume := flag.Bool("resume", false, "continue from the -checkpoint file when it exists")
+	maxEpisodes := flag.Int("max-episodes", 0, "stop after this many episodes this invocation (0 = all remaining)")
 	flag.Parse()
 
 	o.Rounds = *rounds
 	o.EpisodeCycles = *cycles
 	o.EpochCycles = *epoch
 	o.Seed = *seed
+	o.CheckpointPath = *checkpoint
+	o.CheckpointEvery = *every
+	o.Resume = *resume
+	o.MaxEpisodes = *maxEpisodes
 	if !*quiet {
 		o.Log = os.Stderr
+	}
+	if (*resume || *maxEpisodes > 0) && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "adaptnoc-train: -resume and -max-episodes need -checkpoint")
+		os.Exit(2)
 	}
 
 	agent, err := train.Train(o)

@@ -144,9 +144,17 @@ type Controller struct {
 	started  bool
 }
 
+// Kernel operation IDs owned by this package (range 300-399).
+const (
+	// opCtlEpoch is the RL controller's periodic epoch boundary.
+	opCtlEpoch sim.OpID = 300 + iota
+	// opOscarEpoch is the OSCAR controller's periodic VC re-balancing.
+	opOscarEpoch
+)
+
 // NewController assembles the control plane.
 func NewController(kernel *sim.Kernel, fab *fabric.Fabric, machine *system.Machine, meter *power.Meter) *Controller {
-	return &Controller{
+	c := &Controller{
 		EpochCycles: 50000,
 		kernel:      kernel,
 		fab:         fab,
@@ -154,6 +162,8 @@ func NewController(kernel *sim.Kernel, fab *fabric.Fabric, machine *system.Machi
 		meter:       meter,
 		scales:      rl.DefaultScales(),
 	}
+	kernel.RegisterOp(opCtlEpoch, func(now sim.Cycle, _ [3]int64) { c.onEpoch(now) })
+	return c
 }
 
 // Bind attaches a policy to a subNoC/application pair.
@@ -172,7 +182,7 @@ func (c *Controller) Start() {
 		panic("core: controller started twice")
 	}
 	c.started = true
-	c.kernel.After(sim.Cycle(c.EpochCycles), c.onEpoch)
+	c.kernel.AfterOp(sim.Cycle(c.EpochCycles), opCtlEpoch, 0, 0, 0)
 }
 
 // onEpoch processes every binding, then reschedules itself.
@@ -181,7 +191,7 @@ func (c *Controller) onEpoch(now sim.Cycle) {
 	for _, b := range c.bindings {
 		c.processBinding(b, now)
 	}
-	c.kernel.After(sim.Cycle(c.EpochCycles), c.onEpoch)
+	c.kernel.AfterOp(sim.Cycle(c.EpochCycles), opCtlEpoch, 0, 0, 0)
 }
 
 // processBinding observes one subNoC's epoch, learns, decides, and

@@ -46,6 +46,7 @@ func NewOSCARController(kernel *sim.Kernel, net *noc.Network, apps []*system.App
 		demand:      make(map[int]int64),
 	}
 	o.partition(equalShares(len(apps)))
+	kernel.RegisterOp(opOscarEpoch, func(now sim.Cycle, _ [3]int64) { o.onEpoch(now) })
 
 	// ownerOf maps each tile to the app occupying it (-1 if none).
 	ownerOf := make([]int, net.Cfg.NumNodes())
@@ -85,7 +86,7 @@ func (o *OSCARController) Start() {
 		panic("core: OSCAR controller started twice")
 	}
 	o.started = true
-	o.kernel.After(sim.Cycle(o.EpochCycles), o.onEpoch)
+	o.kernel.AfterOp(sim.Cycle(o.EpochCycles), opOscarEpoch, 0, 0, 0)
 }
 
 func (o *OSCARController) onEpoch(now sim.Cycle) {
@@ -107,7 +108,7 @@ func (o *OSCARController) onEpoch(now sim.Cycle) {
 		}
 	}
 	o.partition(shares)
-	o.kernel.After(sim.Cycle(o.EpochCycles), o.onEpoch)
+	o.kernel.AfterOp(sim.Cycle(o.EpochCycles), opOscarEpoch, 0, 0, 0)
 }
 
 // partition assigns the V VCs of each vnet to apps by largest-remainder

@@ -1,0 +1,328 @@
+package core
+
+// Checkpoint support. The controller's dynamic state is the epoch counter
+// and each binding's learning context (previous state/action, selection
+// histogram, trace, reward and energy accumulators); the policy's own
+// state (DQN weights, Q table) is serialized through the Policy-specific
+// agents by the top-level checkpoint. Bindings are serialized in Bind
+// order, which is construction order and therefore stable.
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/power"
+	"adaptnoc/internal/snap"
+	"adaptnoc/internal/topology"
+)
+
+// Snapshot writes the controller's dynamic state.
+func (c *Controller) Snapshot(w *snap.Writer) {
+	w.Int(c.epoch)
+	w.Bool(c.started)
+	w.Uvarint(uint64(len(c.bindings)))
+	for _, b := range c.bindings {
+		w.Int(b.SubNoC.ID)
+		w.Bool(b.hasPrev)
+		if b.hasPrev {
+			w.F64s(b.prevState)
+			w.Int(int(b.prevAction))
+		}
+		for _, n := range b.Selections {
+			w.I64(n)
+		}
+		w.F64(b.RewardSum)
+		w.I64(b.EpochCount)
+		power.SnapshotBreakdown(w, b.Energy)
+		w.Uvarint(uint64(len(b.Trace)))
+		for _, t := range b.Trace {
+			w.Int(t.Epoch)
+			w.Int(int(t.Kind))
+			w.Int(int(t.Chosen))
+			w.F64(t.AvgNetLat)
+			w.F64(t.AvgQueueLat)
+			w.F64(t.AvgHops)
+			w.F64(t.PowerMW)
+			w.F64(t.Reward)
+			w.I64(t.Delivered)
+			w.I64(t.RetiredInstr)
+			w.F64s(t.State)
+		}
+	}
+}
+
+// Restore overlays a state written by Snapshot onto a controller with the
+// same bindings (same subNoCs bound in the same order).
+func (c *Controller) Restore(r *snap.Reader) error {
+	var err error
+	if c.epoch, err = r.Int(); err != nil {
+		return err
+	}
+	if c.started, err = r.Bool(); err != nil {
+		return err
+	}
+	n, err := r.Count(4)
+	if err != nil {
+		return err
+	}
+	if n != len(c.bindings) {
+		return fmt.Errorf("core: checkpoint has %d bindings, controller has %d", n, len(c.bindings))
+	}
+	for _, b := range c.bindings {
+		id, err := r.Int()
+		if err != nil {
+			return err
+		}
+		if id != b.SubNoC.ID {
+			return fmt.Errorf("core: checkpoint binding for subNoC %d, controller has %d", id, b.SubNoC.ID)
+		}
+		if b.hasPrev, err = r.Bool(); err != nil {
+			return err
+		}
+		if b.hasPrev {
+			if b.prevState, err = r.F64s(); err != nil {
+				return err
+			}
+			act, err := r.Int()
+			if err != nil {
+				return err
+			}
+			if act < 0 || act >= int(topology.NumSelectable) {
+				return fmt.Errorf("core: binding %d previous action %d", id, act)
+			}
+			b.prevAction = topology.Kind(act)
+		} else {
+			b.prevState, b.prevAction = nil, 0
+		}
+		for i := range b.Selections {
+			if b.Selections[i], err = r.I64(); err != nil {
+				return err
+			}
+		}
+		if b.RewardSum, err = r.F64(); err != nil {
+			return err
+		}
+		if b.EpochCount, err = r.I64(); err != nil {
+			return err
+		}
+		if b.Energy, err = power.RestoreBreakdown(r); err != nil {
+			return err
+		}
+		nTrace, err := r.Count(10)
+		if err != nil {
+			return err
+		}
+		b.Trace = b.Trace[:0]
+		for i := 0; i < nTrace; i++ {
+			var t EpochRecord
+			if t.Epoch, err = r.Int(); err != nil {
+				return err
+			}
+			kind, err := r.Int()
+			if err != nil {
+				return err
+			}
+			t.Kind = topology.Kind(kind)
+			chosen, err := r.Int()
+			if err != nil {
+				return err
+			}
+			t.Chosen = topology.Kind(chosen)
+			for _, dst := range []*float64{
+				&t.AvgNetLat, &t.AvgQueueLat, &t.AvgHops, &t.PowerMW, &t.Reward,
+			} {
+				if *dst, err = r.F64(); err != nil {
+					return err
+				}
+			}
+			if t.Delivered, err = r.I64(); err != nil {
+				return err
+			}
+			if t.RetiredInstr, err = r.I64(); err != nil {
+				return err
+			}
+			if t.State, err = r.F64s(); err != nil {
+				return err
+			}
+			b.Trace = append(b.Trace, t)
+		}
+	}
+	return nil
+}
+
+// SnapshotPolicies writes the agent state behind every binding's policy.
+// Policies are serialized in binding order with a per-policy kind tag so a
+// mismatched restore fails loudly rather than misreading bytes.
+func (c *Controller) SnapshotPolicies(w *snap.Writer) error {
+	w.Uvarint(uint64(len(c.bindings)))
+	for _, b := range c.bindings {
+		switch p := b.Policy.(type) {
+		case StaticPolicy:
+			w.Int(policyStatic)
+		case *DQNPolicy:
+			w.Int(policyDQN)
+			p.Agent.Snapshot(w)
+			w.I64(p.lastInferences)
+		case *QTablePolicy:
+			w.Int(policyQTable)
+			p.Agent.Snapshot(w)
+		default:
+			return fmt.Errorf("core: unserializable policy %T for subNoC %d", b.Policy, b.SubNoC.ID)
+		}
+	}
+	return nil
+}
+
+// Policy kind tags in the checkpoint stream.
+const (
+	policyStatic = iota
+	policyDQN
+	policyQTable
+)
+
+// RestorePolicies reads agent state written by SnapshotPolicies into the
+// controller's existing policies, which must be of the same kinds.
+func (c *Controller) RestorePolicies(r *snap.Reader) error {
+	n, err := r.Count(1)
+	if err != nil {
+		return err
+	}
+	if n != len(c.bindings) {
+		return fmt.Errorf("core: checkpoint has %d policies, controller has %d", n, len(c.bindings))
+	}
+	for _, b := range c.bindings {
+		kind, err := r.Int()
+		if err != nil {
+			return err
+		}
+		switch p := b.Policy.(type) {
+		case StaticPolicy:
+			if kind != policyStatic {
+				return fmt.Errorf("core: checkpoint policy kind %d for static binding %d", kind, b.SubNoC.ID)
+			}
+		case *DQNPolicy:
+			if kind != policyDQN {
+				return fmt.Errorf("core: checkpoint policy kind %d for DQN binding %d", kind, b.SubNoC.ID)
+			}
+			if err := p.Agent.Restore(r); err != nil {
+				return err
+			}
+			if p.lastInferences, err = r.I64(); err != nil {
+				return err
+			}
+		case *QTablePolicy:
+			if kind != policyQTable {
+				return fmt.Errorf("core: checkpoint policy kind %d for Q-table binding %d", kind, b.SubNoC.ID)
+			}
+			if err := p.Agent.Restore(r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: unserializable policy %T for subNoC %d", b.Policy, b.SubNoC.ID)
+		}
+	}
+	return nil
+}
+
+// Snapshot writes the OSCAR controller's dynamic state.
+func (o *OSCARController) Snapshot(w *snap.Writer) {
+	w.Bool(o.started)
+	w.I64(o.Reallocations)
+	snapshotIntSliceMap(w, o.assignment)
+	keys := sortedKeys(o.demand)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Int(k)
+		w.I64(o.demand[k])
+	}
+}
+
+// Restore overlays a state written by Snapshot. The assignment map is
+// updated in place because the routers' VC-policy closures read it live.
+func (o *OSCARController) Restore(r *snap.Reader) error {
+	var err error
+	if o.started, err = r.Bool(); err != nil {
+		return err
+	}
+	if o.Reallocations, err = r.I64(); err != nil {
+		return err
+	}
+	assign, err := restoreIntSliceMap(r)
+	if err != nil {
+		return err
+	}
+	n, err := r.Count(2)
+	if err != nil {
+		return err
+	}
+	demand := make(map[int]int64, n)
+	for i := 0; i < n; i++ {
+		k, err := r.Int()
+		if err != nil {
+			return err
+		}
+		v, err := r.I64()
+		if err != nil {
+			return err
+		}
+		demand[k] = v
+	}
+	for k := range o.assignment {
+		delete(o.assignment, k)
+	}
+	for k, v := range assign {
+		o.assignment[k] = v
+	}
+	o.demand = demand
+	return nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func snapshotIntSliceMap(w *snap.Writer, m map[int][]int) {
+	keys := sortedKeys(m)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Int(k)
+		w.Uvarint(uint64(len(m[k])))
+		for _, v := range m[k] {
+			w.Int(v)
+		}
+	}
+}
+
+func restoreIntSliceMap(r *snap.Reader) (map[int][]int, error) {
+	n, err := r.Count(2)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int][]int, n)
+	for i := 0; i < n; i++ {
+		k, err := r.Int()
+		if err != nil {
+			return nil, err
+		}
+		nv, err := r.Count(1)
+		if err != nil {
+			return nil, err
+		}
+		vs := make([]int, nv)
+		for j := range vs {
+			if vs[j], err = r.Int(); err != nil {
+				return nil, err
+			}
+		}
+		m[k] = vs
+	}
+	return m, nil
+}

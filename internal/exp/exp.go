@@ -9,9 +9,14 @@ package exp
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"adaptnoc"
@@ -42,6 +47,19 @@ type Options struct {
 	// simulation owns its seed and state, so tables are identical at any
 	// setting (see internal/runner).
 	Parallelism int
+	// CheckpointDir, when set, persists a checkpoint per simulation,
+	// content-addressed by the canonical config, refreshed every
+	// CheckpointEvery cycles and kept after completion. Checkpoints never
+	// change what a run computes — they only make it resumable.
+	CheckpointDir string
+	// CheckpointEvery is the auto-checkpoint interval in cycles (<= 0
+	// saves only at the end of each run).
+	CheckpointEvery adaptnoc.Cycle
+	// Resume restores each simulation from its checkpoint when one exists
+	// and runs only the remaining cycles; a completed run's kept
+	// checkpoint fast-forwards straight to its results. Results are
+	// byte-identical either way.
+	Resume bool
 }
 
 // mapJobs fans the jobs over the runner pool at the options' parallelism
@@ -115,14 +133,50 @@ func (o Options) buildConfig(d adaptnoc.Design, apps []adaptnoc.AppSpec) adaptno
 	return cfg
 }
 
+// checkpointFile names a simulation's checkpoint: the SHA-256 of its
+// canonical config JSON, so any two runs of the same simulation — across
+// figures, reruns, or processes — share one file. Empty when checkpointing
+// is off.
+func (o Options) checkpointFile(cfg adaptnoc.Config) (string, error) {
+	if o.CheckpointDir == "" {
+		return "", nil
+	}
+	blob, err := json.Marshal(cfg.Canonical())
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return filepath.Join(o.CheckpointDir, hex.EncodeToString(sum[:16])+".ckpt"), nil
+}
+
 // runDesign executes one design for the options' window (or until budgeted
 // apps finish) and returns results. The context interrupts a run in flight
 // (within runCheckCycles kernel cycles) — pool cancellation does not wait
-// for the remaining simulation window.
+// for the remaining simulation window. With CheckpointDir set the run
+// auto-checkpoints, and with Resume it continues from wherever the last
+// checkpoint stood — including from a kept final checkpoint, which skips
+// the run entirely.
 func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc.Results, error) {
-	s, err := adaptnoc.NewSim(o.buildConfig(d, apps))
+	cfg := o.buildConfig(d, apps)
+	ckpt, err := o.checkpointFile(cfg)
 	if err != nil {
 		return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+	}
+	var s *adaptnoc.Sim
+	if o.Resume && ckpt != "" {
+		if restored, err := adaptnoc.RestoreSimFromFile(ckpt); err == nil {
+			s = restored
+		}
+		// A missing or unreadable checkpoint reruns from scratch:
+		// determinism makes the fast-forward an optimization only.
+	}
+	if s == nil {
+		if s, err = adaptnoc.NewSim(cfg); err != nil {
+			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+		}
 	}
 	budgeted := false
 	for _, a := range apps {
@@ -132,15 +186,26 @@ func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptn
 		}
 	}
 	if budgeted {
-		finished, err := s.RunUntilFinishedContext(ctx, 100*o.Cycles)
+		maxCycles := 100 * o.Cycles
+		var finished bool
+		if ckpt == "" {
+			finished, err = s.RunUntilFinishedContext(ctx, maxCycles)
+		} else {
+			finished, err = s.RunUntilFinishedCheckpointed(ctx, maxCycles-s.Kernel.Now(), ckpt, o.CheckpointEvery)
+		}
 		if err != nil {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
 		}
-		if !finished {
-			return adaptnoc.Results{}, fmt.Errorf("exp: %v did not finish within %d cycles", d, 100*o.Cycles)
+		if !finished && !s.Machine.AllFinished() {
+			return adaptnoc.Results{}, fmt.Errorf("exp: %v did not finish within %d cycles", d, maxCycles)
 		}
 	} else {
-		if err := s.RunContext(ctx, o.Cycles); err != nil {
+		if ckpt == "" {
+			err = s.RunContext(ctx, o.Cycles)
+		} else {
+			err = s.RunContextCheckpointed(ctx, o.Cycles-s.Kernel.Now(), ckpt, o.CheckpointEvery)
+		}
+		if err != nil {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
 		}
 	}

@@ -102,7 +102,11 @@ func New(net *noc.Network, kernel *sim.Kernel, cfg Config) *Fabric {
 	for _, r := range net.Routers() {
 		topology.EnsureAdaptPorts(r)
 	}
-	return &Fabric{cfg: cfg, net: net, kernel: kernel}
+	f := &Fabric{cfg: cfg, net: net, kernel: kernel}
+	if kernel != nil {
+		f.registerOps()
+	}
+	return f
 }
 
 // Network returns the underlying network.

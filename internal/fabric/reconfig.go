@@ -44,10 +44,56 @@ func (f *Fabric) Reconfigure(sn *SubNoC, kind topology.Kind, done func()) error 
 	sn.state = StateNotifying
 	sn.Reconfigs++
 	wave := f.notificationWave(sn.Region)
-	f.kernel.After(wave, func(now sim.Cycle) {
-		f.beginDrain(sn, kind, now, done)
-	})
+	if done == nil {
+		// The normal (controller) path schedules descriptor events, so a
+		// checkpoint can capture a reconfiguration mid-protocol and a
+		// restored kernel resumes it.
+		f.kernel.AfterOp(wave, opReconfigDrain, int64(sn.ID), int64(kind), 0)
+	} else {
+		// A completion callback cannot be serialized; this path keeps the
+		// closure form (ReconfigureBlocking, tests) and a checkpoint taken
+		// mid-protocol reports the pending closure as unserializable.
+		f.kernel.After(wave, func(now sim.Cycle) {
+			f.beginDrain(sn, kind, now, done)
+		})
+	}
 	return nil
+}
+
+// Kernel operation IDs owned by this package (range 200-299).
+const (
+	// opReconfigDrain gates subNoC args[0] and starts polling for
+	// quiescence before switching to topology args[1].
+	opReconfigDrain sim.OpID = 200 + iota
+	// opReconfigPoll re-checks quiescence of subNoC args[0] for a switch
+	// to args[1]; args[2] is the drain start cycle (deadline anchor).
+	opReconfigPoll
+	// opReconfigOpen ends the Ts setup window of subNoC args[0]; args[1]
+	// is the cycle injection gating began.
+	opReconfigOpen
+)
+
+// registerOps binds the reconfiguration protocol's descriptor events.
+func (f *Fabric) registerOps() {
+	f.kernel.RegisterOp(opReconfigDrain, func(now sim.Cycle, args [3]int64) {
+		f.beginDrain(f.subnocByID(int(args[0])), topology.Kind(args[1]), now, nil)
+	})
+	f.kernel.RegisterOp(opReconfigPoll, func(now sim.Cycle, args [3]int64) {
+		f.pollDrain(f.subnocByID(int(args[0])), topology.Kind(args[1]), sim.Cycle(args[2]), now)
+	})
+	f.kernel.RegisterOp(opReconfigOpen, func(now sim.Cycle, args [3]int64) {
+		f.openRegion(f.subnocByID(int(args[0])), sim.Cycle(args[1]), now)
+	})
+}
+
+// subnocByID resolves an ID carried by a descriptor event.
+func (f *Fabric) subnocByID(id int) *SubNoC {
+	for _, sn := range f.subnocs {
+		if sn.ID == id {
+			return sn
+		}
+	}
+	panic(fmt.Sprintf("fabric: unknown subNoC %d", id))
 }
 
 // notificationWave returns the cycles for the reconfiguration command to
@@ -64,14 +110,13 @@ func (f *Fabric) notificationWave(reg topology.Region) sim.Cycle {
 func (f *Fabric) beginDrain(sn *SubNoC, kind topology.Kind, start sim.Cycle, done func()) {
 	sn.state = StateDraining
 	f.GateRegion(sn.Region, true)
-	deadline := start + f.cfg.DrainTimeout
+	if done == nil {
+		f.kernel.AfterOp(1, opReconfigPoll, int64(sn.ID), int64(kind), int64(start))
+		return
+	}
 	var poll func(now sim.Cycle)
 	poll = func(now sim.Cycle) {
-		if !f.regionQuiescent(sn.Region) || !f.sharesQuiescent(sn) {
-			if now >= deadline {
-				panic(fmt.Sprintf("fabric: subNoC %d failed to drain within %d cycles",
-					sn.ID, f.cfg.DrainTimeout))
-			}
+		if !f.drainComplete(sn, start, now) {
 			f.kernel.After(1, poll)
 			return
 		}
@@ -80,17 +125,51 @@ func (f *Fabric) beginDrain(sn *SubNoC, kind topology.Kind, start sim.Cycle, don
 	f.kernel.After(1, poll)
 }
 
+// pollDrain is the descriptor-event form of the drain poll.
+func (f *Fabric) pollDrain(sn *SubNoC, kind topology.Kind, start, now sim.Cycle) {
+	if !f.drainComplete(sn, start, now) {
+		f.kernel.AfterOp(1, opReconfigPoll, int64(sn.ID), int64(kind), int64(start))
+		return
+	}
+	f.performSwitch(sn, kind, now, start, nil)
+}
+
+// drainComplete reports quiescence, panicking past the drain deadline.
+func (f *Fabric) drainComplete(sn *SubNoC, start, now sim.Cycle) bool {
+	if f.regionQuiescent(sn.Region) && f.sharesQuiescent(sn) {
+		return true
+	}
+	if now >= start+f.cfg.DrainTimeout {
+		panic(fmt.Sprintf("fabric: subNoC %d failed to drain within %d cycles",
+			sn.ID, f.cfg.DrainTimeout))
+	}
+	return false
+}
+
 // performSwitch executes the physical reconfiguration and schedules the
 // injection reopening after the Ts setup window.
 func (f *Fabric) performSwitch(sn *SubNoC, kind topology.Kind, now, gatedSince sim.Cycle, done func()) {
 	sn.state = StateSettingUp
+	f.switchTopology(sn, kind)
+	if done == nil {
+		f.kernel.AfterOp(sim.Cycle(f.cfg.SetupCycles), opReconfigOpen, int64(sn.ID), int64(gatedSince), 0)
+		return
+	}
+	f.kernel.After(sim.Cycle(f.cfg.SetupCycles), func(end sim.Cycle) {
+		f.openRegion(sn, gatedSince, end)
+		done()
+	})
+}
 
-	// Shares touching this region (as requester or owner) are torn down
-	// with it and re-established under the new topology in the same cycle,
-	// so foreign-destination packets elsewhere never observe a routing
-	// hole. A share that cannot be re-established would strand queued
-	// foreign-MC traffic, so it is a hard error — findCrossing is designed
-	// to succeed for every topology pair (bridging powered-off routers).
+// switchTopology is the physical part of a switch: shares touching this
+// region (as requester or owner) are torn down with it and re-established
+// under the new topology in the same cycle, so foreign-destination packets
+// elsewhere never observe a routing hole. A share that cannot be
+// re-established would strand queued foreign-MC traffic, so it is a hard
+// error — findCrossing is designed to succeed for every topology pair
+// (bridging powered-off routers). Checkpoint restore reuses this to replay
+// a region's current topology onto a freshly built network.
+func (f *Fabric) switchTopology(sn *SubNoC, kind topology.Kind) {
 	shares := f.sharesTouching(sn.Region)
 	for _, sh := range shares {
 		f.unshare(sn, sh)
@@ -103,15 +182,14 @@ func (f *Fabric) performSwitch(sn *SubNoC, kind topology.Kind, now, gatedSince s
 				sn.ID, kind, err))
 		}
 	}
+}
 
-	f.kernel.After(sim.Cycle(f.cfg.SetupCycles), func(end sim.Cycle) {
-		f.GateRegion(sn.Region, false)
-		sn.state = StateActive
-		sn.ReconfigCycles += int64(end - gatedSince)
-		if done != nil {
-			done()
-		}
-	})
+// openRegion ends the setup window: injection reopens and the gated time
+// is charged to the subNoC.
+func (f *Fabric) openRegion(sn *SubNoC, gatedSince, end sim.Cycle) {
+	f.GateRegion(sn.Region, false)
+	sn.state = StateActive
+	sn.ReconfigCycles += int64(end - gatedSince)
 }
 
 // ReconfigureBlocking runs a reconfiguration to completion by stepping the

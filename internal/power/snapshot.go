@@ -1,0 +1,89 @@
+package power
+
+// Checkpoint support. The meter's dynamic state is the accumulated energy
+// account and the per-region collection timestamps; the technology
+// parameters come from the run configuration. Router/NI/channel activity
+// windows belong to the network's snapshot.
+
+import (
+	"sort"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/snap"
+)
+
+func snapshotBreakdown(w *snap.Writer, b Breakdown) {
+	w.F64(b.BufferPJ)
+	w.F64(b.CrossbarPJ)
+	w.F64(b.ArbitrationPJ)
+	w.F64(b.LinkPJ)
+	w.F64(b.MuxPJ)
+	w.F64(b.RLPJ)
+	w.F64(b.RouterStaticPJ)
+	w.F64(b.LinkStaticPJ)
+}
+
+func restoreBreakdown(r *snap.Reader) (Breakdown, error) {
+	var b Breakdown
+	for _, dst := range []*float64{
+		&b.BufferPJ, &b.CrossbarPJ, &b.ArbitrationPJ, &b.LinkPJ,
+		&b.MuxPJ, &b.RLPJ, &b.RouterStaticPJ, &b.LinkStaticPJ,
+	} {
+		v, err := r.F64()
+		if err != nil {
+			return b, err
+		}
+		*dst = v
+	}
+	return b, nil
+}
+
+// SnapshotBreakdown writes one energy account (for callers that accumulate
+// their own Breakdown, like the controller's per-binding energy).
+func SnapshotBreakdown(w *snap.Writer, b Breakdown) { snapshotBreakdown(w, b) }
+
+// RestoreBreakdown reads an account written by SnapshotBreakdown.
+func RestoreBreakdown(r *snap.Reader) (Breakdown, error) { return restoreBreakdown(r) }
+
+// Snapshot writes the meter's dynamic state.
+func (m *Meter) Snapshot(w *snap.Writer) {
+	snapshotBreakdown(w, m.total)
+	keys := make([]int, 0, len(m.lastCollect))
+	for k := range m.lastCollect {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Int(k)
+		w.I64(int64(m.lastCollect[noc.NodeID(k)]))
+	}
+}
+
+// Restore reads a state written by Snapshot.
+func (m *Meter) Restore(r *snap.Reader) error {
+	total, err := restoreBreakdown(r)
+	if err != nil {
+		return err
+	}
+	n, err := r.Count(2)
+	if err != nil {
+		return err
+	}
+	last := make(map[noc.NodeID]sim.Cycle, n)
+	for i := 0; i < n; i++ {
+		k, err := r.Int()
+		if err != nil {
+			return err
+		}
+		at, err := r.I64()
+		if err != nil {
+			return err
+		}
+		last[noc.NodeID(k)] = sim.Cycle(at)
+	}
+	m.total = total
+	m.lastCollect = last
+	return nil
+}

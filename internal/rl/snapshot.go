@@ -1,0 +1,257 @@
+package rl
+
+// Checkpoint support. Agents are pure state machines over their weights,
+// replay buffer, and RNG, so serializing those three reproduces the exact
+// training trajectory. Hyper-parameters (DQNConfig, QTable's scalars) come
+// from the run configuration and are validated, not restored.
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptnoc/internal/snap"
+)
+
+// Snapshot writes the network's weights.
+func (n *Net) Snapshot(w *snap.Writer) {
+	w.Uvarint(uint64(len(n.Sizes)))
+	for _, s := range n.Sizes {
+		w.Int(s)
+	}
+	for l := range n.W {
+		w.F64s(n.W[l])
+		w.F64s(n.B[l])
+	}
+}
+
+// RestoreNet reads a network written by Snapshot.
+func RestoreNet(r *snap.Reader) (*Net, error) {
+	nSizes, err := r.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	if nSizes < 2 {
+		return nil, fmt.Errorf("rl: network with %d layers", nSizes)
+	}
+	n := &Net{Sizes: make([]int, nSizes)}
+	for i := range n.Sizes {
+		s, err := r.Int()
+		if err != nil {
+			return nil, err
+		}
+		if s < 1 || s > 1<<16 {
+			return nil, fmt.Errorf("rl: layer size %d", s)
+		}
+		n.Sizes[i] = s
+	}
+	n.W = make([][]float64, nSizes-1)
+	n.B = make([][]float64, nSizes-1)
+	for l := 0; l < nSizes-1; l++ {
+		if n.W[l], err = r.F64s(); err != nil {
+			return nil, err
+		}
+		if len(n.W[l]) != n.Sizes[l]*n.Sizes[l+1] {
+			return nil, fmt.Errorf("rl: layer %d has %d weights, want %d",
+				l, len(n.W[l]), n.Sizes[l]*n.Sizes[l+1])
+		}
+		if n.B[l], err = r.F64s(); err != nil {
+			return nil, err
+		}
+		if len(n.B[l]) != n.Sizes[l+1] {
+			return nil, fmt.Errorf("rl: layer %d has %d biases, want %d",
+				l, len(n.B[l]), n.Sizes[l+1])
+		}
+	}
+	return n, nil
+}
+
+func snapshotVec(w *snap.Writer, v []float64) {
+	w.Bool(v != nil)
+	if v != nil {
+		w.F64s(v)
+	}
+}
+
+func restoreVec(r *snap.Reader) ([]float64, error) {
+	ok, err := r.Bool()
+	if err != nil || !ok {
+		return nil, err
+	}
+	return r.F64s()
+}
+
+// Snapshot writes the buffer's contents and ring position.
+func (rb *ReplayBuffer) Snapshot(w *snap.Writer) {
+	w.Uvarint(uint64(len(rb.buf)))
+	w.Int(rb.next)
+	w.Bool(rb.full)
+	n := rb.Len()
+	w.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		e := rb.buf[i]
+		snapshotVec(w, e.State)
+		w.Int(e.Action)
+		w.F64(e.Reward)
+		snapshotVec(w, e.Next)
+	}
+}
+
+// Restore reads a buffer state written by Snapshot; the capacity must match.
+func (rb *ReplayBuffer) Restore(r *snap.Reader) error {
+	// The capacity is a configuration echo, not a count of following
+	// elements (the buffer may be mostly empty), so it is not
+	// bounds-checked against the remaining input — the match against the
+	// agent's own capacity below is the guard.
+	capn64, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	capn := int(capn64)
+	if capn64 > uint64(1<<32) || capn != len(rb.buf) {
+		return fmt.Errorf("rl: checkpoint replay capacity %d, agent has %d", capn, len(rb.buf))
+	}
+	if rb.next, err = r.Int(); err != nil {
+		return err
+	}
+	if rb.full, err = r.Bool(); err != nil {
+		return err
+	}
+	if rb.next < 0 || rb.next >= capn && capn > 0 {
+		return fmt.Errorf("rl: replay ring position %d of %d", rb.next, capn)
+	}
+	n, err := r.Count(4)
+	if err != nil {
+		return err
+	}
+	want := rb.next
+	if rb.full {
+		want = capn
+	}
+	if n != want {
+		return fmt.Errorf("rl: replay holds %d experiences, ring state implies %d", n, want)
+	}
+	for i := range rb.buf {
+		rb.buf[i] = Experience{}
+	}
+	for i := 0; i < n; i++ {
+		var e Experience
+		if e.State, err = restoreVec(r); err != nil {
+			return err
+		}
+		if e.Action, err = r.Int(); err != nil {
+			return err
+		}
+		if e.Reward, err = r.F64(); err != nil {
+			return err
+		}
+		if e.Next, err = restoreVec(r); err != nil {
+			return err
+		}
+		rb.buf[i] = e
+	}
+	return nil
+}
+
+// Snapshot writes the agent's full learning state: both networks, the
+// replay buffer, the exploration RNG, and the iteration counters.
+func (d *DQN) Snapshot(w *snap.Writer) {
+	d.Prediction.Snapshot(w)
+	d.target.Snapshot(w)
+	d.Replay.Snapshot(w)
+	d.rng.Snapshot(w)
+	w.Int(d.iterations)
+	w.I64(d.Inferences)
+}
+
+// Restore overlays a state written by Snapshot onto an agent constructed
+// with the same configuration.
+func (d *DQN) Restore(r *snap.Reader) error {
+	pred, err := RestoreNet(r)
+	if err != nil {
+		return err
+	}
+	if !sameSizes(pred.Sizes, d.Prediction.Sizes) {
+		return fmt.Errorf("rl: checkpoint network sizes %v, agent has %v", pred.Sizes, d.Prediction.Sizes)
+	}
+	target, err := RestoreNet(r)
+	if err != nil {
+		return err
+	}
+	if !sameSizes(target.Sizes, d.Prediction.Sizes) {
+		return fmt.Errorf("rl: checkpoint target sizes %v, agent has %v", target.Sizes, d.Prediction.Sizes)
+	}
+	if err := d.Replay.Restore(r); err != nil {
+		return err
+	}
+	if err := d.rng.Restore(r); err != nil {
+		return err
+	}
+	if d.iterations, err = r.Int(); err != nil {
+		return err
+	}
+	if d.Inferences, err = r.I64(); err != nil {
+		return err
+	}
+	d.Prediction = pred
+	d.target = target
+	return nil
+}
+
+func sameSizes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot writes the table's learned values and exploration RNG; keys are
+// sorted so the encoding is canonical.
+func (t *QTable) Snapshot(w *snap.Writer) {
+	keys := make([]string, 0, len(t.q))
+	for k := range t.q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.F64s(t.q[k])
+	}
+	t.rng.Snapshot(w)
+}
+
+// Restore reads a table written by Snapshot.
+func (t *QTable) Restore(r *snap.Reader) error {
+	n, err := r.Count(2)
+	if err != nil {
+		return err
+	}
+	q := make(map[string][]float64, n)
+	for i := 0; i < n; i++ {
+		k, err := r.String()
+		if err != nil {
+			return err
+		}
+		row, err := r.F64s()
+		if err != nil {
+			return err
+		}
+		if len(row) != NumActions {
+			return fmt.Errorf("rl: Q row %q has %d actions, want %d", k, len(row), NumActions)
+		}
+		if _, dup := q[k]; dup {
+			return fmt.Errorf("rl: duplicate Q row %q", k)
+		}
+		q[k] = row
+	}
+	if err := t.rng.Restore(r); err != nil {
+		return err
+	}
+	t.q = q
+	return nil
+}

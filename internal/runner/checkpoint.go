@@ -1,0 +1,51 @@
+package runner
+
+// Periodic auto-checkpoint pacing. The runner owns the *when* of
+// checkpointing — slice a long run into intervals and save at each
+// boundary — while the layers own the *how* (adaptnoc.Sim serializes
+// itself). Keeping the policy here lets every driver (CLI runs, the
+// experiment fan-out, the serving daemon) share one loop with identical
+// semantics: the simulated work is sliced, never changed, so a
+// checkpointed run computes exactly what an unsliced run computes.
+
+import (
+	"context"
+
+	"adaptnoc/internal/sim"
+)
+
+// Checkpointed advances a stepwise computation to total cycles in
+// interval-sized slices, invoking save after every completed slice
+// (including the final one, so the file always reflects the last
+// boundary). interval <= 0 runs the whole window as one slice with a
+// single save at the end.
+//
+// step(ctx, slice) must advance the computation by at most slice cycles;
+// done (optional) reports early completion — e.g. every budgeted
+// application finished — which stops the loop after a final save. A step
+// or save error aborts the loop and is returned as-is.
+func Checkpointed(ctx context.Context, total, interval sim.Cycle,
+	step func(ctx context.Context, slice sim.Cycle) error,
+	done func() bool,
+	save func() error) error {
+	if interval <= 0 || interval > total {
+		interval = total
+	}
+	for advanced := sim.Cycle(0); advanced < total; {
+		if done != nil && done() {
+			break
+		}
+		slice := interval
+		if rem := total - advanced; rem < slice {
+			slice = rem
+		}
+		if err := step(ctx, slice); err != nil {
+			return err
+		}
+		advanced += slice
+		if err := save(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"adaptnoc/internal/sim"
+)
+
+func TestCheckpointedSlices(t *testing.T) {
+	var steps []sim.Cycle
+	saves := 0
+	err := Checkpointed(context.Background(), 10, 4,
+		func(_ context.Context, slice sim.Cycle) error {
+			steps = append(steps, slice)
+			return nil
+		},
+		nil,
+		func() error { saves++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Cycle{4, 4, 2}
+	if len(steps) != len(want) {
+		t.Fatalf("steps %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps %v, want %v", steps, want)
+		}
+	}
+	if saves != 3 {
+		t.Fatalf("saved %d times, want one per slice (3)", saves)
+	}
+}
+
+func TestCheckpointedSingleSlice(t *testing.T) {
+	for _, interval := range []sim.Cycle{0, -5, 100} {
+		steps, saves := 0, 0
+		err := Checkpointed(context.Background(), 10, interval,
+			func(_ context.Context, slice sim.Cycle) error {
+				if slice != 10 {
+					t.Fatalf("interval %d: slice %d, want 10", interval, slice)
+				}
+				steps++
+				return nil
+			},
+			nil,
+			func() error { saves++; return nil })
+		if err != nil || steps != 1 || saves != 1 {
+			t.Fatalf("interval %d: err=%v steps=%d saves=%d", interval, err, steps, saves)
+		}
+	}
+}
+
+func TestCheckpointedDoneStopsEarly(t *testing.T) {
+	steps, saves := 0, 0
+	err := Checkpointed(context.Background(), 100, 10,
+		func(_ context.Context, _ sim.Cycle) error { steps++; return nil },
+		func() bool { return steps >= 3 },
+		func() error { saves++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 3 {
+		t.Fatalf("ran %d slices after done, want 3", steps)
+	}
+	// The save after the third slice is the final one; done() is checked
+	// before stepping again, so every completed slice is persisted.
+	if saves != 3 {
+		t.Fatalf("saved %d times, want 3", saves)
+	}
+}
+
+func TestCheckpointedPropagatesErrors(t *testing.T) {
+	stepErr := errors.New("step failed")
+	err := Checkpointed(context.Background(), 10, 4,
+		func(_ context.Context, _ sim.Cycle) error { return stepErr },
+		nil,
+		func() error { t.Fatal("save ran after step error"); return nil })
+	if !errors.Is(err, stepErr) {
+		t.Fatalf("got %v, want step error", err)
+	}
+
+	saveErr := errors.New("save failed")
+	err = Checkpointed(context.Background(), 10, 4,
+		func(_ context.Context, _ sim.Cycle) error { return nil },
+		nil,
+		func() error { return saveErr })
+	if !errors.Is(err, saveErr) {
+		t.Fatalf("got %v, want save error", err)
+	}
+}

@@ -51,25 +51,33 @@ type JobInfo struct {
 	// stored marshaled-once, so resubmissions of the same request return
 	// byte-identical documents.
 	Results json.RawMessage `json:"results,omitempty"`
+	// Resumed marks a job created by POST /v1/jobs/{id}/resume.
+	Resumed bool `json:"resumed,omitempty"`
+	// Checkpoint reports that a mid-run checkpoint was persisted for this
+	// job's request — a canceled job with Checkpoint set resumes from where
+	// it stopped instead of from cycle zero.
+	Checkpoint bool `json:"checkpoint,omitempty"`
 }
 
 // job is the server-side record.
 type job struct {
-	id     string
-	key    string
-	req    Request // canonical
-	hit    bool
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	key     string
+	req     Request // canonical
+	hit     bool
+	resumed bool // created via the resume endpoint
+	ctx     context.Context
+	cancel  context.CancelFunc
 
-	mu     sync.Mutex
-	state  State
-	seq    int64
-	errMsg string
-	result []byte // marshaled Results, nil unless done
-	events []Event
-	subs   []chan Event
-	done   chan struct{} // closed on reaching a terminal state
+	mu           sync.Mutex
+	state        State
+	seq          int64
+	errMsg       string
+	result       []byte // marshaled Results, nil unless done
+	checkpointed bool   // a mid-run checkpoint exists on disk
+	events       []Event
+	subs         []chan Event
+	done         chan struct{} // closed on reaching a terminal state
 }
 
 func newJob(id, key string, req Request) *job {
@@ -93,6 +101,7 @@ func (j *job) info() JobInfo {
 	return JobInfo{
 		ID: j.id, State: j.state, Key: j.key, Cache: cache,
 		Seq: j.seq, Error: j.errMsg, Results: j.result,
+		Resumed: j.resumed, Checkpoint: j.checkpointed,
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +47,12 @@ type Options struct {
 	// CacheDir, when set, persists results to disk so a restarted daemon
 	// keeps its cache.
 	CacheDir string
+	// CheckpointDir, when set, persists a checkpoint when a running job is
+	// canceled, keyed like the cache by the canonical request. A later
+	// POST /v1/jobs/{id}/resume continues from the checkpoint instead of
+	// cycle zero; determinism makes the spliced run's results byte-identical
+	// to an uninterrupted one.
+	CheckpointDir string
 }
 
 // Server is the simulation daemon. Create with New, mount Handler on an
@@ -103,6 +111,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
+	if opts.CheckpointDir != "" {
+		os.MkdirAll(opts.CheckpointDir, 0o755)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -200,13 +212,52 @@ func (s *Server) finishJob(j *job, state State, result []byte, errMsg string) {
 	}
 }
 
+// checkpointPath names the on-disk checkpoint for a request key, or ""
+// when checkpointing is not configured.
+func (s *Server) checkpointPath(key string) string {
+	if s.opts.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.CheckpointDir, key+".ckpt")
+}
+
+// saveCheckpoint persists the mid-run state when the run stopped because
+// of cancellation (not a simulation failure). Best-effort: a write failure
+// only costs the resume fast path, never the job's own state machine.
+func (s *Server) saveCheckpoint(ctx context.Context, j *job, simu *adaptnoc.Sim, path string) {
+	if path == "" || ctx.Err() == nil {
+		return
+	}
+	if err := simu.WriteCheckpoint(path); err == nil {
+		j.mu.Lock()
+		j.checkpointed = true
+		j.mu.Unlock()
+	}
+}
+
 // execute runs one simulation in control-epoch slices, emitting a progress
 // event after each slice. The request is canonical, so EpochCycles is
-// always explicit.
+// always explicit. Resumed jobs restore the checkpoint written when their
+// predecessor was canceled and run only the remaining cycles; the request
+// key pins the checkpoint to the exact canonical request, so the spliced
+// run is byte-identical to an uninterrupted one.
 func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
-	simu, err := adaptnoc.NewSim(j.req.Config)
-	if err != nil {
-		return nil, err
+	ckpt := s.checkpointPath(j.key)
+	var simu *adaptnoc.Sim
+	if j.resumed && ckpt != "" {
+		if restored, err := adaptnoc.RestoreSimFromFile(ckpt); err == nil {
+			simu = restored
+		}
+		// A missing or unreadable checkpoint falls back to a fresh run:
+		// determinism makes restore an optimization, never a correctness
+		// requirement.
+	}
+	if simu == nil {
+		fresh, err := adaptnoc.NewSim(j.req.Config)
+		if err != nil {
+			return nil, err
+		}
+		simu = fresh
 	}
 	epoch := adaptnoc.Cycle(j.req.Config.EpochCycles)
 	emit := func() {
@@ -218,13 +269,14 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		})
 	}
 	if j.req.Budgeted() {
-		for remaining := j.req.MaxCycles; remaining > 0; {
+		for remaining := j.req.MaxCycles - simu.Kernel.Now(); remaining > 0; {
 			slice := epoch
 			if remaining < slice {
 				slice = remaining
 			}
 			finished, err := simu.RunUntilFinishedContext(ctx, slice)
 			if err != nil {
+				s.saveCheckpoint(ctx, j, simu, ckpt)
 				return nil, err
 			}
 			emit()
@@ -234,12 +286,13 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 			remaining -= slice
 		}
 	} else {
-		for remaining := j.req.Cycles; remaining > 0; {
+		for remaining := j.req.Cycles - simu.Kernel.Now(); remaining > 0; {
 			slice := epoch
 			if remaining < slice {
 				slice = remaining
 			}
 			if err := simu.RunContext(ctx, slice); err != nil {
+				s.saveCheckpoint(ctx, j, simu, ckpt)
 				return nil, err
 			}
 			emit()
@@ -249,6 +302,9 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	blob, err := json.Marshal(simu.Results())
 	if err != nil {
 		return nil, fmt.Errorf("serve: marshaling results: %w", err)
+	}
+	if ckpt != "" {
+		os.Remove(ckpt) // the result is cached now; the checkpoint is spent
 	}
 	return blob, nil
 }
@@ -277,10 +333,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
-	j := newJob(id, key, req)
+	s.admit(w, newJob(id, key, req))
+}
 
+// admit runs the shared admission path for fresh submissions and resumes:
+// cache hit → born done, otherwise the bounded queue with 429/503 refusals.
+func (s *Server) admit(w http.ResponseWriter, j *job) {
 	// Cache hit: the job is born done, no worker involved.
-	if blob, ok := s.cache.Get(key); ok {
+	if blob, ok := s.cache.Get(j.key); ok {
 		j.hit = true
 		j.state = StateRunning // finish() requires a non-terminal state
 		s.finishJob(j, StateDone, blob, "")
@@ -306,6 +366,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.addJob(j)
 	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// handleResume admits a new job for a canceled job's request. When the
+// cancellation left a checkpoint behind, the new job restores it and runs
+// only the remaining cycles; either way the result is byte-identical to an
+// uninterrupted run and lands in the cache under the same key.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	prev := s.lookup(r.PathValue("id"))
+	if prev == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	prev.mu.Lock()
+	state := prev.state
+	prev.mu.Unlock()
+	if state != StateCanceled {
+		httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; only canceled jobs can be resumed", state))
+		return
+	}
+	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	j := newJob(id, prev.key, prev.req)
+	j.resumed = true
+	s.admit(w, j)
 }
 
 func (s *Server) addJob(j *job) {

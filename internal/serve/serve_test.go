@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -506,4 +508,140 @@ func TestBudgetedRequest(t *testing.T) {
 	if len(res.Apps) != 1 || res.Apps[0].ExecTime < 0 {
 		t.Fatalf("budgeted app did not finish: %+v", res.Apps)
 	}
+}
+
+// TestResumeAfterCancelByteIdentical is the serving keystone for
+// checkpoint/restore: cancel a running job, observe that a checkpoint was
+// persisted, resume it through the endpoint, and require the spliced
+// result to be byte-identical to an uninterrupted run — and to land in the
+// cache under the same key.
+func TestResumeAfterCancelByteIdentical(t *testing.T) {
+	ckptDir := t.TempDir()
+	_, base := newTestServer(t, serve.Options{Workers: 1, CheckpointDir: ckptDir})
+
+	req := fastRequest(40)
+	req.Cycles = 300000 // seconds of wall clock: long enough to cancel mid-run
+
+	// The uninterrupted reference: the same request served by a separate
+	// daemon that never cancels.
+	_, refBase := newTestServer(t, serve.Options{Workers: 1})
+	refInfo, _ := submit(t, refBase, req)
+	refDone := waitTerminal(t, refBase, refInfo.ID, 60*time.Second)
+	if refDone.State != serve.StateDone {
+		t.Fatalf("reference job ended %s: %s", refDone.State, refDone.Error)
+	}
+	want := []byte(refDone.Results)
+
+	info, _ := submit(t, base, req)
+	waitState(t, base, info.ID, serve.StateRunning, 10*time.Second)
+	time.Sleep(50 * time.Millisecond) // let the run get past cycle zero
+	cancelJob(t, base, info.ID)
+	canceled := waitTerminal(t, base, info.ID, 10*time.Second)
+	if canceled.State != serve.StateCanceled {
+		t.Fatalf("job ended %s, want canceled", canceled.State)
+	}
+	if !canceled.Checkpoint {
+		t.Fatal("canceled job reports no checkpoint")
+	}
+	ckpt := filepath.Join(ckptDir, canceled.Key+".ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	resp, err := http.Post(base+"/v1/jobs/"+info.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed serve.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&resumed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume: %s", resp.Status)
+	}
+	if !resumed.Resumed || resumed.Key != info.Key {
+		t.Fatalf("resumed job: resumed=%v key=%s, want resumed under key %s", resumed.Resumed, resumed.Key, info.Key)
+	}
+
+	done := waitTerminal(t, base, resumed.ID, 60*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("resumed job ended %s: %s", done.State, done.Error)
+	}
+	if !bytes.Equal(done.Results, want) {
+		t.Error("resumed results differ from the uninterrupted run")
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Error("checkpoint not removed after successful resume")
+	}
+
+	// The spliced result is cache-eligible: resubmitting the original
+	// request is a hit with the same bytes.
+	again, resp2 := submit(t, base, req)
+	if resp2.StatusCode != http.StatusOK || again.Cache != "hit" {
+		t.Fatalf("resubmission after resume: %s cache=%s, want 200 hit", resp2.Status, again.Cache)
+	}
+	if !bytes.Equal(again.Results, want) {
+		t.Error("cached resumed results differ from the uninterrupted run")
+	}
+}
+
+// Resume is only meaningful for canceled jobs; anything else is a conflict,
+// and unknown jobs are not found.
+func TestResumeRequiresCanceledJob(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	info, _ := submit(t, base, fastRequest(41))
+	done := waitTerminal(t, base, info.ID, 30*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	resp, err := http.Post(base+"/v1/jobs/"+info.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("resume of a done job: %s, want 409", resp.Status)
+	}
+	resp, err = http.Post(base+"/v1/jobs/absent/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("resume of an unknown job: %s, want 404", resp.Status)
+	}
+}
+
+// Without a checkpoint directory, resume still works — it reruns from
+// cycle zero, which determinism makes indistinguishable in the results.
+func TestResumeWithoutCheckpointDir(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	info, _ := submit(t, base, slowRequest(42))
+	waitState(t, base, info.ID, serve.StateRunning, 10*time.Second)
+	cancelJob(t, base, info.ID)
+	canceled := waitTerminal(t, base, info.ID, 10*time.Second)
+	if canceled.State != serve.StateCanceled {
+		t.Fatalf("job ended %s, want canceled", canceled.State)
+	}
+	if canceled.Checkpoint {
+		t.Error("checkpoint reported with no checkpoint directory configured")
+	}
+	// Resume the canceled slow job and cancel it again: the endpoint
+	// admits it as a fresh run.
+	resp, err := http.Post(base+"/v1/jobs/"+info.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed serve.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&resumed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || !resumed.Resumed {
+		t.Fatalf("resume: %s resumed=%v", resp.Status, resumed.Resumed)
+	}
+	waitState(t, base, resumed.ID, serve.StateRunning, 10*time.Second)
+	cancelJob(t, base, resumed.ID)
+	waitTerminal(t, base, resumed.ID, 10*time.Second)
 }

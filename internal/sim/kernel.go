@@ -35,12 +35,27 @@ type TickerFunc func(now Cycle)
 // Tick implements Ticker.
 func (f TickerFunc) Tick(now Cycle) { f(now) }
 
-// event is a scheduled callback.
+// event is a scheduled callback: either a closure (fn != nil) or a
+// descriptor referencing a registered operation. Descriptor events are the
+// serializable form — a checkpoint can write (at, seq, op, args) and a
+// restored kernel rebinds op to the handler registered under the same ID,
+// which a closure cannot offer.
 type event struct {
-	at  Cycle
-	seq int64 // FIFO tie-break for events scheduled at the same cycle
-	fn  func(now Cycle)
+	at   Cycle
+	seq  int64 // FIFO tie-break for events scheduled at the same cycle
+	fn   func(now Cycle)
+	op   OpID
+	args [3]int64
 }
+
+// OpID names a registered operation handler. IDs are global constants
+// agreed between the packages that schedule them (see RegisterOp); 0 is
+// reserved for "closure event".
+type OpID uint32
+
+// OpHandler executes a descriptor event. args carry the operation's
+// integer operands (object IDs, cycles) exactly as scheduled.
+type OpHandler func(now Cycle, args [3]int64)
 
 // Kernel drives the simulation. The zero value is not usable; construct
 // with NewKernel.
@@ -50,6 +65,7 @@ type Kernel struct {
 	events  eventHeap
 	seq     int64
 	stopped bool
+	ops     map[OpID]OpHandler
 }
 
 // NewKernel returns a kernel positioned at cycle 0 with no components.
@@ -91,6 +107,47 @@ func (k *Kernel) After(delay Cycle, fn func(now Cycle)) {
 	k.Schedule(k.now+delay, fn)
 }
 
+// RegisterOp binds an operation ID to its handler. Every component that
+// schedules descriptor events registers its handlers at construction, so a
+// freshly built simulation — including one being restored from a
+// checkpoint — always carries the full registry before any event fires.
+// Re-registering an ID panics: it would silently change what a pending
+// event does.
+func (k *Kernel) RegisterOp(op OpID, h OpHandler) {
+	if op == 0 {
+		panic("sim: RegisterOp(0) — 0 is reserved for closure events")
+	}
+	if h == nil {
+		panic("sim: RegisterOp(nil handler)")
+	}
+	if k.ops == nil {
+		k.ops = make(map[OpID]OpHandler)
+	}
+	if _, dup := k.ops[op]; dup {
+		panic(fmt.Sprintf("sim: op %d registered twice", op))
+	}
+	k.ops[op] = h
+}
+
+// ScheduleOp schedules a descriptor event at the given absolute cycle with
+// the same ordering semantics as Schedule. The op need not be registered
+// yet at scheduling time, only by the time the event fires.
+func (k *Kernel) ScheduleOp(at Cycle, op OpID, a0, a1, a2 int64) {
+	if op == 0 {
+		panic("sim: ScheduleOp(0)")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: ScheduleOp at cycle %d before now %d", at, k.now))
+	}
+	k.seq++
+	k.events.push(event{at: at, seq: k.seq, op: op, args: [3]int64{a0, a1, a2}})
+}
+
+// AfterOp schedules a descriptor event delay cycles from now.
+func (k *Kernel) AfterOp(delay Cycle, op OpID, a0, a1, a2 int64) {
+	k.ScheduleOp(k.now+delay, op, a0, a1, a2)
+}
+
 // Stop makes the current Run return after finishing the current cycle.
 func (k *Kernel) Stop() { k.stopped = true }
 
@@ -99,7 +156,15 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Step() {
 	for len(k.events) > 0 && k.events[0].at == k.now {
 		ev := k.events.pop()
-		ev.fn(k.now)
+		if ev.fn != nil {
+			ev.fn(k.now)
+			continue
+		}
+		h, ok := k.ops[ev.op]
+		if !ok {
+			panic(fmt.Sprintf("sim: event fired for unregistered op %d", ev.op))
+		}
+		h(k.now, ev.args)
 	}
 	if len(k.events) > 0 && k.events[0].at < k.now {
 		panic("sim: event left behind the clock")

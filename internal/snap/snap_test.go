@@ -1,0 +1,153 @@
+package snap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	Header(&w)
+	w.U64(0xdeadbeefcafef00d)
+	w.I64(-42)
+	w.U32(7)
+	w.Uvarint(300)
+	w.Varint(-300)
+	w.Int(123456)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Pi)
+	w.F64(math.Copysign(0, -1))
+	w.Bytes0([]byte("hello"))
+	w.String("world")
+	w.F64s([]float64{1.5, -2.5})
+	w.I64s([]int64{-1, 0, 1})
+
+	r := NewReader(w.Bytes())
+	if err := CheckHeader(r); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want any, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: got %v want %v", name, got, want)
+		}
+	}
+	u, err := r.U64()
+	check("u64", u, uint64(0xdeadbeefcafef00d), err)
+	i, err := r.I64()
+	check("i64", i, int64(-42), err)
+	u32, err := r.U32()
+	check("u32", u32, uint32(7), err)
+	uv, err := r.Uvarint()
+	check("uvarint", uv, uint64(300), err)
+	sv, err := r.Varint()
+	check("varint", sv, int64(-300), err)
+	n, err := r.Int()
+	check("int", n, 123456, err)
+	b1, err := r.Bool()
+	check("bool t", b1, true, err)
+	b2, err := r.Bool()
+	check("bool f", b2, false, err)
+	f, err := r.F64()
+	check("f64", f, math.Pi, err)
+	nz, err := r.F64()
+	if err != nil || math.Signbit(nz) != true || nz != 0 {
+		t.Fatalf("negative zero not preserved: %v %v", nz, err)
+	}
+	bs, err := r.Bytes0()
+	check("bytes", string(bs), "hello", err)
+	s, err := r.String()
+	check("string", s, "world", err)
+	fs, err := r.F64s()
+	if err != nil || len(fs) != 2 || fs[0] != 1.5 || fs[1] != -2.5 {
+		t.Fatalf("f64s: %v %v", fs, err)
+	}
+	is, err := r.I64s()
+	if err != nil || len(is) != 3 || is[0] != -1 || is[2] != 1 {
+		t.Fatalf("i64s: %v %v", is, err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSections(t *testing.T) {
+	var body Writer
+	body.I64(99)
+	var w Writer
+	w.Section("alpha", body.Bytes())
+	w.Section("beta", nil)
+
+	r := NewReader(w.Bytes())
+	sr, err := r.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sr.I64(); err != nil || v != 99 {
+		t.Fatalf("section body: %v %v", v, err)
+	}
+	if err := sr.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Section("gamma"); err == nil {
+		t.Fatal("wrong section name accepted")
+	}
+}
+
+func TestTruncationAndBombs(t *testing.T) {
+	// Every primitive read from an empty or short buffer must error.
+	r := NewReader(nil)
+	if _, err := r.U64(); err == nil {
+		t.Fatal("u64 from empty input")
+	}
+	if _, err := NewReader([]byte{1}).U32(); err == nil {
+		t.Fatal("u32 from 1 byte")
+	}
+	if _, err := NewReader([]byte{2}).Bool(); err == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+
+	// A huge declared length must be rejected before allocation.
+	var w Writer
+	w.Uvarint(1 << 40)
+	if _, err := NewReader(w.Bytes()).Bytes0(); err == nil {
+		t.Fatal("oversized byte string accepted")
+	}
+	if _, err := NewReader(w.Bytes()).F64s(); err == nil {
+		t.Fatal("oversized f64 slice accepted")
+	}
+	if _, err := NewReader(w.Bytes()).Count(1); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+
+	// Wrong-version and bad-magic headers error with position context.
+	var h Writer
+	Header(&h)
+	blob := append([]byte(nil), h.Bytes()...)
+	blob[len(blob)-1] = 0xff // mangle version
+	err := CheckHeader(NewReader(blob))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: %v", err)
+	}
+	blob[0] = 'X'
+	if err := CheckHeader(NewReader(blob)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := CheckHeader(NewReader([]byte("ADN"))); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestDoneCatchesTrailing(t *testing.T) {
+	var w Writer
+	w.Bool(true)
+	r := NewReader(w.Bytes())
+	if err := r.Done(); err == nil {
+		t.Fatal("trailing byte not caught")
+	}
+}

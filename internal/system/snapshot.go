@@ -1,0 +1,311 @@
+package system
+
+// Checkpoint support: the machine's dynamic state is the per-core
+// execution position (retired/phase/MLP window), the per-app epoch and
+// lifetime counters, the memory-controller queues, and the outstanding
+// transaction table. Everything else (tile sets, thresholds, hot slice)
+// is a pure function of the configuration and is rebuilt by NewApp.
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/snap"
+)
+
+func snapshotWindow(w *snap.Writer, c WindowCounters) {
+	w.I64(c.Retired)
+	w.I64(c.L1DMisses)
+	w.I64(c.L1IMisses)
+	w.I64(c.L2Misses)
+	w.I64(c.CoherencePackets)
+	w.I64(c.DataPackets)
+	w.I64(c.NetLatencySum)
+	w.I64(c.QueueLatencySum)
+	w.I64(c.HopSum)
+	w.I64(c.Delivered)
+}
+
+func restoreWindow(r *snap.Reader) (WindowCounters, error) {
+	var c WindowCounters
+	for _, dst := range []*int64{
+		&c.Retired, &c.L1DMisses, &c.L1IMisses, &c.L2Misses,
+		&c.CoherencePackets, &c.DataPackets,
+		&c.NetLatencySum, &c.QueueLatencySum, &c.HopSum, &c.Delivered,
+	} {
+		v, err := r.I64()
+		if err != nil {
+			return c, err
+		}
+		*dst = v
+	}
+	return c, nil
+}
+
+// Snapshot writes the machine's dynamic state.
+func (m *Machine) Snapshot(w *snap.Writer) {
+	w.U64(m.nextTxn)
+
+	w.Uvarint(uint64(len(m.apps)))
+	for _, a := range m.apps {
+		w.I64(int64(a.finishedAt))
+		snapshotWindow(w, a.win)
+		snapshotWindow(w, a.total)
+		a.rng.Snapshot(w)
+		w.Uvarint(uint64(len(a.cores)))
+		for _, c := range a.cores {
+			w.I64(c.retired)
+			w.Int(c.phaseIdx)
+			w.I64(c.phaseInstr)
+			w.F64(c.ipcAcc)
+			w.Int(c.outstanding)
+			w.I64(c.stallCycles)
+			c.rng.Snapshot(w)
+		}
+	}
+
+	// Memory controllers, sorted by tile for a canonical encoding.
+	tiles := make([]int, 0, len(m.mcs))
+	for t := range m.mcs {
+		tiles = append(tiles, int(t))
+	}
+	sort.Ints(tiles)
+	w.Uvarint(uint64(len(tiles)))
+	for _, t := range tiles {
+		mc := m.mcs[noc.NodeID(t)]
+		w.Int(t)
+		w.I64(int64(mc.busyUntil))
+		w.Int(mc.queueLen)
+		w.I64(mc.served)
+	}
+
+	// Outstanding transactions, sorted by ID.
+	ids := make([]uint64, 0, len(m.txns))
+	for id := range m.txns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		t := m.txns[id]
+		w.U64(t.id)
+		w.Int(t.app.ID)
+		w.Int(coreIndex(t.app, t.core))
+		w.Int(int(t.slice))
+		w.Int(int(t.mc))
+		w.Bool(t.needsMC)
+		w.Int(int(t.stage))
+	}
+}
+
+func coreIndex(a *App, c *core) int {
+	for i, x := range a.cores {
+		if x == c {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("system: core %d not in app %d", c.tile, a.ID))
+}
+
+// Restore overlays a state written by Snapshot onto a freshly constructed
+// machine carrying the same applications. It must run before the network
+// restore so packet payloads can resolve transaction IDs.
+func (m *Machine) Restore(r *snap.Reader) error {
+	var err error
+	if m.nextTxn, err = r.U64(); err != nil {
+		return err
+	}
+
+	nApps, err := r.Count(1)
+	if err != nil {
+		return err
+	}
+	if nApps != len(m.apps) {
+		return fmt.Errorf("system: checkpoint has %d apps, machine has %d", nApps, len(m.apps))
+	}
+	for _, a := range m.apps {
+		fin, err := r.I64()
+		if err != nil {
+			return err
+		}
+		a.finishedAt = sim.Cycle(fin)
+		if a.win, err = restoreWindow(r); err != nil {
+			return err
+		}
+		if a.total, err = restoreWindow(r); err != nil {
+			return err
+		}
+		if err := a.rng.Restore(r); err != nil {
+			return err
+		}
+		nCores, err := r.Count(1)
+		if err != nil {
+			return err
+		}
+		if nCores != len(a.cores) {
+			return fmt.Errorf("system: checkpoint has %d cores for app %d, machine has %d",
+				nCores, a.ID, len(a.cores))
+		}
+		for _, c := range a.cores {
+			if c.retired, err = r.I64(); err != nil {
+				return err
+			}
+			if c.phaseIdx, err = r.Int(); err != nil {
+				return err
+			}
+			if c.phaseIdx < 0 || c.phaseIdx >= len(a.Profile.Phases) {
+				return fmt.Errorf("system: phase index %d out of range", c.phaseIdx)
+			}
+			if c.phaseInstr, err = r.I64(); err != nil {
+				return err
+			}
+			if c.ipcAcc, err = r.F64(); err != nil {
+				return err
+			}
+			if c.outstanding, err = r.Int(); err != nil {
+				return err
+			}
+			if c.stallCycles, err = r.I64(); err != nil {
+				return err
+			}
+			if err := c.rng.Restore(r); err != nil {
+				return err
+			}
+		}
+	}
+
+	nMCs, err := r.Count(2)
+	if err != nil {
+		return err
+	}
+	mcs := make(map[noc.NodeID]*mcState, nMCs)
+	for i := 0; i < nMCs; i++ {
+		tile, err := r.Int()
+		if err != nil {
+			return err
+		}
+		mc := &mcState{}
+		busy, err := r.I64()
+		if err != nil {
+			return err
+		}
+		mc.busyUntil = sim.Cycle(busy)
+		if mc.queueLen, err = r.Int(); err != nil {
+			return err
+		}
+		if mc.served, err = r.I64(); err != nil {
+			return err
+		}
+		mcs[noc.NodeID(tile)] = mc
+	}
+	m.mcs = mcs
+
+	nTxns, err := r.Count(3)
+	if err != nil {
+		return err
+	}
+	m.txns = make(map[uint64]*txn, nTxns)
+	for i := 0; i < nTxns; i++ {
+		t := &txn{}
+		if t.id, err = r.U64(); err != nil {
+			return err
+		}
+		appID, err := r.Int()
+		if err != nil {
+			return err
+		}
+		if t.app = m.appByID(appID); t.app == nil {
+			return fmt.Errorf("system: transaction %d references unknown app %d", t.id, appID)
+		}
+		ci, err := r.Int()
+		if err != nil {
+			return err
+		}
+		if ci < 0 || ci >= len(t.app.cores) {
+			return fmt.Errorf("system: transaction %d references core %d of app %d", t.id, ci, appID)
+		}
+		t.core = t.app.cores[ci]
+		slice, err := r.Int()
+		if err != nil {
+			return err
+		}
+		t.slice = noc.NodeID(slice)
+		mc, err := r.Int()
+		if err != nil {
+			return err
+		}
+		t.mc = noc.NodeID(mc)
+		if t.needsMC, err = r.Bool(); err != nil {
+			return err
+		}
+		stage, err := r.Int()
+		if err != nil {
+			return err
+		}
+		if stage < int(stageToSlice) || stage > int(stageToMC) {
+			return fmt.Errorf("system: transaction %d has stage %d", t.id, stage)
+		}
+		t.stage = txnStage(stage)
+		if t.id == 0 || t.id > m.nextTxn {
+			return fmt.Errorf("system: transaction ID %d out of range", t.id)
+		}
+		if m.txns[t.id] != nil {
+			return fmt.Errorf("system: duplicate transaction %d", t.id)
+		}
+		m.txns[t.id] = t
+	}
+	return nil
+}
+
+// Payload codec: packets carry either nothing, a fire-and-forget
+// coherence marker, or a transaction handle. The network's snapshot
+// delegates payload bytes to its owner through this pair.
+const (
+	payloadNil = iota
+	payloadCoh
+	payloadTxn
+)
+
+// EncodePayload implements noc.PayloadCodec.
+func (m *Machine) EncodePayload(w *snap.Writer, payload any) error {
+	switch t := payload.(type) {
+	case nil:
+		w.Int(payloadNil)
+	case cohMsg:
+		w.Int(payloadCoh)
+	case *txn:
+		w.Int(payloadTxn)
+		w.U64(t.id)
+	default:
+		return fmt.Errorf("system: unserializable payload %T", payload)
+	}
+	return nil
+}
+
+// DecodePayload implements noc.PayloadCodec. Transaction handles resolve
+// against the already-restored transaction table.
+func (m *Machine) DecodePayload(r *snap.Reader) (any, error) {
+	kind, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case payloadNil:
+		return nil, nil
+	case payloadCoh:
+		return cohMsg{}, nil
+	case payloadTxn:
+		id, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		t := m.txns[id]
+		if t == nil {
+			return nil, fmt.Errorf("system: packet references unknown transaction %d", id)
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("system: unknown payload kind %d", kind)
+}

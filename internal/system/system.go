@@ -29,8 +29,12 @@ func DefaultParams() Params {
 
 // txn is one outstanding memory transaction. stage tracks where the next
 // packet carrying it is headed (a transaction is on exactly one packet at
-// a time, so the field never races).
+// a time, so the field never races). Every transaction lives in the
+// machine's txns table under a stable uint64 ID from creation until its
+// data reply retires it, so packets and scheduled events can reference it
+// by value — the handle a checkpoint can serialize where a pointer cannot.
 type txn struct {
+	id      uint64
 	app     *App
 	core    *core
 	slice   noc.NodeID
@@ -255,19 +259,69 @@ type Machine struct {
 	apps   []*App
 	mcs    map[noc.NodeID]*mcState
 
+	// txns is the outstanding-transaction table: ID → live transaction.
+	// The map is only ever looked up by key (never iterated on the hot
+	// path), so map ordering cannot leak into behaviour; snapshots iterate
+	// it sorted.
+	txns    map[uint64]*txn
+	nextTxn uint64
+
 	// onDeliver chains an external observer after the machine's own
 	// delivery handling.
 	onDeliver noc.DeliverFunc
 }
 
+// Kernel operation IDs owned by this package (range 100-199).
+const (
+	// opSliceRespond continues transaction args[0] after its L2 lookup.
+	opSliceRespond sim.OpID = 100 + iota
+	// opMCReply dequeues transaction args[0] from its memory controller
+	// and sends the data reply.
+	opMCReply
+)
+
 // NewMachine wires a machine to a network and kernel. It takes over the
 // network's delivery callback; chain further observers with SetObserver.
 func NewMachine(net *noc.Network, kernel *sim.Kernel, p Params) *Machine {
-	m := &Machine{P: p, net: net, kernel: kernel, mcs: make(map[noc.NodeID]*mcState)}
+	m := &Machine{
+		P: p, net: net, kernel: kernel,
+		mcs:  make(map[noc.NodeID]*mcState),
+		txns: make(map[uint64]*txn),
+	}
 	net.SetDeliverFunc(m.deliver)
 	kernel.Register(m)
+	kernel.RegisterOp(opSliceRespond, func(now sim.Cycle, args [3]int64) {
+		m.sliceRespond(m.txnByID(args[0]), now)
+	})
+	kernel.RegisterOp(opMCReply, func(now sim.Cycle, args [3]int64) {
+		t := m.txnByID(args[0])
+		m.mcs[t.mc].queueLen--
+		m.replyData(t, t.mc, now)
+	})
 	return m
 }
+
+// txnByID resolves a transaction handle carried by an event or packet; a
+// dangling ID is a simulator bug, not a recoverable condition.
+func (m *Machine) txnByID(id int64) *txn {
+	t := m.txns[uint64(id)]
+	if t == nil {
+		panic(fmt.Sprintf("system: unknown transaction %d", id))
+	}
+	return t
+}
+
+// newTxn allocates a transaction ID and enters the transaction into the
+// outstanding table.
+func (m *Machine) newTxn(t *txn) *txn {
+	m.nextTxn++
+	t.id = m.nextTxn
+	m.txns[t.id] = t
+	return t
+}
+
+// retireTxn removes a completed transaction from the table.
+func (m *Machine) retireTxn(t *txn) { delete(m.txns, t.id) }
 
 // SetObserver installs an extra packet-delivery observer.
 func (m *Machine) SetObserver(fn noc.DeliverFunc) { m.onDeliver = fn }
@@ -390,7 +444,7 @@ func (m *Machine) sendCoherence(a *App, c *core, now sim.Cycle) {
 // slice, optionally forwarded to a memory controller, data reply back.
 func (m *Machine) issueMemAccess(a *App, c *core, ph traffic.Phase, now sim.Cycle) {
 	slice := m.pickSlice(a, c, ph)
-	t := &txn{app: a, core: c, slice: slice, needsMC: c.rng.Bernoulli(ph.L2MissRate)}
+	t := m.newTxn(&txn{app: a, core: c, slice: slice, needsMC: c.rng.Bernoulli(ph.L2MissRate)})
 	if t.needsMC {
 		if len(a.ForeignMCs) > 0 && c.rng.Bernoulli(a.ForeignFrac) {
 			t.mc = a.ForeignMCs[c.rng.Intn(len(a.ForeignMCs))]
@@ -403,9 +457,7 @@ func (m *Machine) issueMemAccess(a *App, c *core, ph traffic.Phase, now sim.Cycl
 	c.outstanding++
 	if slice == c.tile {
 		// Local slice: no request traffic; resolve after the L2 lookup.
-		m.kernel.After(sim.Cycle(m.P.L2LatencyCycles), func(at sim.Cycle) {
-			m.sliceRespond(t, at)
-		})
+		m.kernel.AfterOp(sim.Cycle(m.P.L2LatencyCycles), opSliceRespond, int64(t.id), 0, 0)
 		return
 	}
 	p := m.net.NewPacket(c.tile, slice, noc.ClassCoherence, noc.VNetRequest, a.ID)
@@ -445,10 +497,9 @@ func (m *Machine) deliver(p *noc.Packet, now sim.Cycle) {
 			if t.core.outstanding < 0 {
 				panic(fmt.Sprintf("system: outstanding underflow at core %d", t.core.tile))
 			}
+			m.retireTxn(t)
 		case t.stage == stageToSlice:
-			m.kernel.After(sim.Cycle(m.P.L2LatencyCycles), func(at sim.Cycle) {
-				m.sliceRespond(t, at)
-			})
+			m.kernel.AfterOp(sim.Cycle(m.P.L2LatencyCycles), opSliceRespond, int64(t.id), 0, 0)
 		default: // stageToMC
 			m.mcService(t, now)
 		}
@@ -493,16 +544,14 @@ func (m *Machine) mcService(t *txn, now sim.Cycle) {
 	mc.busyUntil = start + sim.Cycle(m.P.MCServiceCycles)
 	mc.queueLen++
 	mc.served++
-	m.kernel.Schedule(start+sim.Cycle(m.P.MCLatencyCycles), func(at sim.Cycle) {
-		mc.queueLen--
-		m.replyData(t, t.mc, at)
-	})
+	m.kernel.ScheduleOp(start+sim.Cycle(m.P.MCLatencyCycles), opMCReply, int64(t.id), 0, 0)
 }
 
 // replyData sends the data reply that completes a transaction.
 func (m *Machine) replyData(t *txn, from noc.NodeID, now sim.Cycle) {
 	if from == t.core.tile {
 		t.core.outstanding--
+		m.retireTxn(t)
 		return
 	}
 	p := m.net.NewPacket(from, t.core.tile, noc.ClassData, noc.VNetReply, t.app.ID)

@@ -1,0 +1,28 @@
+package traffic
+
+// Checkpoint support. Patterns are stateless by design: Dst is a pure
+// function of (src, rng), with the RNG passed in by the caller, so a
+// Pattern carries nothing to serialize — its region and parameters come
+// from the run configuration. The only stateful type in this package is
+// OpenLoopSource, whose state is its private RNG stream and injection
+// counter.
+
+import "adaptnoc/internal/snap"
+
+// Snapshot writes the source's dynamic state (RNG stream and injection
+// counter). The network, pattern, tile set, and rates are configuration
+// and are not serialized.
+func (s *OpenLoopSource) Snapshot(w *snap.Writer) {
+	s.RNG.Snapshot(w)
+	w.I64(s.Injected)
+}
+
+// Restore reads a state written by Snapshot.
+func (s *OpenLoopSource) Restore(r *snap.Reader) error {
+	if err := s.RNG.Restore(r); err != nil {
+		return err
+	}
+	var err error
+	s.Injected, err = r.I64()
+	return err
+}

@@ -1,0 +1,67 @@
+package train
+
+// Training checkpoints: the agent's full learning state plus the number of
+// completed episodes. Everything else an episode needs — the curriculum
+// entry, the per-episode seed, the epsilon anneal — is a pure function of
+// that counter and the Options, so a resumed run replays the exact
+// trajectory the uninterrupted run would have taken.
+
+import (
+	"fmt"
+	"os"
+
+	"adaptnoc/internal/rl"
+	"adaptnoc/internal/snap"
+)
+
+// saveCheckpoint writes the agent and completed-episode counter atomically
+// (temp file + rename).
+func saveCheckpoint(path string, agent *rl.DQN, episode int) error {
+	w := &snap.Writer{}
+	snap.Header(w)
+	var tw snap.Writer
+	tw.Uvarint(uint64(episode))
+	agent.Snapshot(&tw)
+	w.Section("train", tw.Bytes())
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoint overlays a state written by saveCheckpoint onto an agent
+// constructed with the same configuration and returns the number of
+// episodes already completed. A missing file passes through os.IsNotExist
+// so callers can treat it as a fresh start.
+func loadCheckpoint(path string, agent *rl.DQN) (int, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	r := snap.NewReader(blob)
+	if err := snap.CheckHeader(r); err != nil {
+		return 0, err
+	}
+	tr, err := r.Section("train")
+	if err != nil {
+		return 0, err
+	}
+	n, err := tr.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > 1<<20 {
+		return 0, fmt.Errorf("train: implausible episode counter %d", n)
+	}
+	if err := agent.Restore(tr); err != nil {
+		return 0, err
+	}
+	if err := tr.Done(); err != nil {
+		return 0, err
+	}
+	if err := r.Done(); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}

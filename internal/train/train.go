@@ -10,6 +10,7 @@ package train
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"adaptnoc"
 	"adaptnoc/internal/rl"
@@ -66,6 +67,20 @@ type Options struct {
 	Gamma float64
 	// Log receives progress lines (nil discards).
 	Log io.Writer
+	// CheckpointPath, when set, persists the agent and episode counter
+	// every CheckpointEvery episodes (and when the run stops), so an
+	// interrupted training run can continue instead of starting over.
+	CheckpointPath string
+	// CheckpointEvery is the save cadence in episodes (<= 0 means 1).
+	CheckpointEvery int
+	// Resume continues from CheckpointPath when the file exists. The
+	// resumed trajectory is identical to an uninterrupted run: every
+	// episode's seed and epsilon are pure functions of the episode counter.
+	Resume bool
+	// MaxEpisodes caps how many episodes this invocation runs (0 = all
+	// remaining) — with checkpointing it bounds a session without losing
+	// work.
+	MaxEpisodes int
 }
 
 // DefaultOptions trains long enough for a stable policy in a few minutes.
@@ -98,25 +113,58 @@ func Train(o Options) (*rl.DQN, error) {
 
 	eps := Curriculum()
 	total := o.Rounds * len(eps)
-	n := 0
-	for round := 0; round < o.Rounds; round++ {
-		for _, ep := range eps {
-			n++
-			// Linear epsilon anneal across the whole run.
-			frac := float64(n-1) / float64(total-1)
-			agent.Cfg.Epsilon = o.EpsilonStart + (o.EpsilonEnd-o.EpsilonStart)*frac
+	start := 0
+	if o.Resume && o.CheckpointPath != "" {
+		switch n, err := loadCheckpoint(o.CheckpointPath, agent); {
+		case err == nil:
+			start = n
+		case os.IsNotExist(err):
+			// No checkpoint yet: a fresh run.
+		default:
+			return nil, fmt.Errorf("train: resuming from %s: %w", o.CheckpointPath, err)
+		}
+	}
+	every := o.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
 
-			if err := runEpisode(agent, ep, o, uint64(n)); err != nil {
-				return nil, fmt.Errorf("train: episode %d (%s %v): %w", n, ep.Profile, ep.Region, err)
+	// The loop is driven by a single global episode counter so a resumed
+	// run lands on the identical curriculum entry, seed, and epsilon the
+	// uninterrupted run would have used.
+	saved := start
+	n := start
+	for n < total {
+		if o.MaxEpisodes > 0 && n-start >= o.MaxEpisodes {
+			break
+		}
+		n++
+		ep := eps[(n-1)%len(eps)]
+		// Linear epsilon anneal across the whole run.
+		frac := float64(n-1) / float64(total-1)
+		agent.Cfg.Epsilon = o.EpsilonStart + (o.EpsilonEnd-o.EpsilonStart)*frac
+
+		if err := runEpisode(agent, ep, o, uint64(n)); err != nil {
+			return nil, fmt.Errorf("train: episode %d (%s %v): %w", n, ep.Profile, ep.Region, err)
+		}
+		var td float64
+		for it := 0; it < o.SweepIterations; it++ {
+			td = agent.TrainIteration()
+		}
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "episode %3d/%d %-13s %v eps=%.2f replay=%d td=%.3g\n",
+				n, total, ep.Profile, ep.Region, agent.Cfg.Epsilon, agent.Replay.Len(), td)
+		}
+		if o.CheckpointPath != "" && n-saved >= every {
+			if err := saveCheckpoint(o.CheckpointPath, agent, n); err != nil {
+				return nil, fmt.Errorf("train: checkpointing: %w", err)
 			}
-			var td float64
-			for it := 0; it < o.SweepIterations; it++ {
-				td = agent.TrainIteration()
-			}
-			if o.Log != nil {
-				fmt.Fprintf(o.Log, "episode %3d/%d %-13s %v eps=%.2f replay=%d td=%.3g\n",
-					n, total, ep.Profile, ep.Region, agent.Cfg.Epsilon, agent.Replay.Len(), td)
-			}
+			saved = n
+		}
+	}
+	if o.CheckpointPath != "" && n > saved {
+		if err := saveCheckpoint(o.CheckpointPath, agent, n); err != nil {
+			return nil, fmt.Errorf("train: checkpointing: %w", err)
 		}
 	}
 	agent.Cfg.Epsilon = o.EpsilonEnd

@@ -1,10 +1,14 @@
 package train
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"adaptnoc"
 	"adaptnoc/internal/rl"
+	"adaptnoc/internal/snap"
 	"adaptnoc/internal/topology"
 )
 
@@ -80,5 +84,83 @@ func TestTrainRejectsUnknownProfile(t *testing.T) {
 	}
 	if err := runEpisode(agent, Episode{Profile: "nope", Region: adaptnoc.Region{W: 4, H: 4}}, o, 1); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+// trainSnapshot serializes the agent's full learning state; byte equality
+// of two snapshots is the strongest identity we can ask of two agents.
+func trainSnapshot(t *testing.T, agent *rl.DQN) []byte {
+	t.Helper()
+	var w snap.Writer
+	agent.Snapshot(&w)
+	return w.Bytes()
+}
+
+// TestTrainCheckpointResumeIdentical is the training keystone: a run
+// stopped after k episodes and resumed from its checkpoint must produce an
+// agent byte-identical to one trained without interruption.
+func TestTrainCheckpointResumeIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := DefaultOptions()
+	o.Rounds = 1
+	o.EpisodeCycles = 6000
+	o.EpochCycles = 2000 // several control epochs per episode
+	o.SweepIterations = 20
+
+	full, err := Train(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trainSnapshot(t, full)
+
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	co := o
+	co.CheckpointPath = path
+	co.CheckpointEvery = 3
+	co.Resume = true
+	co.MaxEpisodes = 7
+	if _, err := Train(co); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint after first session: %v", err)
+	}
+
+	co.MaxEpisodes = 0
+	resumed, err := Train(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trainSnapshot(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("resumed agent differs from uninterrupted agent: %d vs %d snapshot bytes", len(got), len(want))
+	}
+
+	// Resuming a finished run replays nothing and returns the same agent.
+	again, err := Train(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trainSnapshot(t, again); !bytes.Equal(got, want) {
+		t.Fatal("resume of a finished run does not reproduce the trained agent")
+	}
+}
+
+// A truncated or corrupted training checkpoint must fail the resume, not
+// silently restart the curriculum.
+func TestTrainResumeRejectsCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	if err := os.WriteFile(path, []byte("ADNOCKPTnot a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Rounds = 1
+	o.EpisodeCycles = 1000
+	o.CheckpointPath = path
+	o.Resume = true
+	o.MaxEpisodes = 1
+	if _, err := Train(o); err == nil {
+		t.Fatal("corrupt checkpoint resumed successfully")
 	}
 }

@@ -134,6 +134,16 @@ func (c Config) Validate() error {
 	if d := c.RL.DQN; d.ReplaySize < 0 || d.Minibatch < 0 || d.TargetSync < 0 {
 		return fieldErrf("rl.dqn", "negative replay/minibatch/targetSync size")
 	}
+	// Upper bounds: a config travels as JSON (serving API, checkpoints), so
+	// a few bytes must not be able to demand gigabytes of agent state.
+	if d := c.RL.DQN; d.ReplaySize > 1<<20 || d.Minibatch > 1<<16 {
+		return fieldErrf("rl.dqn", "implausibly large replay/minibatch size")
+	}
+	for i, h := range c.RL.DQN.Hidden {
+		if h < 1 || h > 1<<12 {
+			return fieldErrf(fmt.Sprintf("rl.dqn.hidden[%d]", i), "layer size %d outside [1,4096]", h)
+		}
+	}
 	return nil
 }
 
