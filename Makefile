@@ -1,6 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-checkpoint quick check cover fuzzseeds serve-smoke
+.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint quick check cover fuzzseeds serve-smoke
+
+NPROC := $(shell nproc)
 
 build:
 	go build ./...
@@ -19,6 +21,7 @@ check:
 	go test -run 'Fuzz' ./...
 	go run ./cmd/adaptnoc-serve -smoke
 	$(MAKE) bench-tick-smoke
+	$(MAKE) bench-shard-smoke
 	$(MAKE) cover
 
 # cover runs the suite with cross-package coverage (root-package tests
@@ -38,11 +41,14 @@ fuzzseeds:
 
 # race runs the concurrency-sensitive packages — the experiment runner,
 # the simulation kernel, the network substrate, and the experiment
-# drivers' determinism guard — under the race detector. Short mode keeps
-# it to a couple of minutes; it must stay clean at any -parallel setting.
+# drivers' determinism guard — under the race detector, plus the sharded
+# tick determinism suite (the worker gang's byte-identity proof needs the
+# detector watching the region boundaries). It must stay clean at any
+# -parallel or -shards setting.
 race:
 	go test -race -short ./internal/runner ./internal/sim ./internal/noc ./internal/serve
 	go test -race ./internal/exp -run DeterministicAcrossParallelism
+	go test -race -run 'TestSharded' .
 
 bench:
 	go test -bench=. -benchtime=1x
@@ -71,6 +77,45 @@ bench-tick-smoke:
 		-before internal/noc/testdata/bench_tick_before.txt \
 		-after /tmp/adaptnoc_bench_tick_smoke.txt \
 		-require-zero-allocs -max-ns-regress 400 -json /tmp/adaptnoc_bench_tick_smoke.json
+
+# bench-shard measures the region-parallel tick across chip sizes
+# (BenchmarkNetworkTickSharded: 8x8 through 64x64, serial vs one shard per
+# core) and records the per-size serial-vs-sharded comparison in
+# BENCH_shard.json — the "before" column is the shards=1 row and the
+# "after" column the shards=$(NPROC) row of the SAME run. On a 4+ core
+# host the 32x32 row is additionally gated: sharding must be at least 2x
+# faster than serial or the target fails. On fewer cores the numbers are
+# recorded without the speedup gate (a 1-core host only has serial rows).
+SHARD_BENCHES := BenchmarkNetworkTickSharded/8x8/shards=1,BenchmarkNetworkTickSharded/16x16/shards=1,BenchmarkNetworkTickSharded/32x32/shards=1,BenchmarkNetworkTickSharded/64x64/shards=1
+SHARD_AFTER := BenchmarkNetworkTickSharded/8x8/shards=$(NPROC),BenchmarkNetworkTickSharded/16x16/shards=$(NPROC),BenchmarkNetworkTickSharded/32x32/shards=$(NPROC),BenchmarkNetworkTickSharded/64x64/shards=$(NPROC)
+bench-shard:
+	go test -run '^$$' -bench BenchmarkNetworkTickSharded -benchmem -count 3 \
+		./internal/noc | tee /tmp/adaptnoc_bench_shard.txt
+	go run ./cmd/adaptnoc-benchdiff \
+		-bench '$(SHARD_BENCHES)' -after-bench '$(SHARD_AFTER)' \
+		-before /tmp/adaptnoc_bench_shard.txt -after /tmp/adaptnoc_bench_shard.txt \
+		-require-zero-allocs -max-ns-regress 10000 -json BENCH_shard.json
+	@if [ $(NPROC) -ge 4 ]; then \
+		go run ./cmd/adaptnoc-benchdiff \
+			-bench 'BenchmarkNetworkTickSharded/32x32/shards=1' \
+			-after-bench 'BenchmarkNetworkTickSharded/32x32/shards=$(NPROC)' \
+			-before /tmp/adaptnoc_bench_shard.txt -after /tmp/adaptnoc_bench_shard.txt \
+			-max-ns-regress -50; \
+	else \
+		echo "bench-shard: $(NPROC) core(s) < 4, 2x speedup gate at 32x32 not armed"; \
+	fi
+
+# bench-shard-smoke is the fast gate wired into check: the 16x16 rows at a
+# short benchtime, asserting the sharded tick path works end-to-end and
+# stays allocation-free. Timing is not gated at this length.
+bench-shard-smoke:
+	go test -run '^$$' -bench 'BenchmarkNetworkTickSharded/16x16' -benchmem -benchtime 100x \
+		./internal/noc | tee /tmp/adaptnoc_bench_shard_smoke.txt
+	go run ./cmd/adaptnoc-benchdiff \
+		-bench 'BenchmarkNetworkTickSharded/16x16/shards=1' \
+		-after-bench 'BenchmarkNetworkTickSharded/16x16/shards=$(NPROC)' \
+		-before /tmp/adaptnoc_bench_shard_smoke.txt -after /tmp/adaptnoc_bench_shard_smoke.txt \
+		-require-zero-allocs -max-ns-regress 10000 -json /tmp/adaptnoc_bench_shard_smoke.json
 
 # serve-smoke boots the daemon on a loopback port, round-trips one job
 # over real HTTP, and verifies the cache-hit path (also part of check).

@@ -146,10 +146,22 @@ type RLOptions struct {
 	Gamma float64 `json:"gamma,omitempty"`
 }
 
+// maxGridDim bounds Config.Width/Height. Past 64×64 a single chip
+// outgrows both the paper's platform and what the sharded tick has been
+// validated on, and a config travels as JSON, so a few bytes must not be
+// able to demand an enormous simulation.
+const maxGridDim = 64
+
 // Config assembles a simulation.
 type Config struct {
 	Design Design    `json:"design"`
 	Apps   []AppSpec `json:"apps"`
+
+	// Width and Height size the chip grid in tiles. Zero means the
+	// paper's 8×8 evaluation platform; larger grids (up to maxGridDim per
+	// side) serve the scaling experiments that the sharded tick targets.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
 
 	// Seed drives every random stream; equal seeds give identical runs.
 	Seed uint64 `json:"seed"`
@@ -201,9 +213,16 @@ type Sim struct {
 }
 
 // netConfig derives the per-design microarchitecture (Section IV-A's
-// area-equalized VC counts and hop latencies).
-func netConfig(d Design) noc.Config {
+// area-equalized VC counts and hop latencies) on a w×h grid (0 defaults
+// to the paper's 8×8 platform).
+func netConfig(d Design, w, h int) noc.Config {
 	cfg := noc.DefaultConfig()
+	if w > 0 {
+		cfg.Width = w
+	}
+	if h > 0 {
+		cfg.Height = h
+	}
 	switch d {
 	case DesignFTBY, DesignFTBYPG:
 		cfg.RouterLatency = 3
@@ -228,6 +247,12 @@ func netConfig(d Design) noc.Config {
 func (c Config) Canonical() Config {
 	cfg := c
 	cfg.Apps = append([]AppSpec(nil), c.Apps...)
+	if cfg.Width == 0 {
+		cfg.Width = noc.DefaultConfig().Width
+	}
+	if cfg.Height == 0 {
+		cfg.Height = noc.DefaultConfig().Height
+	}
 	if cfg.EpochCycles == 0 {
 		cfg.EpochCycles = 50000
 	}
@@ -272,7 +297,7 @@ func (c Config) Canonical() Config {
 	// recording it explicitly makes "override with the default" and "no
 	// override" the same config.
 	if cfg.VCsPerVNet == 0 {
-		cfg.VCsPerVNet = netConfig(cfg.Design).VCsPerVNet
+		cfg.VCsPerVNet = netConfig(cfg.Design, cfg.Width, cfg.Height).VCsPerVNet
 	}
 
 	// RL options only steer DesignAdaptNoC's learned policy.
@@ -300,7 +325,7 @@ func (c Config) Canonical() Config {
 	}
 
 	// Static topology pins are only read by the Adapt designs.
-	gridW := netConfig(cfg.Design).Width
+	gridW := cfg.Width
 	for i := range cfg.Apps {
 		a := &cfg.Apps[i]
 		if len(a.MCTiles) == 0 {
@@ -322,7 +347,7 @@ func NewSim(cfg Config) (*Sim, error) {
 	}
 	cfg = cfg.Canonical()
 
-	ncfg := netConfig(cfg.Design)
+	ncfg := netConfig(cfg.Design, cfg.Width, cfg.Height)
 	if cfg.NoInjectionBypass {
 		ncfg.InjectionBypass = false
 	}

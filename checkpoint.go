@@ -12,15 +12,18 @@ package adaptnoc
 //	           wiring and routing tables match the checkpoint
 //	machine  — cores, apps, MCs, transaction table; restored before the
 //	           network so packet payloads can resolve transaction IDs
-//	net      — packets, routers, channels, NIs, work lists
+//	net      — packets, routers, channels, NIs
 //	meter    — energy account
 //	control  — epoch controller + RL agents (Adapt designs)
 //	oscar    — VC partition state (DesignOSCAR)
 //	kernel   — clock and future-event list; restored last so events
 //	           scheduled during construction and replay are discarded
 //
-// A checkpoint is only valid for the exact simulator version that wrote
-// it (snap.Version pins the format; there is no migration).
+// The sealed blob is framed and gzip-compressed by snap.Seal; restore
+// accepts both the current compressed format and the uncompressed v1
+// framing older builds wrote (see snap.OpenBody). Beyond that framing
+// shim, a checkpoint is only valid for the exact simulator version that
+// wrote it.
 
 import (
 	"context"
@@ -48,7 +51,6 @@ func (s *Sim) Checkpoint() ([]byte, error) {
 	}
 
 	w := &snap.Writer{}
-	snap.Header(w)
 	w.Section("config", cfgJSON)
 
 	if s.Fabric != nil {
@@ -90,7 +92,7 @@ func (s *Sim) Checkpoint() ([]byte, error) {
 		return nil, fmt.Errorf("adaptnoc: snapshotting kernel: %w", err)
 	}
 	w.Section("kernel", kw.Bytes())
-	return w.Bytes(), nil
+	return snap.Seal(w.Bytes()), nil
 }
 
 // RestoreSim rebuilds a simulation from a checkpoint blob, in this or any
@@ -98,8 +100,8 @@ func (s *Sim) Checkpoint() ([]byte, error) {
 // checkpointed one stood: running both to the same cycle produces
 // byte-identical results.
 func RestoreSim(blob []byte) (*Sim, error) {
-	r := snap.NewReader(blob)
-	if err := snap.CheckHeader(r); err != nil {
+	r, err := snap.Open(blob)
+	if err != nil {
 		return nil, fmt.Errorf("adaptnoc: checkpoint header: %w", err)
 	}
 	cr, err := r.Section("config")

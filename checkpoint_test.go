@@ -20,6 +20,7 @@ import (
 	"adaptnoc"
 	"adaptnoc/internal/rl"
 	"adaptnoc/internal/sim"
+	"adaptnoc/internal/snap"
 )
 
 var checkpointBenchJSON = flag.String("checkpoint-benchjson", "",
@@ -183,6 +184,43 @@ func TestRestoreRejectsTruncation(t *testing.T) {
 		if _, err := adaptnoc.RestoreSim(blob[:cut]); err == nil {
 			t.Fatalf("truncation at %d of %d bytes restored successfully", cut, len(blob))
 		}
+	}
+}
+
+// TestRestoreAcceptsV1Blob proves checkpoints written by pre-compression
+// builds still restore: the same sections framed with the uncompressed v1
+// header (magic + version word 1 + raw body) must produce the same
+// simulation as the current compressed framing.
+func TestRestoreAcceptsV1Blob(t *testing.T) {
+	s, err := adaptnoc.NewSim(chkConfig(adaptnoc.DesignAdaptNoC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5000)
+	blob, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := snap.OpenBody(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := []byte(snap.Magic)
+	v1 = append(v1, byte(snap.VersionRaw), 0, 0, 0)
+	v1 = append(v1, body...)
+
+	a, err := adaptnoc.RestoreSim(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := adaptnoc.RestoreSim(v1)
+	if err != nil {
+		t.Fatalf("v1-framed blob rejected: %v", err)
+	}
+	a.Run(5000)
+	b.Run(5000)
+	if av, bv := resultsJSON(t, a.Results()), resultsJSON(t, b.Results()); !bytes.Equal(av, bv) {
+		t.Errorf("v1 restore diverged:\n got %s\nwant %s", bv, av)
 	}
 }
 

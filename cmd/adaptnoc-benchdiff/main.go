@@ -10,6 +10,15 @@
 // a committed before/after record (BENCH_tick.json) next to each optimized
 // benchmark's baseline.
 //
+// -bench accepts a comma-separated list; each name is compared and the
+// JSON record becomes an array (a single name keeps the original object
+// shape). -after-bench, when set, names the benchmark(s) to read from the
+// after file instead — pointing -before and -after at the SAME file then
+// compares two benchmarks of one run, which is how the sharded-tick gate
+// demands "shards=N at least 2x faster than shards=1" from a single
+// BENCH_shard measurement (a negative -max-ns-regress is a required
+// improvement: -50 fails unless the after side is at least twice as fast).
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkNetworkTick -benchmem -count 5 ./internal/noc > after.txt
@@ -23,15 +32,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 func main() {
 	var (
-		benchName  = flag.String("bench", "BenchmarkNetworkTick", "benchmark name to compare (exact, without -N cpu suffix)")
+		benchName  = flag.String("bench", "BenchmarkNetworkTick", "comma-separated benchmark `names` to compare (exact, without the -N cpu suffix)")
+		afterBench = flag.String("after-bench", "", "comma-separated `names` to read from the after file (default: same as -bench)")
 		beforePath = flag.String("before", "", "`file` with the baseline go test -bench output")
 		afterPath  = flag.String("after", "", "`file` with the candidate go test -bench output")
 		jsonPath   = flag.String("json", "", "write the comparison record to this `file` (optional)")
-		maxNs      = flag.Float64("max-ns-regress", 10, "fail when mean ns/op regresses by more than this `percent`")
+		maxNs      = flag.Float64("max-ns-regress", 10, "fail when mean ns/op regresses by more than this `percent` (negative demands an improvement)")
 		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail unless the after run reports exactly 0 allocs/op")
 	)
 	flag.Parse()
@@ -40,19 +51,55 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	before, err := summarizeFile(*beforePath, *benchName)
-	if err != nil {
-		fatal(err)
+	benches := strings.Split(*benchName, ",")
+	afters := benches
+	if *afterBench != "" {
+		afters = strings.Split(*afterBench, ",")
+		if len(afters) != len(benches) {
+			fatal(fmt.Errorf("-after-bench names %d benchmarks, -bench names %d", len(afters), len(benches)))
+		}
 	}
-	after, err := summarizeFile(*afterPath, *benchName)
-	if err != nil {
-		fatal(err)
+
+	var cmps []Comparison
+	failed := false
+	for i, bench := range benches {
+		bench = strings.TrimSpace(bench)
+		afterName := strings.TrimSpace(afters[i])
+		before, err := summarizeFile(*beforePath, bench)
+		if err != nil {
+			fatal(err)
+		}
+		after, err := summarizeFile(*afterPath, afterName)
+		if err != nil {
+			fatal(err)
+		}
+		cmp := compare(bench, before, after, *maxNs, *zeroAllocs)
+		if afterName != bench {
+			cmp.AfterBench = afterName
+		}
+		cmps = append(cmps, cmp)
+
+		label := bench
+		if afterName != bench {
+			label = bench + " -> " + afterName
+		}
+		fmt.Printf("%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d\n",
+			label, before.NsPerOpMean, after.NsPerOpMean, cmp.NsDeltaPercent,
+			before.AllocsPerOp, after.AllocsPerOp)
+		if !cmp.Pass {
+			failed = true
+			for _, f := range cmp.Failures {
+				fmt.Fprintf(os.Stderr, "FAIL: %s: %s\n", label, f)
+			}
+		}
 	}
 
-	cmp := compare(*benchName, before, after, *maxNs, *zeroAllocs)
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(cmp, "", "  ")
+		var doc any = cmps
+		if len(cmps) == 1 {
+			doc = cmps[0] // original single-object shape (BENCH_tick.json)
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -60,14 +107,7 @@ func main() {
 			fatal(err)
 		}
 	}
-
-	fmt.Printf("%s: ns/op %.0f -> %.0f (%+.1f%%), allocs/op %d -> %d\n",
-		*benchName, before.NsPerOpMean, after.NsPerOpMean, cmp.NsDeltaPercent,
-		before.AllocsPerOp, after.AllocsPerOp)
-	if !cmp.Pass {
-		for _, f := range cmp.Failures {
-			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
-		}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("PASS")

@@ -30,6 +30,7 @@ type Summary struct {
 // Comparison is the JSON record benchdiff emits (BENCH_tick.json).
 type Comparison struct {
 	Bench            string   `json:"bench"`
+	AfterBench       string   `json:"after_bench,omitempty"` // set when the after side is a different benchmark
 	Before           Summary  `json:"before"`
 	After            Summary  `json:"after"`
 	NsDeltaPercent   float64  `json:"ns_delta_percent"` // negative = faster

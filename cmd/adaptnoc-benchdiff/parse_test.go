@@ -34,6 +34,31 @@ func TestParseBenchSelectsNameAndSuffix(t *testing.T) {
 	}
 }
 
+const shardedSample = `goos: linux
+BenchmarkNetworkTickSharded/32x32/shards=1-8 	    5000	    240000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetworkTickSharded/32x32/shards=4-8 	   20000	     70000 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchSelectsSubBenchmarks(t *testing.T) {
+	// Sub-benchmark paths contain '/' and '='; the name+"-N" cpu-suffix rule
+	// must still pick exactly one row per full path.
+	serial, err := ParseBench(shardedSample, "BenchmarkNetworkTickSharded/32x32/shards=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 1 || serial[0].NsPerOp != 240000 {
+		t.Fatalf("serial row parsed wrong: %+v", serial)
+	}
+	sharded, err := ParseBench(shardedSample, "BenchmarkNetworkTickSharded/32x32/shards=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded) != 1 || sharded[0].NsPerOp != 70000 {
+		t.Fatalf("sharded row parsed wrong: %+v", sharded)
+	}
+}
+
 func TestParseBenchRejectsMissingBenchmem(t *testing.T) {
 	if _, err := ParseBench("BenchmarkNetworkTick 100 14000 ns/op\n", "BenchmarkNetworkTick"); err == nil {
 		t.Fatal("accepted output without -benchmem columns")
@@ -74,5 +99,19 @@ func TestCompareGates(t *testing.T) {
 		if c.Pass != tc.pass {
 			t.Errorf("%s: pass = %v, want %v (failures: %v)", tc.name, c.Pass, tc.pass, c.Failures)
 		}
+	}
+}
+
+func TestCompareNegativeLimitDemandsImprovement(t *testing.T) {
+	// The sharded-tick gate: -max-ns-regress -50 means the after side must be
+	// at least 2x faster, not merely no slower.
+	base := Summary{Runs: 3, NsPerOpMean: 240000, NsPerOpMin: 230000}
+	fast := Summary{Runs: 3, NsPerOpMean: 70000, NsPerOpMin: 69000}
+	if c := compare("BenchmarkNetworkTickSharded/32x32/shards=1", base, fast, -50, false); !c.Pass {
+		t.Errorf("2x+ speedup rejected: %v", c.Failures)
+	}
+	slow := Summary{Runs: 3, NsPerOpMean: 180000, NsPerOpMin: 175000}
+	if c := compare("BenchmarkNetworkTickSharded/32x32/shards=1", base, slow, -50, false); c.Pass {
+		t.Error("25% speedup passed a gate demanding 50%")
 	}
 }

@@ -69,6 +69,7 @@ func main() {
 	figs := flag.String("fig", "all", "comma-separated figures to regenerate")
 	seed := flag.Uint64("seed", 0, "override the random seed (0 keeps the default)")
 	parallel := flag.Int("parallel", 0, "simulations to run at once (0 = one per CPU, 1 = serial)")
+	shards := flag.Int("shards", 1, "network tick shards per simulation: 1 = serial, k > 1 = k parallel row bands, 0 = auto by chip size")
 	benchJSON := flag.String("benchjson", "", "write serial-vs-parallel wall-clock JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	checkpoint := flag.String("checkpoint", "", "persist per-simulation checkpoints to this directory")
@@ -93,6 +94,10 @@ func main() {
 		o.Seed = *seed
 	}
 	o.Parallelism = *parallel
+	o.Shards = *shards
+	if *shards == 0 {
+		o.Shards = -1 // exp's auto-select sentinel (0 keeps the zero-value serial default)
+	}
 	o.CheckpointDir = *checkpoint
 	o.CheckpointEvery = adaptnoc.Cycle(*checkpointEvery)
 	o.Resume = *resume

@@ -66,6 +66,9 @@ func main() {
 	layout := flag.Bool("layout", false, "render each subNoC's final physical configuration")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	listProfiles := flag.Bool("profiles", false, "list available application profiles and exit")
+	width := flag.Int("width", 0, "chip width in tiles (0 = the paper's 8; multiples of 8 tile the default workload)")
+	height := flag.Int("height", 0, "chip height in tiles (0 = the paper's 8)")
+	shards := flag.Int("shards", 1, "network tick shards: 1 = serial, k > 1 = k parallel row bands, 0 = auto by chip size")
 	checkpoint := flag.String("checkpoint", "", "save the simulation state to this file as the run advances")
 	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoint saves (0 = only at the end)")
 	resumeFrom := flag.String("resume", "", "restore this checkpoint and continue (workload flags are ignored)")
@@ -101,7 +104,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adaptnoc-sim: resumed %s (%s) at cycle %d\n",
 			*resumeFrom, s.Cfg.Design, s.Kernel.Now())
 	} else {
-		apps = adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
+		w, h := *width, *height
+		if w == 0 {
+			w = 8
+		}
+		if h == 0 {
+			h = 8
+		}
+		if w != 8 || h != 8 {
+			// Larger chips tile the three-app mapping per 8×8 quadrant.
+			apps = adaptnoc.TiledMixed(w, h, *budget)
+		} else {
+			apps = adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
+		}
 		apps[0].ShareMCs = *share
 		if *appsFlag != "" {
 			apps, err = adaptnoc.ParseAppSpecs(*appsFlag)
@@ -116,6 +131,8 @@ func main() {
 		cfg := adaptnoc.Config{
 			Design:      d,
 			Apps:        apps,
+			Width:       *width,
+			Height:      *height,
 			Seed:        *seed,
 			EpochCycles: *epoch,
 		}
@@ -132,6 +149,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// Sharding is an execution knob: any value computes the same results,
+	// so it applies equally to fresh and resumed simulations.
+	s.SetShards(*shards)
 
 	// Observability: tracers are fanned out through a Tee so -trace and
 	// -hist compose; the network pays one nil check per event when both

@@ -60,6 +60,11 @@ type Options struct {
 	// checkpoint fast-forwards straight to its results. Results are
 	// byte-identical either way.
 	Resume bool
+	// Shards sets each simulation's network-tick shard count: 1 (and the
+	// zero value) is serial, k > 1 ticks row bands on k goroutines, < 0
+	// selects automatically by chip size. Like Parallelism this is an
+	// execution knob — results are byte-identical at any setting.
+	Shards int
 }
 
 // mapJobs fans the jobs over the runner pool at the options' parallelism
@@ -177,6 +182,16 @@ func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptn
 		if s, err = adaptnoc.NewSim(cfg); err != nil {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
 		}
+	}
+	if o.Shards != 0 {
+		k := o.Shards
+		if k < 0 {
+			k = 0 // auto-select by chip size
+		}
+		s.SetShards(k)
+		// Release the shard workers once this design's results are taken;
+		// a fleet of finished simulations must not pin goroutines.
+		defer s.StopWorkers()
 	}
 	budgeted := false
 	for _, a := range apps {

@@ -96,12 +96,21 @@ type Channel struct {
 
 	active bool
 
-	// net and queued drive the network's active-channel work list: a
+	// net and queued drive the owning region's active-channel work list: a
 	// channel with nothing in flight is dropped from the per-cycle tick
 	// loop and re-queued by the first send or credit (see Network.Tick).
 	// net is nil for channels built outside a Network (tests).
 	net    *Network
 	queued bool
+
+	// shard is the region owning this channel's tick (the sender's shard);
+	// boundary marks channels whose endpoints sit in different shards.
+	// Boundary channels are ticked serially at the barrier and stay
+	// permanently queued so wake() — called from the sending region's
+	// parallel phase — is a race-free no-op. Both are assigned by
+	// Network.carve.
+	shard    int
+	boundary bool
 
 	// Resolved endpoints, set when the channel is wired into a network so
 	// the per-delivery hot path dispatches through a direct pointer rather
@@ -153,16 +162,19 @@ func (c *Channel) Busy() bool {
 	return len(c.fwd) > c.fwdHead || len(c.rev) > c.revHead
 }
 
-// wake puts the channel on its network's work list so the new traffic is
+// wake puts the channel on its region's work list so the new traffic is
 // delivered. Wakes during a tick are buffered and merged at the next tick
 // boundary — every payload has >= 1 cycle of latency, so that is early
-// enough.
+// enough. Only the owning region's worker can reach a non-queued internal
+// channel (its sender lives in the same shard), and boundary channels are
+// permanently queued, so the append never races.
 func (c *Channel) wake() {
 	if c.queued || c.net == nil {
 		return
 	}
 	c.queued = true
-	c.net.wokenCh = append(c.net.wokenCh, c)
+	reg := c.net.regions[c.shard]
+	reg.wokenCh = append(reg.wokenCh, c)
 }
 
 // send places a flit on the channel at cycle now.

@@ -32,14 +32,15 @@ type Network struct {
 	attach []NodeID
 
 	onDeliver DeliverFunc
-	// deliverBound is the method value n.deliver, materialized once so the
-	// per-tail-flit delivery call does not rebuild it.
-	deliverBound DeliverFunc
-	nextPkt      uint64
+	nextPkt   uint64
 
-	// pool is the per-network allocation arena: packet free list plus flit
-	// slab arena, recycled at delivery (see pool.go).
-	pool pool
+	// pools are the per-shard allocation arenas: packet free list plus flit
+	// slab arena, recycled at delivery (see pool.go). pools[0] additionally
+	// owns every packet header (NewPacket and delivery recycling run
+	// serially); the per-shard pools serve only the flit slabs injectors
+	// carve in the parallel injection phase. The slice only grows; index
+	// into it per call rather than holding a *pool across carves.
+	pools []pool
 
 	// ccFlits/ccCredits are CheckCreditInvariant's per-VC tallies, sized to
 	// the flat VC count once and reused so a periodic verifier pass does
@@ -47,16 +48,23 @@ type Network struct {
 	ccFlits   []int
 	ccCredits []int
 
-	// Active work lists: only channels with traffic in flight and routers
-	// with work are ticked; idle ones are skipped. Wakes that occur inside
-	// a tick phase are buffered in the woken slices and merged at the next
-	// phase boundary (channels at the next Tick, routers before this
-	// Tick's router phase, since channel deliveries may wake routers that
-	// must still tick this cycle).
-	activeCh []*Channel
-	wokenCh  []*Channel
-	activeR  []*Router
-	wokenR   []*Router
+	// Tick sharding (see shard.go). regions holds one shardRegion per
+	// shard, each owning a contiguous band of mesh rows with its own work
+	// lists; boundaryCh lists the channels crossing shards, ticked serially
+	// at the barrier in canonical order. carveDirty forces a carve() at the
+	// next Tick after any change to sharding or wiring. gang is the
+	// persistent worker pool (nil when shards == 1); gangNow passes the
+	// current cycle to workers without an allocation.
+	shards     int
+	carveDirty bool
+	regions    []*shardRegion
+	boundaryCh []*Channel
+	gang       *sim.Gang
+	gangNow    sim.Cycle
+	// pendingAll and rowShard are carve/barrier scratch reused across
+	// cycles so the steady-state tick allocates nothing.
+	pendingAll []*Packet
+	rowShard   []int
 
 	// lastTick is the cycle most recently passed to Tick (-1 before the
 	// first). Parked routers reconstruct their counters through it when
@@ -119,8 +127,8 @@ func NewNetwork(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{Cfg: cfg, lastTick: -1}
-	n.deliverBound = n.deliver
+	n := &Network{Cfg: cfg, lastTick: -1, shards: 1}
+	n.pools = make([]pool, 1)
 	nvc := NumVNets * cfg.VCsPerVNet
 	n.ccFlits = make([]int, nvc)
 	n.ccCredits = make([]int, nvc)
@@ -137,6 +145,11 @@ func NewNetwork(cfg Config) *Network {
 		n.nis[i] = newNI(NodeID(i))
 		n.attach[i] = -1
 	}
+	// Carve immediately so regions[0] exists before the first Tick: wake()
+	// targets a region's work list, and tests send on wired channels before
+	// ever ticking. Wiring calls mark the partition dirty and the next Tick
+	// re-carves.
+	n.carve()
 	return n
 }
 
@@ -177,6 +190,7 @@ func (n *Network) Connect(from, to Endpoint, kind ChannelKind, latency, tiles in
 	src.attachOut(from.Port, ch, nvc, n.Cfg.VCDepth)
 	dst.attachIn(to.Port, ch)
 	n.channels = append(n.channels, ch)
+	n.carveDirty = true
 	return ch
 }
 
@@ -255,6 +269,7 @@ func (n *Network) attachLocalPort(router NodeID, port int, tiles []NodeID, laten
 	inj := newInjector(r, port, injCh, nis, withEjection)
 	injCh.srcInj = inj
 	n.injectors[injKey{router, port}] = inj
+	n.carveDirty = true
 	n.injList = append(n.injList, inj)
 	sort.Slice(n.injList, func(i, j int) bool {
 		a, b := n.injList[i], n.injList[j]
@@ -313,6 +328,7 @@ func (n *Network) DetachLocal(router NodeID) {
 		n.injList[i] = nil
 	}
 	n.injList = keep
+	n.carveDirty = true
 }
 
 // DisconnectOut detaches and removes the channel on a router output port.
@@ -334,18 +350,17 @@ func (n *Network) DisconnectOut(router NodeID, port int) {
 }
 
 // removeChannel deactivates and drops a channel from the live set. If the
-// channel sits on the active work list it is NOT spliced out eagerly (an
-// O(active) shift per removal): deactivation alone is enough, because the
-// next Tick skips inactive channels and drops them during its ordinary
-// keep-compaction pass. A removed channel is drained by precondition, so
-// skipping it delivers nothing and same-cycle delivery order — which the
-// active list's order determines and which must stay a pure function of
-// simulation history — is untouched.
+// channel sits on an active work list it is NOT spliced out eagerly (an
+// O(active) shift per removal): deactivation plus the carve the removal
+// schedules is enough — the re-carve rebuilds every region's work list
+// from live state before the next Tick. A removed channel is drained by
+// precondition, so dropping it delivers nothing.
 //
 // The n.channels membership slice is unordered (it only feeds sums and
 // invariant sweeps), so swap-removal there is O(1) and stays.
 func (n *Network) removeChannel(ch *Channel) {
 	ch.setActive(false)
+	n.carveDirty = true
 	for i, c := range n.channels {
 		if c == ch {
 			n.channels[i] = n.channels[len(n.channels)-1]
@@ -365,9 +380,10 @@ func (n *Network) NewPacket(src, dst NodeID, class PacketClass, vnet VNet, app i
 	if class == ClassData {
 		size = n.Cfg.DataFlits
 	}
-	p := n.pool.getPacket()
+	p := n.pools[0].getPacket()
 	// Full-literal assignment resets every pooled field (timestamps, hops,
-	// payload, dateline state, reassembly count, slab reference).
+	// payload, dateline state, reassembly count, slab reference and its
+	// owning pool).
 	*p = Packet{
 		ID: n.nextPkt, Src: src, Dst: dst,
 		Class: class, VNet: vnet, Size: size, App: app,
@@ -375,12 +391,16 @@ func (n *Network) NewPacket(src, dst NodeID, class PacketClass, vnet VNet, app i
 	return p
 }
 
-// makeFlits serializes a packet into a pooled slab from the arena.
-func (n *Network) makeFlits(p *Packet) []Flit {
+// makeFlits serializes a packet into a pooled slab from pool poolIdx and
+// tags the packet with the owning pool so delivery recycles the slab where
+// it came from. Injectors pass their shard's pool (the only allocation on
+// the parallel injection phase); serial callers use pool 0.
+func (n *Network) makeFlits(p *Packet, poolIdx int) []Flit {
 	if p.Size < 1 {
 		panic("noc: packet with no flits")
 	}
-	return fillFlits(p, n.pool.getSlab(p.Size))
+	p.slabPool = int32(poolIdx)
+	return fillFlits(p, n.pools[poolIdx].getSlab(p.Size))
 }
 
 // Enqueue submits a packet at its source NI at cycle now.
@@ -395,9 +415,28 @@ func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
 	}
 }
 
-// Tick advances the whole network one cycle: channel deliveries, router
-// pipelines, then injection arbitration. All cross-component paths have at
-// least one cycle of latency, so the in-cycle order is not observable.
+// Tick advances the whole network one cycle in four phases:
+//
+//  1. Region channel phase (parallel): each shard ticks its internal
+//     channels — both endpoints inside the shard — against its own work
+//     list. Tail-flit deliveries are buffered per region instead of
+//     running the delivery callback immediately.
+//  2. Barrier (serial): boundary channels (endpoints in different shards)
+//     tick in canonical (From, To) order, then the buffered deliveries of
+//     all regions run through the delivery callback in canonical
+//     destination order.
+//  3. Region router phase (parallel): each shard ticks its routers and
+//     then its injectors, in deterministic per-region order.
+//  4. Merge (serial): per-region counters fold into the network totals
+//     and the periodic verifier runs.
+//
+// All cross-component paths have at least one cycle of latency and a tile
+// ejects at most one tail flit per cycle, so the only in-cycle order the
+// simulation can observe is same-cycle delivery-callback order — which the
+// barrier canonicalizes by sorting on destination. That makes the results
+// (and checkpoint blobs) byte-identical for every shard count, including
+// the serial shards == 1 path, which runs the same four phases on one
+// region covering the whole chip.
 //
 // Only the active work lists are walked: a channel with nothing in flight
 // and a router that parked itself (disabled, asleep, or empty) are skipped
@@ -406,61 +445,68 @@ func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
 // channels hold no per-cycle state, and parked routers reconstruct their
 // activity counters on demand (Router.syncIdle).
 func (n *Network) Tick(now sim.Cycle) {
+	if n.carveDirty {
+		n.carve()
+	}
 	n.lastTick = now
 	n.stats.Cycles++
 
-	// Channels woken since the previous tick (router traversals, injector
-	// sends, ejection credits) join the list; their earliest delivery is
-	// this cycle at the soonest, so merging here loses nothing. Channels
-	// removed by reconfiguration are dropped here too (removeChannel does
-	// not splice work lists eagerly).
-	if len(n.wokenCh) > 0 {
-		n.activeCh = append(n.activeCh, n.wokenCh...)
-		n.wokenCh = n.wokenCh[:0]
+	// Tracing wants globally ordered callbacks, so a traced network runs
+	// its regions sequentially on this goroutine; the state evolution is
+	// identical (regions only touch state they own).
+	parallel := n.gang != nil && n.tracer == nil
+	n.gangNow = now
+
+	// Phase 1: internal channels, per region.
+	if parallel {
+		n.gang.Kick(gangPhaseChannels)
+		n.regionChannels(n.regions[0], now)
+		n.gang.Wait()
+	} else {
+		for _, reg := range n.regions {
+			n.regionChannels(reg, now)
+		}
 	}
-	var tickedCh int64
-	keepCh := n.activeCh[:0]
-	for _, ch := range n.activeCh {
-		if !ch.active {
-			ch.queued = false
+
+	// Phase 2 (barrier): boundary channels in canonical order, then the
+	// canonical delivery replay.
+	var boundaryTicked int64
+	for _, ch := range n.boundaryCh {
+		if !ch.active || !ch.Busy() {
 			continue
 		}
-		n.tickChannel(ch, now)
-		tickedCh++
-		if ch.Busy() {
-			keepCh = append(keepCh, ch)
-		} else {
-			ch.queued = false
+		n.tickChannel(ch, now, nil)
+		boundaryTicked++
+	}
+	n.replayDeliveries(now)
+
+	// Phase 3: routers then injectors, per region.
+	if parallel {
+		n.gang.Kick(gangPhaseRouters)
+		n.regionRouters(n.regions[0], now)
+		n.gang.Wait()
+	} else {
+		for _, reg := range n.regions {
+			n.regionRouters(reg, now)
 		}
 	}
-	for i := len(keepCh); i < len(n.activeCh); i++ {
-		n.activeCh[i] = nil
+
+	// Phase 4: fold the per-region counters into the network totals.
+	tickedCh := boundaryTicked
+	var tickedR, injected, ejected int64
+	for _, reg := range n.regions {
+		tickedCh += reg.tickedCh
+		tickedR += reg.tickedR
+		injected += reg.flitsInjected
+		ejected += reg.flitsEjected
+		reg.tickedCh, reg.tickedR, reg.flitsInjected, reg.flitsEjected = 0, 0, 0, 0
 	}
-	n.activeCh = keepCh
 	n.stats.ChannelTicks += tickedCh
 	n.stats.ChannelSkips += int64(len(n.channels)) - tickedCh
-
-	// Routers woken by this cycle's deliveries must still tick this cycle,
-	// so the merge sits between the channel and router phases.
-	if len(n.wokenR) > 0 {
-		n.activeR = append(n.activeR, n.wokenR...)
-		n.wokenR = n.wokenR[:0]
-	}
-	tickedR := int64(len(n.activeR))
-	keepR := n.activeR[:0]
-	for _, r := range n.activeR {
-		r.Tick(now)
-		if !r.parked {
-			keepR = append(keepR, r)
-		}
-	}
-	n.activeR = keepR
 	n.stats.RouterTicks += tickedR
 	n.stats.RouterSkips += int64(len(n.routers)) - tickedR
-
-	for _, inj := range n.injList {
-		inj.tick(now)
-	}
+	n.TotalFlitsInjected += injected
+	n.TotalFlitsEjected += ejected
 
 	if n.verifyEvery > 0 && int64(now)%n.verifyEvery == 0 {
 		if err := n.verifier(n, now); err != nil {
@@ -469,11 +515,47 @@ func (n *Network) Tick(now sim.Cycle) {
 	}
 }
 
+// replayDeliveries runs the delivery callbacks buffered by the region
+// channel phase, in canonical order. Each tile sits on exactly one
+// ejection channel and a channel delivers at most one flit per cycle, so
+// at most one packet per destination tile completes per cycle — sorting by
+// destination is a total order, independent of region count and work-list
+// order. The sort is a hand-written insertion sort: the list is tiny (a
+// handful of same-cycle deliveries) and sort.Slice's interface conversion
+// would allocate on the steady-state path.
+func (n *Network) replayDeliveries(now sim.Cycle) {
+	pend := n.pendingAll[:0]
+	for _, reg := range n.regions {
+		pend = append(pend, reg.pending...)
+		for i := range reg.pending {
+			reg.pending[i] = nil
+		}
+		reg.pending = reg.pending[:0]
+	}
+	for i := 1; i < len(pend); i++ {
+		p := pend[i]
+		j := i - 1
+		for j >= 0 && pend[j].Dst > p.Dst {
+			pend[j+1] = pend[j]
+			j--
+		}
+		pend[j+1] = p
+	}
+	for i, p := range pend {
+		pend[i] = nil
+		n.deliver(p, now)
+	}
+	n.pendingAll = pend[:0]
+}
+
 // tickChannel delivers due credits and flits. Endpoint targets were
 // resolved to direct pointers when the channel was wired (srcRouter /
 // srcInj / dstRouter), so the per-delivery path does no endpoint switch
-// and no injector map lookup.
-func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
+// and no injector map lookup. reg is the region running the tick and
+// receives the ejection side effects (flit counter, buffered delivery);
+// it is nil for boundary channels, which are router-to-router by
+// construction and never reach the ejection branch.
+func (n *Network) tickChannel(ch *Channel, now sim.Cycle, reg *shardRegion) {
 	ch.deliverCredits(now, func(vc int) {
 		if ch.srcRouter != nil {
 			ch.srcRouter.receiveCredit(ch.From.Port, vc, now)
@@ -496,18 +578,20 @@ func (n *Network) tickChannel(ch *Channel, now sim.Cycle) {
 			return
 		}
 		// Ejection: the NI consumes the flit immediately and the buffer
-		// slot frees right away.
+		// slot frees right away. The tail-flit delivery callback is
+		// deferred to the barrier (reg.deliver buffers the packet) so
+		// same-cycle deliveries run in canonical order there.
 		dst := f.Pkt.Dst
 		if n.attach[dst] != ch.From.Router {
 			panic(fmt.Sprintf("noc: packet %v ejected at router %d but tile attached to %d",
 				f.Pkt, ch.From.Router, n.attach[dst]))
 		}
 		ch.sendCredit(f.VC, now)
-		n.TotalFlitsEjected++
+		reg.flitsEjected++
 		if n.tracer != nil {
 			n.tracer.FlitEjected(dst, f, now)
 		}
-		n.nis[dst].receiveFlit(f, now, n.deliverBound)
+		n.nis[dst].receiveFlit(f, now, reg.deliver)
 	})
 }
 
@@ -520,14 +604,15 @@ func (n *Network) deliver(p *Packet, now sim.Cycle) {
 		n.onDeliver(p, now)
 	}
 	// The packet is dead: every flit was ejected (the NI checked the tail
-	// count) and every observer has run. Recycle the flit slab and the
-	// packet into the arena; both may be reused by a later NewPacket.
+	// count) and every observer has run. Recycle the flit slab into the
+	// pool that carved it and the packet into the serial pool; both may be
+	// reused by a later NewPacket.
 	if p.flits != nil {
-		n.pool.putSlab(p.flits)
+		n.pools[p.slabPool].putSlab(p.flits)
 		p.flits = nil
 	}
 	p.Payload = nil
-	n.pool.putPacket(p)
+	n.pools[0].putPacket(p)
 }
 
 // InFlightFlits counts flits buffered in routers or travelling on channels.

@@ -181,6 +181,13 @@ type injector struct {
 	// injection list drops marked entries in one order-preserving
 	// compaction pass.
 	detached bool
+
+	// poolIdx names the shard pool flit slabs are carved from and reg the
+	// region whose counters this injector bumps — both assigned by
+	// Network.carve so the injection phase touches only its own shard's
+	// state.
+	poolIdx int
+	reg     *shardRegion
 }
 
 func newInjector(r *Router, port int, ch *Channel, nis []*NI, primary bool) *injector {
@@ -247,7 +254,7 @@ func (inj *injector) tryStart(st *niStream) bool {
 				continue
 			}
 			st.cur = ni.takePacket(v, idx)
-			st.flits = inj.router.net.makeFlits(st.cur)
+			st.flits = inj.router.net.makeFlits(st.cur, inj.poolIdx)
 			st.nextSeq = 0
 			st.vcFlat = granted
 			inj.owner[granted] = st.cur
@@ -278,7 +285,7 @@ func (inj *injector) trySend(st *niStream, now sim.Cycle) bool {
 	inj.ch.send(f, now)
 	st.nextSeq++
 	net := inj.router.net
-	net.TotalFlitsInjected++
+	inj.reg.flitsInjected++
 	if f.Head {
 		st.cur.InjectedAt = now
 		st.ni.act.InjectedPackets++

@@ -51,7 +51,11 @@ type Packet struct {
 
 	// flits is the packet's serialized flit slab, one contiguous []Flit
 	// carved from the owning network's arena; recycled at delivery.
-	flits []Flit
+	// slabPool names the shard pool the slab was carved from so delivery
+	// returns it there (0 for serial callers and restored packets; reset
+	// by NewPacket's full-literal assignment).
+	flits    []Flit
+	slabPool int32
 	// rxFlits counts flits received by the destination NI; replaces the
 	// NI-side reassembly map so ejection does no map work and reassembly
 	// state is exactly O(in-flight packets).

@@ -12,7 +12,12 @@ package noc
 //     call returns is a pure function of simulation history. sync.Pool
 //     would not give that guarantee (its per-P caches drain on GC and vary
 //     with scheduling), and the parallel experiment runner depends on every
-//     simulation being bit-identical regardless of sibling load.
+//     simulation being bit-identical regardless of sibling load. Under tick
+//     sharding each shard owns a pool of its own (Network.pools): the only
+//     parallel allocation site is the injector's slab carve, which draws
+//     from its shard's pool in deterministic per-region order, so the rule
+//     survives — each pool's state is a pure function of its shard's
+//     simulation history.
 //
 //   - Contiguity. A packet's flits are carved as one []Flit slab out of a
 //     large arena block, so the flits that travel together sit together:
@@ -138,7 +143,27 @@ func (pl *pool) putSlab(s []Flit) {
 	pl.classes = append(pl.classes, slabClass{size: size, free: [][]Flit{s}})
 }
 
-// PoolStats returns the network's arena counters. In steady state only the
-// Reused/Freed counters advance; Carved counters advancing under constant
-// load means recycling broke.
-func (n *Network) PoolStats() PoolStats { return n.pool.stats }
+// add accumulates another pool's counters.
+func (s *PoolStats) add(o PoolStats) {
+	s.PacketsCarved += o.PacketsCarved
+	s.PacketsReused += o.PacketsReused
+	s.PacketsFreed += o.PacketsFreed
+	s.SlabsCarved += o.SlabsCarved
+	s.SlabsReused += o.SlabsReused
+	s.SlabsFreed += o.SlabsFreed
+	s.ArenaFlits += o.ArenaFlits
+}
+
+// PoolStats returns the network's arena counters, summed over the shard
+// pools. In steady state only the Reused/Freed counters advance; Carved
+// counters advancing under constant load means recycling broke. The split
+// between pools — unlike the simulation results — depends on the shard
+// count, so PoolStats is diagnostic state and is not serialized in
+// checkpoints.
+func (n *Network) PoolStats() PoolStats {
+	var s PoolStats
+	for i := range n.pools {
+		s.add(n.pools[i].stats)
+	}
+	return s
+}

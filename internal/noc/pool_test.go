@@ -28,6 +28,33 @@ func TestSteadyStateTickZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateShardedTickZeroAllocs extends the allocation contract to
+// the region-parallel tick: once the partition is carved and every shard's
+// pools and work lists have reached their high-water marks, a sharded
+// Tick — gang dispatch, all worker goroutines, the boundary barrier, and
+// the delivery replay — must not touch the Go allocator either.
+// AllocsPerRun counts heap mallocs process-wide, so a single allocation on
+// any shard worker fails the test.
+func TestSteadyStateShardedTickZeroAllocs(t *testing.T) {
+	net, step, delivered := steadyStateGrid(16, 16, 384, 4)
+	if net.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", net.Shards())
+	}
+	for i := 0; i < 4000; i++ {
+		step()
+	}
+	if *delivered == 0 {
+		t.Fatal("no deliveries during warmup")
+	}
+	before := *delivered
+	if avg := testing.AllocsPerRun(500, step); avg != 0 {
+		t.Fatalf("sharded steady-state tick allocates %.2f times per cycle, want 0", avg)
+	}
+	if *delivered == before {
+		t.Fatal("allocation measurement ticked a dead network")
+	}
+}
+
 // TestPoolRecyclingReachesSteadyState proves the arena stops carving new
 // memory once warmed: under constant closed-loop load, every NewPacket is
 // served from the free lists and the carve counters freeze.

@@ -146,13 +146,16 @@ type Router struct {
 	// routers skip their pipeline entirely).
 	buffered int
 
-	// parked marks the router as off the network's active work list: its
+	// parked marks the router as off its region's active work list: its
 	// Tick would only bump counters (disabled, asleep, or no buffered
 	// flits), so the network skips it and the counters are reconstructed
 	// lazily by syncIdle. parkedAt is the first cycle whose counters have
 	// not been applied yet.
 	parked   bool
 	parkedAt sim.Cycle
+
+	// shard is the tick region owning this router (Network.carve).
+	shard int
 
 	// saBuckets is per-output-port request scratch reused across cycles.
 	saBuckets [][]saRequest
@@ -427,7 +430,8 @@ func (r *Router) receiveFlit(port int, f *Flit, now sim.Cycle) {
 		// router phase.
 		r.syncIdle(now - 1)
 		r.parked = false
-		r.net.wokenR = append(r.net.wokenR, r)
+		reg := r.net.regions[r.shard]
+		reg.wokenR = append(reg.wokenR, r)
 	}
 	in := &r.inputs[port]
 	vc := &in.vcs[f.VC]
@@ -765,8 +769,16 @@ func (r *Router) traverse(out *OutputPort, port, vcIdx int, now sim.Cycle) {
 
 	out.credits[outVC]--
 	f.VC = outVC
-	f.Pkt.datelineClass = vc.classAfter
-	f.Pkt.lastDim = PortDim(out.index)
+	if f.Head {
+		// Dateline state rides the head flit: the only reader is the next
+		// router's RC stage, which fires when the head arrives, so the
+		// packet must carry the class of the last router the HEAD crossed.
+		// Body flits must not write it — they trail at upstream routers
+		// whose classAfter may differ (and, under tick sharding, may sit in
+		// another region, making the redundant write a data race).
+		f.Pkt.datelineClass = vc.classAfter
+		f.Pkt.lastDim = PortDim(out.index)
+	}
 	out.out.send(f, now)
 
 	// The buffer slot frees now; return a credit to the upstream sender on

@@ -12,12 +12,18 @@ package noc
 //   - per-injector stream and credit state;
 //   - per-channel in-flight flits and credits, serialized with channels
 //     sorted by (From, To) because the membership slice's order is
-//     incidental (swap-removal);
-//   - the active/woken work lists as ordered references, because
-//     same-cycle delivery order is part of simulation history;
-//   - the arena's logical shape (free-list and block tallies), so the
-//     restored pool's future carve/reuse decisions — and therefore
-//     PoolStats — evolve exactly as the uninterrupted run's would.
+//     incidental (swap-removal).
+//
+// The active/woken work lists and the arena shape are deliberately NOT
+// serialized: both are derived execution state whose layout depends on the
+// tick shard count, and a checkpoint must be byte-identical no matter how
+// many shards wrote it. The work lists are a pure function of live state
+// (a channel is listed iff Busy, a router iff not parked) and list order
+// is unobservable since Tick canonicalizes same-cycle delivery order, so
+// Restore just schedules a carve() and the next Tick rebuilds them. The
+// arena refills through ordinary delivery recycling; PoolStats after a
+// restore count from the restore point (diagnostic state only — nothing
+// the simulation computes reads them).
 //
 // Derived state (occupancy counts, live masks, held masks, resolved
 // pointers) is recomputed. Restore runs against a freshly constructed
@@ -153,24 +159,6 @@ func (n *Network) Snapshot(w *snap.Writer, codec PayloadCodec) error {
 	w.I64(n.stats.ChannelTicks)
 	w.I64(n.stats.ChannelSkips)
 
-	// Arena shape: enough to reproduce future carve/reuse decisions.
-	ps := n.pool.stats
-	w.I64(ps.PacketsCarved)
-	w.I64(ps.PacketsReused)
-	w.I64(ps.PacketsFreed)
-	w.I64(ps.SlabsCarved)
-	w.I64(ps.SlabsReused)
-	w.I64(ps.SlabsFreed)
-	w.I64(ps.ArenaFlits)
-	w.Uvarint(uint64(len(n.pool.freePkts)))
-	w.Uvarint(uint64(len(n.pool.pktBlock)))
-	w.Uvarint(uint64(len(n.pool.flitBlock)))
-	w.Uvarint(uint64(len(n.pool.classes)))
-	for _, c := range n.pool.classes {
-		w.Int(c.size)
-		w.Uvarint(uint64(len(c.free)))
-	}
-
 	// Live packets by value.
 	pkts := n.livePackets()
 	w.Uvarint(uint64(len(pkts)))
@@ -256,10 +244,6 @@ func (n *Network) Snapshot(w *snap.Writer, codec PayloadCodec) error {
 
 	// Channels in canonical order, with in-flight contents.
 	chs := n.sortedChannels()
-	chIndex := make(map[*Channel]int, len(chs))
-	for i, ch := range chs {
-		chIndex[ch] = i
-	}
 	w.Uvarint(uint64(len(chs)))
 	for _, ch := range chs {
 		snapshotEndpoint(w, ch.From)
@@ -281,35 +265,6 @@ func (n *Network) Snapshot(w *snap.Writer, codec PayloadCodec) error {
 			w.I64(int64(e.deliverAt))
 		}
 	}
-
-	// Work lists: ordered, as channel indices into the canonical order and
-	// router IDs. Inactive (removed) channels still parked on the active
-	// list are dropped — the next tick would discard them without any
-	// observable effect.
-	writeChList := func(list []*Channel) {
-		count := 0
-		for _, ch := range list {
-			if ch.active {
-				count++
-			}
-		}
-		w.Uvarint(uint64(count))
-		for _, ch := range list {
-			if ch.active {
-				w.Uvarint(uint64(chIndex[ch]))
-			}
-		}
-	}
-	writeChList(n.activeCh)
-	writeChList(n.wokenCh)
-	writeRList := func(list []*Router) {
-		w.Uvarint(uint64(len(list)))
-		for _, r := range list {
-			w.Uvarint(uint64(r.ID))
-		}
-	}
-	writeRList(n.activeR)
-	writeRList(n.wokenR)
 	return nil
 }
 
@@ -398,19 +353,15 @@ func (n *Network) Restore(r *snap.Reader, codec PayloadCodec) error {
 			return err
 		}
 	}
-	if err := n.pool.restore(r); err != nil {
-		return err
-	}
 
 	// Packets.
 	nPkts, err := r.Count(16)
 	if err != nil {
 		return err
 	}
-	// Live packets are allocated outside the arena: the restored pool
-	// shape above describes the pool with these packets already carved
-	// out, and delivery returns them to the free lists exactly as the
-	// originals would have been.
+	// Live packets are allocated outside the arena (the arena is execution
+	// state, not simulation state); delivery recycles them into pool 0
+	// through the ordinary path.
 	byID := make(map[uint64]*Packet, nPkts)
 	for i := 0; i < nPkts; i++ {
 		p := &Packet{}
@@ -781,60 +732,10 @@ func (n *Network) Restore(r *snap.Reader, codec PayloadCodec) error {
 		ch.queued = false
 	}
 
-	// Work lists.
-	readChList := func() ([]*Channel, error) {
-		count, err := r.Count(1)
-		if err != nil {
-			return nil, err
-		}
-		list := make([]*Channel, 0, count)
-		for i := 0; i < count; i++ {
-			idx, err := r.Uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if idx >= uint64(len(chs)) {
-				return nil, fmt.Errorf("noc: work-list channel index %d of %d", idx, len(chs))
-			}
-			ch := chs[idx]
-			if ch.queued {
-				return nil, fmt.Errorf("noc: channel %v->%v on work list twice", ch.From, ch.To)
-			}
-			ch.queued = true
-			list = append(list, ch)
-		}
-		return list, nil
-	}
-	if n.activeCh, err = readChList(); err != nil {
-		return err
-	}
-	if n.wokenCh, err = readChList(); err != nil {
-		return err
-	}
-	readRList := func() ([]*Router, error) {
-		count, err := r.Count(1)
-		if err != nil {
-			return nil, err
-		}
-		list := make([]*Router, 0, count)
-		for i := 0; i < count; i++ {
-			id, err := r.Uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if id >= uint64(len(n.routers)) {
-				return nil, fmt.Errorf("noc: work-list router %d of %d", id, len(n.routers))
-			}
-			list = append(list, n.routers[id])
-		}
-		return list, nil
-	}
-	if n.activeR, err = readRList(); err != nil {
-		return err
-	}
-	if n.wokenR, err = readRList(); err != nil {
-		return err
-	}
+	// Work lists are not serialized; the carve scheduled here rebuilds
+	// them from the restored live state (Busy channels, unparked routers)
+	// before the next Tick.
+	n.carveDirty = true
 	return nil
 }
 
@@ -1021,72 +922,6 @@ func (r *Router) restore(rd *snap.Reader, lookupFlit func(uint64, int) (*Flit, e
 		if total := len(r.inputs) * nvc; out.rr < 0 || out.rr >= total {
 			return fmt.Errorf("noc: router %d port %d arbitration pointer %d", r.ID, oi, out.rr)
 		}
-	}
-	return nil
-}
-
-// restore rebuilds the pool's logical shape: the free lists and block
-// tails are repopulated with the same counts the checkpointed pool had so
-// every future carve/reuse decision — and therefore PoolStats — matches
-// the uninterrupted run.
-func (pl *pool) restore(r *snap.Reader) error {
-	var err error
-	for _, dst := range []*int64{
-		&pl.stats.PacketsCarved, &pl.stats.PacketsReused, &pl.stats.PacketsFreed,
-		&pl.stats.SlabsCarved, &pl.stats.SlabsReused, &pl.stats.SlabsFreed,
-		&pl.stats.ArenaFlits,
-	} {
-		if *dst, err = r.I64(); err != nil {
-			return err
-		}
-	}
-	nFree, err := r.Count(1)
-	if err != nil {
-		return err
-	}
-	nPktBlock, err := r.Count(1)
-	if err != nil {
-		return err
-	}
-	nFlitBlock, err := r.Count(1)
-	if err != nil {
-		return err
-	}
-	if nFree > 1<<20 || nPktBlock > 1<<20 || nFlitBlock > 1<<24 {
-		return fmt.Errorf("noc: implausible pool shape %d/%d/%d", nFree, nPktBlock, nFlitBlock)
-	}
-	free := make([]Packet, nFree)
-	pl.freePkts = pl.freePkts[:0]
-	for i := range free {
-		pl.freePkts = append(pl.freePkts, &free[i])
-	}
-	pl.pktBlock = make([]Packet, nPktBlock)
-	pl.flitBlock = make([]Flit, nFlitBlock)
-	nClasses, err := r.Count(2)
-	if err != nil {
-		return err
-	}
-	pl.classes = pl.classes[:0]
-	for i := 0; i < nClasses; i++ {
-		size, err := r.Int()
-		if err != nil {
-			return err
-		}
-		if size < 1 || size > 1<<16 {
-			return fmt.Errorf("noc: pool slab class size %d", size)
-		}
-		count, err := r.Count(1)
-		if err != nil {
-			return err
-		}
-		if count > 1<<20 {
-			return fmt.Errorf("noc: implausible slab class population %d", count)
-		}
-		c := slabClass{size: size, free: make([][]Flit, count)}
-		for k := range c.free {
-			c.free[k] = make([]Flit, size)
-		}
-		pl.classes = append(pl.classes, c)
 	}
 	return nil
 }

@@ -78,7 +78,7 @@ func (r Request) Validate() error {
 	}
 	if err := r.Config.Validate(); err != nil {
 		if fe, ok := err.(*adaptnoc.FieldError); ok {
-			return &adaptnoc.FieldError{Field: "config." + fe.Field, Msg: fe.Msg}
+			return &adaptnoc.FieldError{Field: "config." + fe.Field, Msg: fe.Msg, Hint: fe.Hint}
 		}
 		return err
 	}

@@ -20,6 +20,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -322,13 +323,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := ParseRequest(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		validationError(w, err)
 		return
 	}
 	req = req.Canonical()
 	key, err := RequestKey(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		validationError(w, err)
 		return
 	}
 
@@ -511,4 +512,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// validationError writes a 400 whose body names the offending field by its
+// JSON path and, when the validator knows one, a remediation hint — so a
+// client can fix the request without reading the simulator's source:
+//
+//	{"error": "...", "field": "config.apps[1].region", "hint": "shrink ..."}
+//
+// Errors that are not field errors (malformed JSON, unknown fields) fall
+// back to the plain {"error": ...} shape.
+func validationError(w http.ResponseWriter, err error) {
+	var fe *adaptnoc.FieldError
+	if !errors.As(err, &fe) {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body := map[string]string{"error": err.Error(), "field": fe.Field}
+	if fe.Hint != "" {
+		body["hint"] = fe.Hint
+	}
+	writeJSON(w, http.StatusBadRequest, body)
 }

@@ -172,6 +172,41 @@ func TestSubmitAndComplete(t *testing.T) {
 	}
 }
 
+// An invalid configuration must come back as a structured 400 naming the
+// offending field by its JSON path and carrying a remediation hint, so a
+// client can fix the request without reading simulator source.
+func TestSubmitValidationErrorIsActionable(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{})
+	req := fastRequest(1)
+	req.Config.Apps[1].Region = adaptnoc.Region{X: 6, Y: 0, W: 4, H: 4} // off the 8x8 chip
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sims", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid config: %s", resp.Status)
+	}
+	var fields struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+		Hint  string `json:"hint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fields); err != nil {
+		t.Fatal(err)
+	}
+	if fields.Field != "config.apps[1].region" {
+		t.Errorf("field = %q, want config.apps[1].region", fields.Field)
+	}
+	if fields.Hint == "" || !strings.Contains(fields.Error, "outside the 8x8 grid") {
+		t.Errorf("error lacks remediation: error=%q hint=%q", fields.Error, fields.Hint)
+	}
+}
+
 // Resubmitting an identical request must come back from the cache, marked
 // as a hit, with byte-identical results — determinism makes the cache
 // exact, not approximate.

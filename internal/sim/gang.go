@@ -1,0 +1,77 @@
+package sim
+
+import "sync"
+
+// Gang is a persistent pool of worker goroutines for intra-simulation
+// parallel phases (the network's region-parallel tick). It exists because
+// the tick loop is allocation-free in steady state and runs millions of
+// times: spawning goroutines per phase would allocate and pay start-up
+// latency on every cycle, while a Gang dispatches a phase with one channel
+// send per worker and one WaitGroup wait — no allocation at all.
+//
+// The body closure is fixed at construction: worker i runs body(i, phase)
+// once per Run(phase). The channel send happens-before the body runs and
+// body's completion happens-before Run returns (WaitGroup), so phase
+// payloads written by the caller before Run are visible to workers and
+// worker results are visible to the caller after — the memory-ordering
+// contract the race detector checks on the sharded tick.
+//
+// RNG streams are deliberately NOT distributed to workers: every RNG draw
+// in the simulator happens in serially executed code (kernel tickers,
+// delivery callbacks), and the region phases a Gang runs are RNG-free by
+// construction. Keeping stream ownership serial is what makes the sharded
+// tick bit-identical to the serial one.
+type Gang struct {
+	body func(worker, phase int)
+	cmds []chan int
+	wg   sync.WaitGroup
+}
+
+// NewGang starts n workers that each run body(worker, phase) per Run call.
+// n <= 0 returns a Gang with no workers (Run is then a no-op).
+func NewGang(n int, body func(worker, phase int)) *Gang {
+	g := &Gang{body: body}
+	for i := 0; i < n; i++ {
+		cmd := make(chan int, 1)
+		g.cmds = append(g.cmds, cmd)
+		go g.work(i, cmd)
+	}
+	return g
+}
+
+func (g *Gang) work(i int, cmd chan int) {
+	for phase := range cmd {
+		g.body(i, phase)
+		g.wg.Done()
+	}
+}
+
+// Workers returns the number of worker goroutines.
+func (g *Gang) Workers() int { return len(g.cmds) }
+
+// Kick dispatches a phase to every worker and returns immediately; the
+// caller may do a share of the work itself before calling Wait.
+func (g *Gang) Kick(phase int) {
+	g.wg.Add(len(g.cmds))
+	for _, cmd := range g.cmds {
+		cmd <- phase
+	}
+}
+
+// Wait blocks until every worker finished the phase dispatched by Kick.
+func (g *Gang) Wait() { g.wg.Wait() }
+
+// Run dispatches a phase and waits for completion.
+func (g *Gang) Run(phase int) {
+	g.Kick(phase)
+	g.Wait()
+}
+
+// Stop terminates the workers. The Gang must be idle; Run/Kick must not be
+// called afterwards.
+func (g *Gang) Stop() {
+	for _, cmd := range g.cmds {
+		close(cmd)
+	}
+	g.cmds = nil
+}

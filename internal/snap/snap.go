@@ -17,17 +17,30 @@
 package snap
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 )
 
 // Magic and Version identify a checkpoint blob. Version bumps on any
-// format change; there is no cross-version migration.
+// format change. VersionRaw (1) framed the body uncompressed; Version (2)
+// gzip-compresses it. Readers accept both — a daemon upgraded in place
+// keeps restoring the blobs it wrote before the bump — but writers only
+// emit the current version.
 const (
-	Magic   = "ADNOCKPT"
-	Version = 1
+	Magic      = "ADNOCKPT"
+	VersionRaw = 1
+	Version    = 2
 )
+
+// maxBodyBytes caps the decompressed size Open will produce (256 MiB —
+// far above any real checkpoint, far below an allocation bomb). A tiny
+// adversarial gzip stream can claim gigabytes; the cap keeps the Reader's
+// no-allocation-bomb contract intact for compressed blobs.
+const maxBodyBytes = 1 << 28
 
 // ErrCorrupt is the error class for malformed input. It carries position
 // context for debugging but is otherwise opaque.
@@ -316,27 +329,76 @@ func (r *Reader) Done() error {
 	return nil
 }
 
-// Header writes the blob magic + format version.
-func Header(w *Writer) {
-	w.buf = append(w.buf, Magic...)
-	w.U32(Version)
+// Seal frames a body as a complete blob: magic, current format version,
+// then the gzip-compressed body. Go's gzip output is deterministic for a
+// given input (no timestamp: the header's ModTime is zero and the OS byte
+// is fixed), so sealing the same body always yields the same bytes —
+// checkpoint blobs stay content-addressable.
+func Seal(body []byte) []byte {
+	var out bytes.Buffer
+	out.WriteString(Magic)
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], Version)
+	out.Write(ver[:])
+	zw := gzip.NewWriter(&out)
+	zw.OS = 255 // "unknown", the deterministic choice
+	if _, err := zw.Write(body); err != nil {
+		panic(fmt.Sprintf("snap: gzip to memory failed: %v", err)) // cannot happen
+	}
+	if err := zw.Close(); err != nil {
+		panic(fmt.Sprintf("snap: gzip to memory failed: %v", err))
+	}
+	return out.Bytes()
 }
 
-// CheckHeader consumes and verifies the magic + version.
-func CheckHeader(r *Reader) error {
+// OpenBody verifies a blob's magic and version and returns the decoded
+// body bytes: decompressed for current-version blobs, aliased directly for
+// VersionRaw ones (the uncompressed format older builds wrote). Unknown
+// versions and malformed compression are corruption errors, and the
+// decompressed size is capped so a malicious blob cannot demand an
+// arbitrary allocation.
+func OpenBody(blob []byte) ([]byte, error) {
+	r := NewReader(blob)
 	if r.Len() < len(Magic) {
-		return r.corrupt("truncated magic")
+		return nil, r.corrupt("truncated magic")
 	}
 	if string(r.buf[r.off:r.off+len(Magic)]) != Magic {
-		return r.corrupt("bad magic")
+		return nil, r.corrupt("bad magic")
 	}
 	r.off += len(Magic)
 	v, err := r.U32()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if v != Version {
-		return r.corrupt(fmt.Sprintf("format version %d, want %d", v, Version))
+	switch v {
+	case VersionRaw:
+		return r.Rest(), nil
+	case Version:
+		zr, err := gzip.NewReader(bytes.NewReader(r.Rest()))
+		if err != nil {
+			return nil, &ErrCorrupt{Off: r.off, Msg: fmt.Sprintf("bad gzip body: %v", err)}
+		}
+		body, err := io.ReadAll(io.LimitReader(zr, maxBodyBytes+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, &ErrCorrupt{Off: r.off, Msg: fmt.Sprintf("bad gzip body: %v", err)}
+		}
+		if len(body) > maxBodyBytes {
+			return nil, &ErrCorrupt{Off: r.off, Msg: fmt.Sprintf("body exceeds %d bytes", maxBodyBytes)}
+		}
+		return body, nil
+	default:
+		return nil, r.corrupt(fmt.Sprintf("format version %d, want %d or %d", v, VersionRaw, Version))
 	}
-	return nil
+}
+
+// Open is OpenBody returning a Reader over the body.
+func Open(blob []byte) (*Reader, error) {
+	body, err := OpenBody(blob)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(body), nil
 }

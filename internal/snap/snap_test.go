@@ -8,7 +8,6 @@ import (
 
 func TestRoundTrip(t *testing.T) {
 	var w Writer
-	Header(&w)
 	w.U64(0xdeadbeefcafef00d)
 	w.I64(-42)
 	w.U32(7)
@@ -24,8 +23,8 @@ func TestRoundTrip(t *testing.T) {
 	w.F64s([]float64{1.5, -2.5})
 	w.I64s([]int64{-1, 0, 1})
 
-	r := NewReader(w.Bytes())
-	if err := CheckHeader(r); err != nil {
+	r, err := Open(Seal(w.Bytes()))
+	if err != nil {
 		t.Fatal(err)
 	}
 	check := func(name string, got, want any, err error) {
@@ -126,20 +125,78 @@ func TestTruncationAndBombs(t *testing.T) {
 	}
 
 	// Wrong-version and bad-magic headers error with position context.
-	var h Writer
-	Header(&h)
-	blob := append([]byte(nil), h.Bytes()...)
-	blob[len(blob)-1] = 0xff // mangle version
-	err := CheckHeader(NewReader(blob))
+	blob := Seal(nil)
+	blob[len(Magic)] = 0xff // mangle version
+	_, err := Open(blob)
 	if err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("bad version: %v", err)
 	}
 	blob[0] = 'X'
-	if err := CheckHeader(NewReader(blob)); err == nil {
+	if _, err := Open(blob); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if err := CheckHeader(NewReader([]byte("ADN"))); err == nil {
+	if _, err := Open([]byte("ADN")); err == nil {
 		t.Fatal("truncated magic accepted")
+	}
+
+	// A current-version frame whose body is not valid gzip is corrupt.
+	bad := Seal(nil)[:len(Magic)+4]
+	bad = append(bad, "not gzip at all"...)
+	if _, err := Open(bad); err == nil {
+		t.Fatal("non-gzip body accepted")
+	}
+}
+
+// TestSealDeterministic pins the content-addressing contract: sealing the
+// same body twice yields identical bytes.
+func TestSealDeterministic(t *testing.T) {
+	body := []byte("the same body, sealed twice")
+	a, b := Seal(body), Seal(body)
+	if string(a) != string(b) {
+		t.Fatal("Seal is not deterministic")
+	}
+}
+
+// TestOpenAcceptsV1 proves the decoder still reads the uncompressed v1
+// framing older builds wrote: magic, version word 1, raw body.
+func TestOpenAcceptsV1(t *testing.T) {
+	var w Writer
+	w.buf = append(w.buf, Magic...)
+	w.U32(VersionRaw)
+	w.I64(-7)
+	w.String("legacy")
+	r, err := Open(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.I64(); err != nil || v != -7 {
+		t.Fatalf("v1 body i64: %v %v", v, err)
+	}
+	if s, err := r.String(); err != nil || s != "legacy" {
+		t.Fatalf("v1 body string: %q %v", s, err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSealOpenRoundTrip checks compression is actually happening and
+// transparent: a repetitive body shrinks on the wire and round-trips.
+func TestSealOpenRoundTrip(t *testing.T) {
+	body := make([]byte, 1<<16)
+	for i := range body {
+		body[i] = byte(i % 7)
+	}
+	blob := Seal(body)
+	if len(blob) >= len(body) {
+		t.Fatalf("repetitive body did not compress: %d >= %d", len(blob), len(body))
+	}
+	got, err := OpenBody(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatal("body did not round-trip")
 	}
 }
 

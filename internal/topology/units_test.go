@@ -106,6 +106,71 @@ func TestSplitDimGrouping(t *testing.T) {
 	}
 }
 
+func TestPartitionRowsCoversAndBalances(t *testing.T) {
+	for _, tc := range []struct{ w, h, k int }{
+		{8, 8, 1}, {8, 8, 2}, {8, 8, 3}, {8, 8, 8}, {8, 8, 12},
+		{16, 16, 4}, {32, 32, 7}, {5, 3, 2},
+	} {
+		regs := PartitionRows(tc.w, tc.h, tc.k)
+		wantK := tc.k
+		if wantK > tc.h {
+			wantK = tc.h
+		}
+		if len(regs) != wantK {
+			t.Fatalf("PartitionRows(%d,%d,%d) gave %d regions, want %d", tc.w, tc.h, tc.k, len(regs), wantK)
+		}
+		nextY, minH, maxH := 0, tc.h, 0
+		for _, r := range regs {
+			if r.X != 0 || r.W != tc.w {
+				t.Fatalf("region %v is not a full-width band", r)
+			}
+			if r.Y != nextY {
+				t.Fatalf("region %v leaves a gap: want Y=%d", r, nextY)
+			}
+			nextY += r.H
+			if r.H < minH {
+				minH = r.H
+			}
+			if r.H > maxH {
+				maxH = r.H
+			}
+		}
+		if nextY != tc.h {
+			t.Fatalf("bands cover %d of %d rows", nextY, tc.h)
+		}
+		if maxH-minH > 1 {
+			t.Fatalf("band heights range %d..%d, want spread <= 1", minH, maxH)
+		}
+	}
+}
+
+// TestPartitionRowsMatchesNetworkBanding pins the agreement between the
+// exported partitioner and the banding the sharded network tick actually
+// uses: every router must land in the shard whose PartitionRows region
+// contains its row.
+func TestPartitionRowsMatchesNetworkBanding(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		net := noc.NewNetwork(cfg)
+		BuildMesh(net)
+		net.SetShards(k)
+		regs := PartitionRows(cfg.Width, cfg.Height, k)
+		for _, id := range WholeChip(cfg).Tiles(cfg.Width) {
+			got := net.ShardOfRouter(id)
+			c := noc.CoordOf(id, cfg.Width)
+			want := -1
+			for i, r := range regs {
+				if r.Contains(c) {
+					want = i
+				}
+			}
+			if got != want {
+				t.Fatalf("shards=%d router %d at %v: network shard %d, PartitionRows region %d", k, id, c, got, want)
+			}
+		}
+	}
+}
+
 func TestTreeStructureProperties(t *testing.T) {
 	cfg := noc.DefaultConfig()
 	net := noc.NewNetwork(cfg)

@@ -18,13 +18,12 @@ import (
 // (temp file + rename).
 func saveCheckpoint(path string, agent *rl.DQN, episode int) error {
 	w := &snap.Writer{}
-	snap.Header(w)
 	var tw snap.Writer
 	tw.Uvarint(uint64(episode))
 	agent.Snapshot(&tw)
 	w.Section("train", tw.Bytes())
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(tmp, snap.Seal(w.Bytes()), 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
@@ -39,8 +38,8 @@ func loadCheckpoint(path string, agent *rl.DQN) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r := snap.NewReader(blob)
-	if err := snap.CheckHeader(r); err != nil {
+	r, err := snap.Open(blob)
+	if err != nil {
 		return 0, err
 	}
 	tr, err := r.Section("train")

@@ -44,19 +44,32 @@ func (d *Design) UnmarshalText(text []byte) error {
 }
 
 // FieldError reports an invalid configuration field by its JSON path
-// (e.g. "apps[1].region" or "rl.gamma").
+// (e.g. "apps[1].region" or "rl.gamma"). Hint, when set, is a remediation
+// suggestion — what to change, not just what is wrong — so a daemon can
+// surface an actionable message to a client that never sees this code.
 type FieldError struct {
 	Field string
 	Msg   string
+	Hint  string
 }
 
 // Error implements error.
 func (e *FieldError) Error() string {
+	if e.Hint != "" {
+		return fmt.Sprintf("adaptnoc: config field %s: %s (%s)", e.Field, e.Msg, e.Hint)
+	}
 	return fmt.Sprintf("adaptnoc: config field %s: %s", e.Field, e.Msg)
 }
 
-func fieldErrf(field, format string, args ...any) error {
+func fieldErrf(field, format string, args ...any) *FieldError {
 	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// hint attaches a remediation suggestion and returns the error for
+// chaining at the return site.
+func (e *FieldError) hint(format string, args ...any) *FieldError {
+	e.Hint = fmt.Sprintf(format, args...)
+	return e
 }
 
 // Validate checks the configuration without building a simulation and
@@ -66,78 +79,104 @@ func fieldErrf(field, format string, args ...any) error {
 // before committing a worker to it.
 func (c Config) Validate() error {
 	if c.Design < DesignBaseline || c.Design >= NumDesigns {
-		return fieldErrf("design", "unknown design %d", int(c.Design))
+		return fieldErrf("design", "unknown design %d", int(c.Design)).
+			hint("choose one of baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc")
 	}
 	if len(c.Apps) == 0 {
-		return fieldErrf("apps", "at least one application required")
+		return fieldErrf("apps", "at least one application required").
+			hint("add an app entry with a profile and a region, e.g. {\"profile\": \"blackscholes\", \"region\": {\"w\": 4, \"h\": 4}}")
 	}
-	ncfg := netConfig(c.Design)
+	if c.Width < 0 || c.Height < 0 || c.Width == 1 || c.Height == 1 ||
+		c.Width > maxGridDim || c.Height > maxGridDim {
+		return fieldErrf("width", "grid %dx%d unsupported", c.Width, c.Height).
+			hint("use 0 for the default 8x8 chip or dimensions in [2,%d]", maxGridDim)
+	}
+	ncfg := netConfig(c.Design, c.Width, c.Height)
 	for i, a := range c.Apps {
 		f := func(sub string) string { return fmt.Sprintf("apps[%d].%s", i, sub) }
 		if a.Profile == "" {
-			return fieldErrf(f("profile"), "missing profile (see adaptnoc-sim -profiles)")
+			return fieldErrf(f("profile"), "missing profile").
+				hint("pick a benchmark name from adaptnoc-sim -profiles")
 		}
 		if _, ok := traffic.ByName(a.Profile); !ok {
-			return fieldErrf(f("profile"), "unknown profile %q", a.Profile)
+			return fieldErrf(f("profile"), "unknown profile %q", a.Profile).
+				hint("pick a benchmark name from adaptnoc-sim -profiles")
 		}
 		r := a.Region
 		if r.W <= 0 || r.H <= 0 {
-			return fieldErrf(f("region"), "empty region %v", r)
+			return fieldErrf(f("region"), "empty region %v", r).
+				hint("give the region positive w and h tile counts")
 		}
 		if r.X < 0 || r.Y < 0 || r.X+r.W > ncfg.Width || r.Y+r.H > ncfg.Height {
-			return fieldErrf(f("region"), "region %v outside the %dx%d grid", r, ncfg.Width, ncfg.Height)
+			return fieldErrf(f("region"), "region %v outside the %dx%d grid", r, ncfg.Width, ncfg.Height).
+				hint("shrink or move the region, or grow the chip with width/height")
 		}
 		for j, mc := range a.MCTiles {
 			if mc < 0 || int(mc) >= ncfg.NumNodes() {
-				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "tile %d outside the chip", mc)
+				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "tile %d outside the chip", mc).
+					hint("tile IDs are row-major in [0,%d)", ncfg.NumNodes())
 			}
 			if !r.Contains(noc.CoordOf(mc, ncfg.Width)) {
-				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "MC tile %d outside region %v", mc, r)
+				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "MC tile %d outside region %v", mc, r).
+					hint("every MC must sit on one of its own app's tiles")
 			}
 		}
 		if a.InstrBudget < 0 {
-			return fieldErrf(f("instrBudget"), "negative budget %d", a.InstrBudget)
+			return fieldErrf(f("instrBudget"), "negative budget %d", a.InstrBudget).
+				hint("use 0 to run until the cycle limit")
 		}
 		if a.ShareMCs < 0 {
-			return fieldErrf(f("shareMCs"), "negative share count %d", a.ShareMCs)
+			return fieldErrf(f("shareMCs"), "negative share count %d", a.ShareMCs).
+				hint("use 0 to disable MC sharing")
 		}
 		if a.Static < Mesh || a.Static >= topology.NumSelectable {
-			return fieldErrf(f("static"), "invalid topology %d", int(a.Static))
+			return fieldErrf(f("static"), "invalid topology %d", int(a.Static)).
+				hint("choose mesh, cmesh, torus, or tree")
 		}
 		for j := 0; j < i; j++ {
 			if a.Region.Overlaps(c.Apps[j].Region) {
-				return fieldErrf(f("region"), "region %v overlaps apps[%d] region %v", a.Region, j, c.Apps[j].Region)
+				return fieldErrf(f("region"), "region %v overlaps apps[%d] region %v", a.Region, j, c.Apps[j].Region).
+					hint("applications need disjoint tile rectangles")
 			}
 		}
 	}
 	if c.EpochCycles < 0 {
-		return fieldErrf("epochCycles", "negative epoch %d", c.EpochCycles)
+		return fieldErrf("epochCycles", "negative epoch %d", c.EpochCycles).
+			hint("use 0 for the paper's 50000-cycle epoch")
 	}
 	if c.VCsPerVNet < 0 {
-		return fieldErrf("vcsPerVNet", "negative VC count %d", c.VCsPerVNet)
+		return fieldErrf("vcsPerVNet", "negative VC count %d", c.VCsPerVNet).
+			hint("use 0 for the design's default VC count")
 	}
 	if c.SetupCycles < 0 {
-		return fieldErrf("setupCycles", "negative setup time %d", c.SetupCycles)
+		return fieldErrf("setupCycles", "negative setup time %d", c.SetupCycles).
+			hint("use 0 for the paper's 14-cycle setup")
 	}
 	if c.ShortcutLinksPerApp < 0 {
-		return fieldErrf("shortcutLinksPerApp", "negative link budget %d", c.ShortcutLinksPerApp)
+		return fieldErrf("shortcutLinksPerApp", "negative link budget %d", c.ShortcutLinksPerApp).
+			hint("use 0 for the default of 2 links per app")
 	}
 	if c.PGWakeCycles < 0 || c.PGIdleCycles < 0 {
-		return fieldErrf("pgWakeCycles", "negative power-gating timing %d/%d", c.PGWakeCycles, c.PGIdleCycles)
+		return fieldErrf("pgWakeCycles", "negative power-gating timing %d/%d", c.PGWakeCycles, c.PGIdleCycles).
+			hint("use 0 for the defaults (16-cycle wake, 10-cycle idle)")
 	}
 	if c.RL.EpsilonSet && (c.RL.Epsilon < 0 || c.RL.Epsilon > 1) {
-		return fieldErrf("rl.epsilon", "exploration rate %v outside [0,1]", c.RL.Epsilon)
+		return fieldErrf("rl.epsilon", "exploration rate %v outside [0,1]", c.RL.Epsilon).
+			hint("omit epsilon/epsilonSet for the paper's anneal schedule")
 	}
 	if c.RL.Gamma < 0 || c.RL.Gamma > 1 {
-		return fieldErrf("rl.gamma", "discount factor %v outside [0,1]", c.RL.Gamma)
+		return fieldErrf("rl.gamma", "discount factor %v outside [0,1]", c.RL.Gamma).
+			hint("omit gamma for the paper's default")
 	}
 	if d := c.RL.DQN; d.ReplaySize < 0 || d.Minibatch < 0 || d.TargetSync < 0 {
-		return fieldErrf("rl.dqn", "negative replay/minibatch/targetSync size")
+		return fieldErrf("rl.dqn", "negative replay/minibatch/targetSync size").
+			hint("leave the dqn block zero for the paper's hyper-parameters")
 	}
 	// Upper bounds: a config travels as JSON (serving API, checkpoints), so
 	// a few bytes must not be able to demand gigabytes of agent state.
 	if d := c.RL.DQN; d.ReplaySize > 1<<20 || d.Minibatch > 1<<16 {
-		return fieldErrf("rl.dqn", "implausibly large replay/minibatch size")
+		return fieldErrf("rl.dqn", "implausibly large replay/minibatch size").
+			hint("replaySize must fit in 2^20 and minibatch in 2^16")
 	}
 	for i, h := range c.RL.DQN.Hidden {
 		if h < 1 || h > 1<<12 {

@@ -1,13 +1,21 @@
 package adaptnoc
 
-import "adaptnoc/internal/noc"
+import (
+	"fmt"
+
+	"adaptnoc/internal/noc"
+)
 
 // BlockMCs returns one memory-controller tile per 2×4 sub-block of a
 // region (the paper's provisioning, Section II-C.2: "we implement one MC
 // to each 2×4 subNoC in an 8×8 NoC"). MCs sit at block origins. The grid
-// width is the standard 8.
-func BlockMCs(reg Region) []NodeID {
-	const gridW = 8
+// width is the standard 8; larger chips use BlockMCsOn.
+func BlockMCs(reg Region) []NodeID { return BlockMCsOn(reg, 8) }
+
+// BlockMCsOn is BlockMCs for a chip of the given grid width: the tile IDs
+// are row-major in that grid, so the same region provisions the same MC
+// coordinates regardless of chip size.
+func BlockMCsOn(reg Region, gridW int) []NodeID {
 	var out []NodeID
 	stepY := 4
 	if reg.H < 4 {
@@ -66,4 +74,34 @@ func MixedWorkload(gpu, cpu1, cpu2 string, budget int64) []AppSpec {
 // and two contrasting CPU codes.
 func DefaultMixed(budget int64) []AppSpec {
 	return MixedWorkload("bfs", "canneal", "ferret", budget)
+}
+
+// TiledMixed replicates the paper's 8×8 three-application mapping across
+// a w×h chip: each 8×8 quadrant hosts the GPU + two CPU apps of
+// MixedWorkload, with profiles rotated quadrant to quadrant so the load is
+// heterogeneous across the chip. This is the workload the 16×16–64×64
+// sharded-tick scaling experiments run (EXPERIMENTS.md). w and h must be
+// positive multiples of 8.
+func TiledMixed(w, h int, budget int64) []AppSpec {
+	if w < 8 || h < 8 || w%8 != 0 || h%8 != 0 {
+		panic(fmt.Sprintf("adaptnoc: TiledMixed grid %dx%d is not a multiple of 8x8", w, h))
+	}
+	gpus := []string{"bfs", "gaussian", "hotspot"}
+	cpus := []string{"canneal", "ferret", "blackscholes", "fluidanimate"}
+	var out []AppSpec
+	q := 0
+	for ty := 0; ty < h; ty += 8 {
+		for tx := 0; tx < w; tx += 8 {
+			for _, base := range MixedWorkload(
+				gpus[q%len(gpus)], cpus[q%len(cpus)], cpus[(q+1)%len(cpus)], budget) {
+				a := base
+				a.Region.X += tx
+				a.Region.Y += ty
+				a.MCTiles = BlockMCsOn(a.Region, w)
+				out = append(out, a)
+			}
+			q++
+		}
+	}
+	return out
 }
