@@ -26,6 +26,7 @@ import (
 
 	"adaptnoc/internal/core"
 	"adaptnoc/internal/fabric"
+	"adaptnoc/internal/fault"
 	"adaptnoc/internal/noc"
 	"adaptnoc/internal/power"
 	"adaptnoc/internal/rl"
@@ -194,6 +195,11 @@ type Config struct {
 	// UseQTable replaces the DQN with the tabular Q-learning agent the
 	// paper argues against (Section III-A).
 	UseQTable bool `json:"useQTable,omitempty"`
+
+	// Faults schedules deterministic link/router/VC failures injected
+	// mid-run (see internal/fault). Order is significant: checkpoint blobs
+	// reference events by index, so the schedule is never re-sorted.
+	Faults []fault.Event `json:"faults,omitempty"`
 }
 
 // Sim is a fully assembled simulation of one design point.
@@ -210,6 +216,7 @@ type Sim struct {
 	binds   []*core.Binding
 	specs   []AppSpec
 	subnocs []*fabric.SubNoC
+	faults  *fault.Engine // nil unless Cfg.Faults is non-empty
 }
 
 // netConfig derives the per-design microarchitecture (Section IV-A's
@@ -247,6 +254,7 @@ func netConfig(d Design, w, h int) noc.Config {
 func (c Config) Canonical() Config {
 	cfg := c
 	cfg.Apps = append([]AppSpec(nil), c.Apps...)
+	cfg.Faults = append([]fault.Event(nil), c.Faults...)
 	if cfg.Width == 0 {
 		cfg.Width = noc.DefaultConfig().Width
 	}
@@ -482,7 +490,58 @@ func NewSim(cfg Config) (*Sim, error) {
 		}
 		s.Ctl.Start()
 	}
+
+	if len(cfg.Faults) > 0 {
+		eng, err := fault.New(s.Net, s.Kernel, s.Fabric, cfg.Faults, s.faultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("adaptnoc: %w", err)
+		}
+		s.faults = eng
+	}
 	return s, nil
+}
+
+// faultOptions derives the fault engine's tuning from the configuration.
+// OSCAR's opaque VC admission policy cannot be proven compatible with a
+// partially masked port, so its VC faults escalate to link faults.
+func (s *Sim) faultOptions() fault.Options {
+	return fault.Options{
+		EscalateVCFaults: s.Cfg.Design == DesignOSCAR,
+		SetupCycles:      s.Cfg.SetupCycles,
+	}
+}
+
+// FaultEngine returns the fault engine, or nil when no faults are
+// scheduled.
+func (s *Sim) FaultEngine() *fault.Engine { return s.faults }
+
+// ApplyFaultSchedule injects additional fault events at runtime — the
+// fault-campaign workflow restores one warmed checkpoint and replays it
+// under many schedules. Every event must strike strictly after the current
+// cycle. The schedule becomes part of Cfg.Faults, so a checkpoint taken
+// afterwards restores the extended schedule.
+func (s *Sim) ApplyFaultSchedule(events []fault.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if s.faults == nil {
+		now := s.Kernel.Now()
+		for i := range events {
+			if events[i].Cycle <= int64(now) {
+				return fmt.Errorf("adaptnoc: events[%d].cycle: %d is not after the current cycle %d",
+					i, events[i].Cycle, now)
+			}
+		}
+		eng, err := fault.New(s.Net, s.Kernel, s.Fabric, events, s.faultOptions())
+		if err != nil {
+			return fmt.Errorf("adaptnoc: %w", err)
+		}
+		s.faults = eng
+	} else if err := s.faults.Extend(events); err != nil {
+		return fmt.Errorf("adaptnoc: %w", err)
+	}
+	s.Cfg.Faults = append(s.Cfg.Faults, events...)
+	return nil
 }
 
 // newAgent instantiates one subNoC's DQN from the RL options.

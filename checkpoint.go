@@ -10,6 +10,10 @@ package adaptnoc
 //	config   — canonical Config (JSON); drives NewSim
 //	fabric   — subNoC topology kinds; replayed first so the network's
 //	           wiring and routing tables match the checkpoint
+//	fault    — fault engine state + per-app drop tallies (only when the
+//	           config schedules faults); re-applies the active damage
+//	           against the fabric-replayed base so the net section's
+//	           channel validation sees the damaged wiring
 //	machine  — cores, apps, MCs, transaction table; restored before the
 //	           network so packet payloads can resolve transaction IDs
 //	net      — packets, routers, channels, NIs
@@ -57,6 +61,13 @@ func (s *Sim) Checkpoint() ([]byte, error) {
 		var fw snap.Writer
 		s.Fabric.Snapshot(&fw)
 		w.Section("fabric", fw.Bytes())
+	}
+
+	if s.faults != nil {
+		var qw snap.Writer
+		s.faults.Snapshot(&qw)
+		s.Machine.SnapshotDrops(&qw)
+		w.Section("fault", qw.Bytes())
 	}
 
 	var mw snap.Writer
@@ -138,6 +149,19 @@ func RestoreSim(blob []byte) (*Sim, error) {
 
 	if s.Fabric != nil {
 		if err := restore("fabric", s.Fabric.Restore); err != nil {
+			return nil, err
+		}
+	}
+	// Pre-fault blobs carry no fault section, and a config without faults
+	// builds no engine — both directions stay consistent because the
+	// section's presence tracks Cfg.Faults exactly.
+	if s.faults != nil {
+		if err := restore("fault", func(sr *snap.Reader) error {
+			if err := s.faults.Restore(sr); err != nil {
+				return err
+			}
+			return s.Machine.RestoreDrops(sr)
+		}); err != nil {
 			return nil, err
 		}
 	}

@@ -16,8 +16,9 @@
 //
 // -fig selects a comma-separated subset: 7,8,9,10,11,12,13,14,15,16,17,
 // 18,19, area, wiring, timing, chars (latency-throughput curves),
-// ablation (design-choice ablations), switching (reconfiguration cost), or
-// "all" (default, excluding chars).
+// ablation (design-choice ablations), switching (reconfiguration cost),
+// faults (latency + survival rate vs fault count; -faults sets the
+// counts), or "all" (default, excluding chars).
 //
 // -parallel bounds how many independent simulations run at once (0 = one
 // per CPU, 1 = serial). Results are identical at any setting; see
@@ -36,12 +37,27 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"adaptnoc"
 	"adaptnoc/internal/exp"
 )
+
+// parseCounts parses the -faults flag: comma-separated non-negative fault
+// counts for the fault-tolerance sweep.
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-faults %q: want comma-separated non-negative counts", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
 
 // benchUnit is one figure's wall-clock record in the -benchjson output.
 type benchUnit struct {
@@ -75,6 +91,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "persist per-simulation checkpoints to this directory")
 	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoint saves (0 = only at the end of each run)")
 	resume := flag.Bool("resume", false, "continue from checkpoints in the -checkpoint directory")
+	faultCounts := flag.String("faults", "0,2,4,8", "fault counts for the faults unit (comma-separated)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -173,6 +190,13 @@ func main() {
 		{"18", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig18(o)) }},
 		{"19", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig19(o)) }},
 		{"switching", func(o exp.Options) ([]exp.Table, error) { return one(exp.TabSwitching(o.Parallelism)) }},
+		{"faults", func(o exp.Options) ([]exp.Table, error) {
+			counts, err := parseCounts(*faultCounts)
+			if err != nil {
+				return nil, err
+			}
+			return one(exp.RunFaults(o, counts))
+		}},
 		{"ablation", func(o exp.Options) ([]exp.Table, error) { return one(exp.Ablations(o)) }},
 		{"chars", func(o exp.Options) ([]exp.Table, error) {
 			return one(exp.CharacterizeTopologies(charCycles, o.Seed, o.Parallelism))

@@ -10,6 +10,7 @@
 //	             [-hist] [-verify N] [-pprof addr]
 //	             [-epochtrace] [-stats] [-layout] [-json]
 //	             [-checkpoint file] [-checkpoint-every N] [-resume file]
+//	             [-faults N|file.json] [-fault-seed N]
 //
 // -checkpoint saves the complete simulation state to a file as the run
 // advances (every -checkpoint-every cycles; 0 saves only at the end).
@@ -17,6 +18,14 @@
 // configuration, so the workload flags are ignored — and runs the
 // remaining cycles; the results are byte-identical to an uninterrupted
 // run.
+//
+// -faults injects a fault campaign: an integer generates that many seeded
+// random link/router/VC failures over the run window (-fault-seed pins
+// the campaign independently of the traffic seed), anything else is read
+// as a JSON schedule file (an array of {cycle, kind, router, port, vc,
+// repair} events). Combined with -resume, the schedule's strike cycles
+// are relative to the resume point, so one warmed checkpoint replays
+// under many campaigns.
 //
 // Designs: baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc.
 // Topologies for -apps: mesh, cmesh, torus, tree, torus+tree.
@@ -37,12 +46,34 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 
 	"adaptnoc"
+	"adaptnoc/internal/fault"
 	"adaptnoc/internal/obs"
 	"adaptnoc/internal/traffic"
 )
+
+// faultSchedule resolves the -faults flag: an integer generates that many
+// seeded random faults over the run window; anything else names a JSON
+// schedule file.
+func faultSchedule(spec string, faultSeed, seed uint64, w, h int, cycles int64) ([]fault.Event, error) {
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 0 {
+			return nil, fmt.Errorf("-faults %d: fault count cannot be negative", n)
+		}
+		if faultSeed == 0 {
+			faultSeed = seed + 1
+		}
+		return fault.Generate(n, faultSeed, w, h, cycles), nil
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	return fault.ParseSchedule(data)
+}
 
 func main() {
 	design := flag.String("design", "adapt-noc", "network design to simulate")
@@ -72,6 +103,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "save the simulation state to this file as the run advances")
 	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between checkpoint saves (0 = only at the end)")
 	resumeFrom := flag.String("resume", "", "restore this checkpoint and continue (workload flags are ignored)")
+	faults := flag.String("faults", "", "fault schedule: an integer generates that many seeded random faults, anything else is read as a JSON schedule file")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for generated fault schedules (0 = derive from -seed)")
 	flag.Parse()
 
 	if *listProfiles {
@@ -103,6 +136,24 @@ func main() {
 		apps = s.Cfg.Apps // the checkpoint's own workload
 		fmt.Fprintf(os.Stderr, "adaptnoc-sim: resumed %s (%s) at cycle %d\n",
 			*resumeFrom, s.Cfg.Design, s.Kernel.Now())
+		if *faults != "" {
+			// The campaign workflow: restore one warmed checkpoint, replay
+			// it under a schedule. Strike cycles are relative to the resume
+			// point so one schedule works against any snapshot.
+			sched, err := faultSchedule(*faults, *faultSeed, s.Cfg.Seed, s.Net.Cfg.Width, s.Net.Cfg.Height, *cycles)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
+			now := int64(s.Kernel.Now())
+			for i := range sched {
+				sched[i].Cycle += now
+			}
+			if err := s.ApplyFaultSchedule(sched); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
+		}
 	} else {
 		w, h := *width, *height
 		if w == 0 {
@@ -135,6 +186,13 @@ func main() {
 			Height:      *height,
 			Seed:        *seed,
 			EpochCycles: *epoch,
+		}
+		if *faults != "" {
+			cfg.Faults, err = faultSchedule(*faults, *faultSeed, *seed, w, h, *cycles)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
 		}
 		if d == adaptnoc.DesignAdaptNoC {
 			cfg.RL.Pretrained = adaptnoc.DefaultPolicy()

@@ -1,7 +1,11 @@
 package adaptnoc
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
+
+	"adaptnoc/internal/fault"
 )
 
 // FuzzParseAppSpecs hammers the workload-spec parser: it must reject or
@@ -65,6 +69,49 @@ func FuzzParseDesign(f *testing.F) {
 	})
 }
 
+// FuzzParseFaultSchedule hammers the fault-schedule JSON decoder: hostile
+// input must error, never panic, and never allocate beyond the decoder's
+// input-size cap; any schedule it accepts must hold only Check-valid
+// events and survive a marshal -> re-parse round trip unchanged.
+func FuzzParseFaultSchedule(f *testing.F) {
+	f.Add(`[{"cycle": 100, "kind": "link", "router": 3, "port": 2}]`)
+	f.Add(`[{"cycle": 200, "kind": "router", "router": 9}, {"cycle": 300, "kind": "vc", "router": 1, "port": 4, "vc": 2, "repair": 500}]`)
+	f.Add(`[]`)
+	f.Add(`[{"cycle": 0, "router": 0, "port": 1}]`)
+	f.Add(`[{"cycle": 1, "kind": "cosmic", "router": 0}]`)
+	f.Add(`[{"cycle": 1, "router": 0, "port": 1, "laser": true}]`)
+	f.Add(`[{"cycle": 1e99, "router": 0, "port": 1}]`)
+	f.Add(`{"cycle": 1}`)
+	f.Add(`[] []`)
+	f.Add(`[{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, s string) {
+		events, err := fault.ParseSchedule([]byte(s))
+		if err != nil {
+			return
+		}
+		if len(events) > fault.MaxEvents {
+			t.Fatalf("accepted %d events past the %d cap", len(events), fault.MaxEvents)
+		}
+		for i, ev := range events {
+			if ce := ev.Check(0); ce != nil {
+				t.Fatalf("accepted invalid events[%d] = %v: %v", i, ev, ce)
+			}
+		}
+		b, err := json.Marshal(events)
+		if err != nil {
+			t.Fatalf("accepted schedule fails to marshal: %v", err)
+		}
+		again, err := fault.ParseSchedule(b)
+		if err != nil {
+			t.Fatalf("re-parse of accepted schedule failed: %v", err)
+		}
+		if len(events) > 0 && !reflect.DeepEqual(again, events) {
+			t.Fatalf("round trip changed the schedule:\n got %+v\nwant %+v", again, events)
+		}
+	})
+}
+
 // FuzzParseResultsSummary feeds the results-table parser arbitrary text:
 // it must never panic, and inputs it accepts must carry sane shapes.
 func FuzzParseResultsSummary(f *testing.F) {
@@ -109,7 +156,7 @@ func TestParseResultsSummaryRoundTrip(t *testing.T) {
 		{
 			Profile: "canneal", Region: Region{X: 4, Y: 0, W: 4, H: 4},
 			AvgTotalLatency: 20, AvgNetLatency: 18, AvgQueueLatency: 2,
-			AvgHops: 3.1, DeliveredPackets: 999, ExecTime: 48000,
+			AvgHops: 3.1, DeliveredPackets: 999, DroppedPackets: 37, ExecTime: 48000,
 			FinalKind: CMesh, Reconfigs: 3,
 		},
 	}
@@ -130,7 +177,7 @@ func TestParseResultsSummaryRoundTrip(t *testing.T) {
 	a := sum.Apps[0]
 	if a.Profile != "bfs" || a.Region != r.Apps[0].Region ||
 		a.TotalLat != 35.2 /* %.1f rendering */ || a.Hops != 4.52 ||
-		a.Packets != 1234 || a.ExecTime != -1 ||
+		a.Packets != 1234 || a.Dropped != 0 || a.ExecTime != -1 ||
 		a.Kind != "tree" || a.Reconfigs != 2 {
 		t.Fatalf("app 0 mismatch: %+v", a)
 	}
@@ -138,7 +185,7 @@ func TestParseResultsSummaryRoundTrip(t *testing.T) {
 		t.Fatalf("app 0 selections mismatch: %v", a.Selections)
 	}
 	b := sum.Apps[1]
-	if b.ExecTime != 48000 || b.Kind != "cmesh" || b.Selections["cmesh"] != 1 {
+	if b.Dropped != 37 || b.ExecTime != 48000 || b.Kind != "cmesh" || b.Selections["cmesh"] != 1 {
 		t.Fatalf("app 1 mismatch: %+v", b)
 	}
 }
@@ -152,6 +199,22 @@ func TestParseResultsSummaryRejects(t *testing.T) {
 		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n  bfs 4x8@(0,0) lat=1.0",
 		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
 			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 sel=[unterminated",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 drop=many",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 exec=1x",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 reconf=??",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 surprise=9",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 sel=[a:b%]",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1 sel=[] junk",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@nowhere lat=1.0 (net 1.0 + queue 0.0) hops=1.00 pkts=1",
+		"design=baseline cycles=1 energy=0.00uJ (dyn 0.00, static 0.00)\n" +
+			"  bfs 4x8@(0,0) lat=1.0 (wrong 1.0 + queue 0.0) hops=1.00 pkts=1",
 	}
 	for _, s := range cases {
 		if _, err := ParseResultsSummary(s); err == nil {

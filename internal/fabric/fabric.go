@@ -93,7 +93,19 @@ type Fabric struct {
 	subnocs []*SubNoC
 	shares  []*mcShare
 	nextID  int
+
+	// frozen stops all topology switching: the fault engine freezes the
+	// fabric at its first strike so damage repair and reconfiguration
+	// never race over the wiring. Freezing is permanent for the run.
+	frozen bool
 }
+
+// Freeze permanently disables topology switching; subsequent Reconfigure
+// calls become silent no-ops (their done callbacks still run).
+func (f *Fabric) Freeze() { f.frozen = true }
+
+// Frozen reports whether the fabric has been frozen.
+func (f *Fabric) Frozen() bool { return f.frozen }
 
 // New creates a fabric over a network whose routers get the Adapt-NoC port
 // complement (4 adaptable-link mux ports beyond the mesh five). The

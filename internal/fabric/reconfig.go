@@ -32,6 +32,15 @@ func (f *Fabric) Reconfigure(sn *SubNoC, kind topology.Kind, done func()) error 
 	if f.kernel == nil {
 		return fmt.Errorf("fabric: runtime reconfiguration needs a kernel")
 	}
+	if f.frozen {
+		// A frozen fabric (fault engine owns the wiring) turns topology
+		// switches into silent no-ops: the epoch controller keeps running
+		// and must not treat a fault-degraded chip as a fatal error.
+		if done != nil {
+			done()
+		}
+		return nil
+	}
 	if sn.state != StateActive {
 		return fmt.Errorf("fabric: subNoC %d is %v, cannot reconfigure", sn.ID, sn.state)
 	}

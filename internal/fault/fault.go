@@ -1,0 +1,229 @@
+// Package fault implements a deterministic, seedable fault model for the
+// Adapt-NoC fabric: transient and permanent link, router, and virtual-channel
+// failures expressed as a schedule of strike events, injected mid-run through
+// the reconfiguration machinery's drain discipline, with recovery routing
+// that re-allocates adaptable links around dead regions (Adapt-NoC designs)
+// or prunes the static tables to the surviving reachable set (baselines).
+//
+// Every fault application happens on a fully drained, injection-gated
+// network, so damage never races in-flight flits; packets the damaged
+// topology can no longer deliver are explicitly dropped-and-accounted
+// (noc.Network.TotalDropped), never silently lost, keeping the obs.Verify
+// conservation invariants intact under any schedule.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/sim"
+)
+
+// Kind classifies what a fault event takes out of service.
+type Kind int
+
+// Fault kinds. KindLink is the zero value so a schedule entry without a
+// kind is a plain link failure.
+const (
+	// KindLink severs the bidirectional router-to-router link on the named
+	// router port (both directions: a broken wire bundle loses its paired
+	// return wires too). On a port with no router-to-router channel the
+	// event is a deterministic no-op.
+	KindLink Kind = iota
+	// KindRouter powers the router off: every incident router-to-router
+	// channel is severed and its local NI attachments are detached. On an
+	// already powered-off router (a cmesh spare) the event is a no-op.
+	KindRouter
+	// KindVC takes one output virtual channel out of service (the VC
+	// allocator never grants it). A VC failure that would strand a whole
+	// virtual network — or a whole dateline class — on the port escalates
+	// to a link failure.
+	KindVC
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindLink:
+		return "link"
+	case KindRouter:
+		return "router"
+	case KindVC:
+		return "vc"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler for the JSON wire format.
+func (k Kind) MarshalText() ([]byte, error) {
+	switch k {
+	case KindLink, KindRouter, KindVC:
+		return []byte(k.String()), nil
+	}
+	return nil, fmt.Errorf("fault: cannot marshal kind %d", int(k))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "link":
+		*k = KindLink
+	case "router":
+		*k = KindRouter
+	case "vc":
+		*k = KindVC
+	default:
+		return fmt.Errorf("fault: unknown kind %q (use link, router, or vc)", b)
+	}
+	return nil
+}
+
+// Event is one scheduled fault. Events are part of the simulation Config
+// and of checkpoint blobs, so a run (or a replayed campaign) is a pure
+// function of (config, schedule, seed).
+type Event struct {
+	// Cycle is the strike time. The damage lands at the first quiescent
+	// point at or after this cycle (the engine drains the network first).
+	Cycle int64 `json:"cycle"`
+	// Kind selects link, router, or vc.
+	Kind Kind `json:"kind"`
+	// Router is the faulty router (for KindLink/KindVC, the upstream side
+	// of the faulty port).
+	Router noc.NodeID `json:"router"`
+	// Port is the faulty output port (KindLink, KindVC).
+	Port int `json:"port,omitempty"`
+	// VC is the faulty flat virtual channel on the port (KindVC); values
+	// beyond the configured flat VC count wrap modulo that count.
+	VC int `json:"vc,omitempty"`
+	// Repair makes the fault transient: the component returns to service
+	// Repair cycles after the damage lands. Zero means permanent.
+	Repair int64 `json:"repair,omitempty"`
+}
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	s := fmt.Sprintf("@%d %v r%d", ev.Cycle, ev.Kind, ev.Router)
+	if ev.Kind != KindRouter {
+		s += fmt.Sprintf(".p%d", ev.Port)
+	}
+	if ev.Kind == KindVC {
+		s += fmt.Sprintf(".vc%d", ev.VC)
+	}
+	if ev.Repair > 0 {
+		s += fmt.Sprintf(" repair+%d", ev.Repair)
+	}
+	return s
+}
+
+// CheckError reports one invalid Event field; Field is the JSON field name
+// relative to the event, so callers can prefix it with their own path.
+type CheckError struct {
+	Field string
+	Msg   string
+	Hint  string
+}
+
+// Error implements error.
+func (e *CheckError) Error() string { return fmt.Sprintf("%s: %s", e.Field, e.Msg) }
+
+// Check validates one event. numNodes bounds Router when positive; pass 0
+// to defer the topology bound (schedules parsed before a config is known).
+func (ev Event) Check(numNodes int) *CheckError {
+	switch {
+	case ev.Cycle < 1:
+		return &CheckError{Field: "cycle", Msg: fmt.Sprintf("must be >= 1, got %d", ev.Cycle),
+			Hint: "faults strike mid-run; cycle 0 is construction time"}
+	case ev.Kind < KindLink || ev.Kind > KindVC:
+		return &CheckError{Field: "kind", Msg: fmt.Sprintf("unknown kind %d", int(ev.Kind)),
+			Hint: "use link, router, or vc"}
+	case ev.Router < 0:
+		return &CheckError{Field: "router", Msg: fmt.Sprintf("negative router %d", ev.Router)}
+	case numNodes > 0 && int(ev.Router) >= numNodes:
+		return &CheckError{Field: "router", Msg: fmt.Sprintf("router %d outside the %d-tile grid", ev.Router, numNodes),
+			Hint: "routers are numbered row-major, 0..width*height-1"}
+	case ev.Port < 0 || ev.Port >= 16:
+		return &CheckError{Field: "port", Msg: fmt.Sprintf("port %d out of range [0,16)", ev.Port),
+			Hint: "mesh direction ports are 1 (east), 2 (west), 3 (north), 4 (south)"}
+	case ev.VC < 0 || ev.VC >= 64:
+		return &CheckError{Field: "vc", Msg: fmt.Sprintf("vc %d out of range [0,64)", ev.VC)}
+	case ev.Repair < 0:
+		return &CheckError{Field: "repair", Msg: fmt.Sprintf("negative repair delay %d", ev.Repair),
+			Hint: "0 means permanent; a positive value repairs that many cycles after the strike lands"}
+	}
+	return nil
+}
+
+// Schedule wire-format limits. MaxEvents also caps Config.Faults.
+const (
+	MaxEvents        = 4096
+	maxScheduleBytes = 1 << 20
+)
+
+// ParseSchedule decodes a JSON fault schedule (an array of events) with
+// strict field checking. Hostile input errors out; it never panics and the
+// decode allocation is bounded by the input-size cap.
+func ParseSchedule(data []byte) ([]Event, error) {
+	if len(data) > maxScheduleBytes {
+		return nil, fmt.Errorf("fault: schedule is %d bytes, limit %d", len(data), maxScheduleBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var events []Event
+	if err := dec.Decode(&events); err != nil {
+		return nil, fmt.Errorf("fault: invalid schedule: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("fault: trailing data after schedule")
+	}
+	if len(events) > MaxEvents {
+		return nil, fmt.Errorf("fault: schedule has %d events, limit %d", len(events), MaxEvents)
+	}
+	for i := range events {
+		if ce := events[i].Check(0); ce != nil {
+			return nil, fmt.Errorf("fault: events[%d].%s: %s", i, ce.Field, ce.Msg)
+		}
+	}
+	return events, nil
+}
+
+// Generate produces a deterministic random schedule of n faults for a w×h
+// grid over a run of horizon cycles: roughly half link failures, 30% router
+// failures, 20% VC failures, with about 30% of events transient. Strikes
+// land in the [horizon/10, horizon/2] window so the network has warmed up
+// and the damage has time to show in the latency and survival numbers.
+func Generate(n int, seed uint64, w, h int, horizon int64) []Event {
+	rng := sim.NewRNG(seed ^ 0xfa017)
+	if horizon < 20 {
+		horizon = 20
+	}
+	lo, hi := horizon/10, horizon/2
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := Event{Cycle: lo + int64(rng.Intn(int(hi-lo+1)))}
+		switch roll := rng.Intn(10); {
+		case roll < 5:
+			ev.Kind = KindLink
+			ev.Router = noc.NodeID(rng.Intn(w * h))
+			ev.Port = 1 + rng.Intn(4)
+		case roll < 8:
+			ev.Kind = KindRouter
+			ev.Router = noc.NodeID(rng.Intn(w * h))
+		default:
+			ev.Kind = KindVC
+			ev.Router = noc.NodeID(rng.Intn(w * h))
+			ev.Port = 1 + rng.Intn(4)
+			ev.VC = rng.Intn(4)
+		}
+		if rng.Intn(10) < 3 {
+			ev.Repair = horizon/10 + int64(rng.Intn(int(horizon/5)+1))
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+	return events
+}

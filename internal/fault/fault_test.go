@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestKindTextRoundTrip(t *testing.T) {
+	for k := KindLink; k <= KindVC; k++ {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", int(k), err)
+		}
+		var got Kind
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatalf("unmarshal %q: %v", b, err)
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %q -> %v", k, b, got)
+		}
+	}
+	if _, err := Kind(7).MarshalText(); err == nil {
+		t.Error("invalid kind marshalled")
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("meteor")); err == nil {
+		t.Error("unknown kind text accepted")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Cycle: 100, Kind: KindLink, Router: 3, Port: 2}, "@100 link r3.p2"},
+		{Event{Cycle: 5, Kind: KindRouter, Router: 9}, "@5 router r9"},
+		{Event{Cycle: 7, Kind: KindVC, Router: 1, Port: 4, VC: 2}, "@7 vc r1.p4.vc2"},
+		{Event{Cycle: 7, Kind: KindLink, Router: 0, Port: 1, Repair: 50}, "@7 link r0.p1 repair+50"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCheckFieldPaths(t *testing.T) {
+	ok := Event{Cycle: 10, Kind: KindVC, Router: 5, Port: 3, VC: 1, Repair: 100}
+	if ce := ok.Check(64); ce != nil {
+		t.Fatalf("valid event rejected: %v", ce)
+	}
+	cases := []struct {
+		ev    Event
+		nodes int
+		field string
+	}{
+		{Event{Cycle: 0, Router: 1, Port: 1}, 0, "cycle"},
+		{Event{Cycle: -3, Router: 1, Port: 1}, 0, "cycle"},
+		{Event{Cycle: 1, Kind: Kind(9), Router: 1}, 0, "kind"},
+		{Event{Cycle: 1, Kind: Kind(-1), Router: 1}, 0, "kind"},
+		{Event{Cycle: 1, Router: -1}, 0, "router"},
+		{Event{Cycle: 1, Router: 64}, 64, "router"},
+		{Event{Cycle: 1, Router: 64}, 0, ""}, // bound deferred
+		{Event{Cycle: 1, Router: 1, Port: -1}, 0, "port"},
+		{Event{Cycle: 1, Router: 1, Port: 16}, 0, "port"},
+		{Event{Cycle: 1, Kind: KindVC, Router: 1, Port: 1, VC: 64}, 0, "vc"},
+		{Event{Cycle: 1, Kind: KindVC, Router: 1, Port: 1, VC: -1}, 0, "vc"},
+		{Event{Cycle: 1, Router: 1, Port: 1, Repair: -1}, 0, "repair"},
+	}
+	for _, c := range cases {
+		ce := c.ev.Check(c.nodes)
+		if c.field == "" {
+			if ce != nil {
+				t.Errorf("Check(%v, %d) = %v, want nil", c.ev, c.nodes, ce)
+			}
+			continue
+		}
+		if ce == nil || ce.Field != c.field {
+			t.Errorf("Check(%v, %d) = %v, want field %q", c.ev, c.nodes, ce, c.field)
+		}
+		if ce != nil && !strings.Contains(ce.Error(), ce.Field) {
+			t.Errorf("CheckError.Error() %q omits the field", ce.Error())
+		}
+	}
+}
+
+func TestParseScheduleValid(t *testing.T) {
+	events, err := ParseSchedule([]byte(`[
+		{"cycle": 100, "kind": "link", "router": 3, "port": 2},
+		{"cycle": 200, "kind": "router", "router": 9},
+		{"cycle": 300, "kind": "vc", "router": 1, "port": 4, "vc": 2, "repair": 500}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Cycle: 100, Kind: KindLink, Router: 3, Port: 2},
+		{Cycle: 200, Kind: KindRouter, Router: 9},
+		{Cycle: 300, Kind: KindVC, Router: 1, Port: 4, VC: 2, Repair: 500},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("parsed %+v, want %+v", events, want)
+	}
+	// The events marshal back to the same wire form they were parsed from.
+	b, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSchedule(b)
+	if err != nil {
+		t.Fatalf("re-parse of marshalled schedule: %v", err)
+	}
+	if !reflect.DeepEqual(again, events) {
+		t.Errorf("marshal round trip changed the schedule: %+v", again)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"object", `{"cycle": 1}`},
+		{"unknown field", `[{"cycle": 1, "router": 0, "port": 1, "laser": true}]`},
+		{"unknown kind", `[{"cycle": 1, "kind": "cosmic", "router": 0}]`},
+		{"trailing data", `[] []`},
+		{"bad cycle", `[{"cycle": 0, "router": 0, "port": 1}]`},
+		{"bad port", `[{"cycle": 1, "router": 0, "port": 99}]`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseSchedule([]byte(c.in)); err == nil {
+				t.Errorf("ParseSchedule(%q) accepted", c.in)
+			}
+		})
+	}
+	if _, err := ParseSchedule(make([]byte, maxScheduleBytes+1)); err == nil {
+		t.Error("oversized schedule accepted")
+	}
+	big := "[" + strings.Repeat(`{"cycle": 1, "router": 0, "port": 1},`, MaxEvents) +
+		`{"cycle": 1, "router": 0, "port": 1}]`
+	if _, err := ParseSchedule([]byte(big)); err == nil {
+		t.Errorf("schedule with %d events accepted (limit %d)", MaxEvents+1, MaxEvents)
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	const n, w, h, horizon = 50, 8, 8, 100000
+	a := Generate(n, 42, w, h, horizon)
+	b := Generate(n, 42, w, h, horizon)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different schedules")
+	}
+	c := Generate(n, 43, w, h, horizon)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+	if len(a) != n {
+		t.Fatalf("generated %d events, want %d", len(a), n)
+	}
+	last := int64(0)
+	for i, ev := range a {
+		if ce := ev.Check(w * h); ce != nil {
+			t.Fatalf("generated events[%d] = %v invalid: %v", i, ev, ce)
+		}
+		if ev.Cycle < horizon/10 || ev.Cycle > horizon/2 {
+			t.Errorf("events[%d] strikes at %d, outside [%d,%d]", i, ev.Cycle, horizon/10, horizon/2)
+		}
+		if ev.Cycle < last {
+			t.Errorf("events[%d] out of cycle order: %d after %d", i, ev.Cycle, last)
+		}
+		last = ev.Cycle
+	}
+	// The tiny-horizon clamp keeps cycles legal even for degenerate runs.
+	for _, ev := range Generate(10, 7, 2, 2, 1) {
+		if ce := ev.Check(4); ce != nil {
+			t.Fatalf("tiny-horizon event %v invalid: %v", ev, ce)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"adaptnoc/internal/noc"
+)
+
+// heal rebuilds routing around the applied damage. Adapt-NoC designs use
+// their adaptable links as spare wires: bridges span runs of dead routers
+// along each row and column, then a BFS spanning forest over the surviving
+// graph gives every connected component unique (hence deadlock-free) tree
+// routes. Static designs cannot rewire; their base tables are pruned to the
+// fixpoint of reachability, so every remaining entry still leads to its
+// destination and no packet is ever routed into a hole — a pruned subset of
+// a deadlock-free routing function stays deadlock-free.
+func (e *Engine) heal() {
+	if e.fab != nil {
+		e.addBridges()
+		e.buildTreeTables()
+		return
+	}
+	e.pruneTables()
+}
+
+// faultDead reports whether a router was powered off by a fault (as
+// opposed to a base-disabled cmesh spare, which bridges must not span —
+// the spare's ports were never wired and its tiles answer elsewhere).
+func (e *Engine) faultDead(id noc.NodeID) bool {
+	return e.net.Router(id).Disabled() && !e.baseDisabled[id]
+}
+
+// addBridges scans every row and column for maximal runs of fault-dead
+// routers flanked by live ones and spans each with a bidirectional
+// adaptable-link segment — the paper's adaptable links reused as spare
+// wires (the fabric is frozen, so no subNoC will contend for them).
+func (e *Engine) addBridges() {
+	w, h := e.net.Cfg.Width, e.net.Cfg.Height
+	id := func(x, y int) noc.NodeID { return noc.NodeID(y*w + x) }
+	live := func(n noc.NodeID) bool { return !e.net.Router(n).Disabled() }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; {
+			if !live(id(x, y)) {
+				x++
+				continue
+			}
+			j := x + 1
+			for j < w && e.faultDead(id(j, y)) {
+				j++
+			}
+			if j > x+1 && j < w && live(id(j, y)) {
+				e.tryBridge(id(x, y), id(j, y), j-x)
+			}
+			x = j
+		}
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; {
+			if !live(id(x, y)) {
+				y++
+				continue
+			}
+			j := y + 1
+			for j < h && e.faultDead(id(x, j)) {
+				j++
+			}
+			if j > y+1 && j < h && live(id(x, j)) {
+				e.tryBridge(id(x, y), id(x, j), j-y)
+			}
+			y = j
+		}
+	}
+}
+
+// tryBridge wires an adaptable-link segment of the given tile span between
+// two live routers, using the first free adaptable mux port (5..8) on each
+// side. With no free port on either side the bridge is deterministically
+// skipped — the wiring budget is one adaptable link per row and column, so
+// contention means that budget is spent.
+func (e *Engine) tryBridge(a, b noc.NodeID, span int) {
+	aPort := e.freeAdaptPort(a)
+	bPort := e.freeAdaptPort(b)
+	if aPort < 0 || bPort < 0 {
+		return
+	}
+	lat := e.net.Cfg.LongLinkLatency(span)
+	e.net.ConnectBidir(a, aPort, b, bPort, noc.ChanAdaptable, lat, span)
+	e.bridges = append(e.bridges, bridgeRec{a: a, b: b, aPort: aPort, bPort: bPort})
+}
+
+// freeAdaptPort returns the first adaptable mux port (5..8) with neither an
+// input nor an output channel, or -1.
+func (e *Engine) freeAdaptPort(id noc.NodeID) int {
+	r := e.net.Router(id)
+	hi := r.NumPorts()
+	if hi > 9 {
+		hi = 9
+	}
+	for p := 5; p < hi; p++ {
+		if r.OutputChannel(p) == nil && r.InputChannel(p) == nil {
+			return p
+		}
+	}
+	return -1
+}
+
+// buildTreeTables installs BFS spanning-forest routing over the surviving
+// (bridged) graph: one shared table per live router for both virtual
+// networks, each destination routed along the unique tree path. Unique
+// paths are suffix-consistent, so per-hop table routing composes, and the
+// channel dependency graph of a tree is acyclic, so the routing is
+// deadlock-free without dateline classing (which is disabled).
+func (e *Engine) buildTreeTables() {
+	n := e.net
+	num := n.Cfg.NumNodes()
+	parent := make([]int32, num)  // BFS parent, -1 for roots and dead routers
+	upPort := make([]int8, num)   // port at the node toward its parent
+	downPort := make([]int8, num) // port at the parent toward the node
+	comp := make([]int32, num)    // connected component, -1 for dead routers
+	for i := range parent {
+		parent[i] = -1
+		comp[i] = -1
+	}
+	var comps [][]noc.NodeID
+	queue := make([]noc.NodeID, 0, num)
+	for root := 0; root < num; root++ {
+		if comp[root] >= 0 || n.Router(noc.NodeID(root)).Disabled() {
+			continue
+		}
+		cid := int32(len(comps))
+		members := []noc.NodeID{noc.NodeID(root)}
+		comp[root] = cid
+		queue = append(queue[:0], noc.NodeID(root))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			ru := n.Router(u)
+			for p := 0; p < ru.NumPorts(); p++ {
+				ch := ru.OutputChannel(p)
+				if ch == nil || ch.To.Kind != noc.EndRouter {
+					continue
+				}
+				v := ch.To.Router
+				if comp[v] >= 0 || n.Router(v).Disabled() {
+					continue
+				}
+				// Tree edges must be bidirectional: require the reciprocal
+				// channel back from v on the same port pair.
+				back := n.Router(v).OutputChannel(ch.To.Port)
+				if back == nil || back.To.Kind != noc.EndRouter || back.To.Router != u {
+					continue
+				}
+				comp[v] = cid
+				parent[v] = int32(u)
+				downPort[v] = int8(p)
+				upPort[v] = int8(ch.To.Port)
+				members = append(members, v)
+				queue = append(queue, v)
+			}
+		}
+		comps = append(comps, members)
+	}
+
+	tables := make([]*noc.RoutingTable, num)
+	for _, members := range comps {
+		for _, u := range members {
+			tables[u] = noc.NewRoutingTable(num)
+		}
+	}
+	for t := 0; t < num; t++ {
+		dst := noc.NodeID(t)
+		s := n.ServingRouter(dst)
+		if s < 0 || tables[s] == nil {
+			continue // tile detached by a router fault: unreachable by design
+		}
+		// Default: route toward the root, then overwrite the ancestor chain
+		// of the serving router so it routes down toward s instead.
+		for _, u := range comps[comp[s]] {
+			if u != s && parent[u] >= 0 {
+				tables[u].Set(dst, int(upPort[u]), noc.ClassKeep)
+			}
+		}
+		for cur := s; parent[cur] >= 0; {
+			par := noc.NodeID(parent[cur])
+			tables[par].Set(dst, int(downPort[cur]), noc.ClassKeep)
+			cur = par
+		}
+		for _, la := range n.LocalAttachments(s) {
+			if !la.WithEjection {
+				continue
+			}
+			for _, tile := range la.Tiles {
+				if tile == dst {
+					tables[s].Set(dst, la.Port, noc.ClassKeep)
+					break
+				}
+			}
+		}
+	}
+	for _, members := range comps {
+		for _, u := range members {
+			r := n.Router(u)
+			for v := noc.VNet(0); v < noc.NumVNets; v++ {
+				r.SetTable(v, tables[u])
+				r.SetDatelineVNet(v, false)
+			}
+		}
+	}
+}
+
+// pruneTables shrinks every static design's base tables to the fixpoint of
+// deliverability: an entry survives only if its output channel still exists
+// and either ejects to the destination's serving NI or hops to a live
+// router whose own entry for that destination survives. Packets the pruned
+// tables cannot route are dropped-and-accounted at enqueue instead of
+// wandering into a hole.
+func (e *Engine) pruneTables() {
+	n := e.net
+	num := n.Cfg.NumNodes()
+	for v := noc.VNet(0); v < noc.NumVNets; v++ {
+		valid := make([][]bool, num)
+		for i := range valid {
+			valid[i] = make([]bool, num)
+		}
+		for rid := 0; rid < num; rid++ {
+			r := n.Router(noc.NodeID(rid))
+			if r.Disabled() || e.baseTables[rid][v] == nil {
+				continue
+			}
+			for dst := 0; dst < num; dst++ {
+				ent, ok := e.baseTables[rid][v].Lookup(noc.NodeID(dst))
+				if !ok {
+					continue
+				}
+				ch := r.OutputChannel(int(ent.OutPort))
+				if ch != nil && ch.To.Kind == noc.EndNI && n.ServingRouter(noc.NodeID(dst)) == noc.NodeID(rid) {
+					valid[rid][dst] = true
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for rid := 0; rid < num; rid++ {
+				r := n.Router(noc.NodeID(rid))
+				if r.Disabled() || e.baseTables[rid][v] == nil {
+					continue
+				}
+				for dst := 0; dst < num; dst++ {
+					if valid[rid][dst] {
+						continue
+					}
+					ent, ok := e.baseTables[rid][v].Lookup(noc.NodeID(dst))
+					if !ok {
+						continue
+					}
+					ch := r.OutputChannel(int(ent.OutPort))
+					if ch == nil || ch.To.Kind != noc.EndRouter {
+						continue
+					}
+					next := ch.To.Router
+					if !n.Router(next).Disabled() && valid[next][dst] {
+						valid[rid][dst] = true
+						changed = true
+					}
+				}
+			}
+		}
+		for rid := 0; rid < num; rid++ {
+			r := n.Router(noc.NodeID(rid))
+			if r.Disabled() || e.baseTables[rid][v] == nil {
+				continue
+			}
+			tbl := noc.NewRoutingTable(num)
+			for dst := 0; dst < num; dst++ {
+				if !valid[rid][dst] {
+					continue
+				}
+				ent, _ := e.baseTables[rid][v].Lookup(noc.NodeID(dst))
+				tbl.Set(noc.NodeID(dst), int(ent.OutPort), ent.Class)
+			}
+			r.SetTable(v, tbl)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"fmt"
+
+	"adaptnoc/internal/sim"
+	"adaptnoc/internal/snap"
+)
+
+// Checkpoint support. The engine's serialized state is tiny — the drain
+// state machine, the pending and active event sets, and the drop counters —
+// because the damaged wiring itself is reconstructible: the fabric is
+// frozen from the first strike, so the fabric section replays the exact
+// base topology, and Restore re-applies the active events against it (the
+// same pure function as a live apply). The network section restored
+// afterwards then overlays dynamic state (and validates the channel set,
+// which only matches if this replay produced identical wiring).
+
+// Snapshot writes the engine's dynamic state.
+func (e *Engine) Snapshot(w *snap.Writer) {
+	w.Int(1) // version
+	w.Bool(e.fab != nil && e.fab.Frozen())
+	w.Bool(e.draining)
+	w.I64(int64(e.drainStart))
+	w.Bool(e.gatedAll)
+	w.Uvarint(uint64(len(e.savedGates)))
+	for _, g := range e.savedGates {
+		w.Bool(g)
+	}
+	w.Uvarint(uint64(len(e.pending)))
+	for _, pa := range e.pending {
+		w.Int(pa.idx)
+		w.Bool(pa.repair)
+	}
+	w.Uvarint(uint64(len(e.active)))
+	for _, a := range e.active {
+		w.Bool(a)
+	}
+	w.Bool(e.baseTaken)
+	w.I64(e.Strikes)
+	w.I64(e.Repairs)
+	w.I64(e.net.TotalDropped)
+	w.I64(e.net.TotalFlitsDropped)
+}
+
+// Restore overlays a Snapshot onto a freshly constructed engine carrying
+// the same schedule, re-applying the active damage against the
+// fabric-replayed base wiring. Must run after the fabric section and
+// before the network section.
+func (e *Engine) Restore(r *snap.Reader) error {
+	ver, err := r.Int()
+	if err != nil {
+		return err
+	}
+	if ver != 1 {
+		return fmt.Errorf("fault: unknown fault section version %d", ver)
+	}
+	frozen, err := r.Bool()
+	if err != nil {
+		return err
+	}
+	draining, err := r.Bool()
+	if err != nil {
+		return err
+	}
+	drainStart, err := r.I64()
+	if err != nil {
+		return err
+	}
+	gatedAll, err := r.Bool()
+	if err != nil {
+		return err
+	}
+	ngates, err := r.Count(1)
+	if err != nil {
+		return err
+	}
+	if ngates != len(e.savedGates) {
+		return fmt.Errorf("fault: checkpoint has %d NI gates, network has %d", ngates, len(e.savedGates))
+	}
+	for i := 0; i < ngates; i++ {
+		if e.savedGates[i], err = r.Bool(); err != nil {
+			return err
+		}
+	}
+	npend, err := r.Count(2)
+	if err != nil {
+		return err
+	}
+	pending := make([]pendingAction, npend)
+	for i := range pending {
+		if pending[i].idx, err = r.Int(); err != nil {
+			return err
+		}
+		if pending[i].idx < 0 || pending[i].idx >= len(e.sched) {
+			return fmt.Errorf("fault: pending action references event %d of %d", pending[i].idx, len(e.sched))
+		}
+		if pending[i].repair, err = r.Bool(); err != nil {
+			return err
+		}
+	}
+	nactive, err := r.Count(1)
+	if err != nil {
+		return err
+	}
+	if nactive != len(e.sched) {
+		return fmt.Errorf("fault: checkpoint has %d fault events, schedule has %d", nactive, len(e.sched))
+	}
+	active := make([]bool, nactive)
+	for i := range active {
+		if active[i], err = r.Bool(); err != nil {
+			return err
+		}
+	}
+	baseTaken, err := r.Bool()
+	if err != nil {
+		return err
+	}
+	strikes, err := r.I64()
+	if err != nil {
+		return err
+	}
+	repairs, err := r.I64()
+	if err != nil {
+		return err
+	}
+	dropped, err := r.I64()
+	if err != nil {
+		return err
+	}
+	flitsDropped, err := r.I64()
+	if err != nil {
+		return err
+	}
+
+	if frozen && e.fab != nil {
+		e.fab.Freeze()
+	}
+	e.draining = draining
+	e.drainStart = sim.Cycle(drainStart)
+	e.gatedAll = gatedAll
+	e.pending = pending
+	e.active = active
+	e.Strikes = strikes
+	e.Repairs = repairs
+	if baseTaken {
+		e.captureBase()
+		any := false
+		for i := range e.active {
+			if e.active[i] {
+				e.applyEvent(i)
+				any = true
+			}
+		}
+		if any {
+			e.heal()
+		}
+		e.net.SetFaultGuard(true)
+	}
+	e.net.TotalDropped = dropped
+	e.net.TotalFlitsDropped = flitsDropped
+	return nil
+}

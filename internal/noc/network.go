@@ -80,9 +80,22 @@ type Network struct {
 	verifier    VerifyFunc
 	verifyEvery int64
 
+	// onDrop observes packets a fault made undeliverable; faultGuard arms
+	// the routability check in Enqueue (off on the fault-free path, where
+	// an unroutable packet is a simulator bug, not a scenario).
+	onDrop     DeliverFunc
+	faultGuard bool
+
 	// Aggregate counters (whole-run, never reset).
 	TotalEnqueued  int64
 	TotalDelivered int64
+	// TotalDropped / TotalFlitsDropped account packets a fault made
+	// undeliverable: at any quiescent point
+	// TotalEnqueued == TotalDelivered + TotalDropped + pending queue
+	// population. Dropped packets never inject, so the flit conservation
+	// counters below are untouched by drops.
+	TotalDropped      int64
+	TotalFlitsDropped int64
 	// Flit-granularity conservation counters: a flit is injected when it
 	// leaves an NI on an injection channel and ejected when the
 	// destination NI consumes it, so at any cycle boundary
@@ -170,6 +183,16 @@ func (n *Network) Channels() []*Channel { return n.channels }
 
 // SetDeliverFunc installs the packet delivery observer.
 func (n *Network) SetDeliverFunc(fn DeliverFunc) { n.onDeliver = fn }
+
+// SetDropFunc installs the fault-drop observer, called for every packet
+// the network drops because a fault made it undeliverable (before the
+// packet is recycled).
+func (n *Network) SetDropFunc(fn DeliverFunc) { n.onDrop = fn }
+
+// SetFaultGuard arms (true) or disarms the per-Enqueue routability check.
+// The fault engine arms it at its first strike; a fault-free network keeps
+// the check off so the steady-state injection path pays nothing.
+func (n *Network) SetFaultGuard(on bool) { n.faultGuard = on }
 
 // ServingRouter returns the router currently serving a tile's NI, or -1.
 func (n *Network) ServingRouter(tile NodeID) NodeID { return n.attach[tile] }
@@ -403,16 +426,114 @@ func (n *Network) makeFlits(p *Packet, poolIdx int) []Flit {
 	return fillFlits(p, n.pools[poolIdx].getSlab(p.Size))
 }
 
-// Enqueue submits a packet at its source NI at cycle now.
+// Enqueue submits a packet at its source NI at cycle now. Under an armed
+// fault guard, a packet the damaged topology cannot deliver is dropped
+// (and accounted) instead of queued.
 func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
 	if p.Src == p.Dst {
 		panic(fmt.Sprintf("noc: self-addressed packet %v", p))
+	}
+	if n.faultGuard && !n.routable(p) {
+		n.TotalEnqueued++
+		n.dropPacket(p, now)
+		return
 	}
 	n.nis[p.Src].enqueue(p, now)
 	n.TotalEnqueued++
 	if n.tracer != nil {
 		n.tracer.PacketEnqueued(p, now)
 	}
+}
+
+// routable reports whether the current topology can deliver p: both
+// endpoints must have attached NIs and the source's serving router must
+// hold a route for the destination on the packet's vnet. The fault
+// engine's healed tables are closed under next-hop (a spanning tree per
+// component, or a pruned-to-fixpoint static table), so a valid source
+// entry implies a complete path.
+func (n *Network) routable(p *Packet) bool {
+	src, dst := n.attach[p.Src], n.attach[p.Dst]
+	if src < 0 || dst < 0 {
+		return false
+	}
+	tbl := n.routers[src].Table(p.VNet)
+	if tbl == nil {
+		return false
+	}
+	_, ok := tbl.Lookup(p.Dst)
+	return ok
+}
+
+// dropPacket accounts for and recycles a packet a fault made
+// undeliverable. Dropped packets were never injected, so they own no flit
+// slab and the flit conservation counters stay untouched. Serial phases
+// only (drops happen at Enqueue and at the fault engine's quiescent apply
+// points, never inside the parallel tick phases).
+func (n *Network) dropPacket(p *Packet, now sim.Cycle) {
+	n.TotalDropped++
+	n.TotalFlitsDropped += int64(p.Size)
+	if n.onDrop != nil {
+		n.onDrop(p, now)
+	}
+	if p.flits != nil {
+		n.pools[p.slabPool].putSlab(p.flits)
+		p.flits = nil
+	}
+	p.Payload = nil
+	n.pools[0].putPacket(p)
+}
+
+// DropUnroutable sweeps every NI injection queue and drops queued packets
+// the current (post-fault) topology can no longer deliver, returning the
+// number dropped. The fault engine calls it after applying damage, on a
+// quiescent network.
+func (n *Network) DropUnroutable(now sim.Cycle) int {
+	dropped := 0
+	for _, ni := range n.nis {
+		for v := range ni.queues {
+			q := &ni.queues[v]
+			keep := q.items[q.head:q.head]
+			for i := q.head; i < len(q.items); i++ {
+				p := q.items[i]
+				if n.routable(p) {
+					keep = append(keep, p)
+					continue
+				}
+				n.dropPacket(p, now)
+				dropped++
+			}
+			q.items = q.items[:q.head+len(keep)]
+		}
+	}
+	return dropped
+}
+
+// LocalAttachment describes one local port of a router as
+// AttachLocalPort/AttachInjectionPort configured it, so the fault engine
+// can detach a failed router and later re-attach an identical wiring.
+type LocalAttachment struct {
+	Port         int
+	Tiles        []NodeID
+	Latency      int
+	WithEjection bool
+}
+
+// LocalAttachments returns a router's local attachments in port order.
+func (n *Network) LocalAttachments(router NodeID) []LocalAttachment {
+	var out []LocalAttachment
+	r := n.routers[router]
+	for port := 0; port < r.NumPorts(); port++ {
+		inj := n.injectors[injKey{router, port}]
+		if inj == nil {
+			continue
+		}
+		la := LocalAttachment{Port: port, Latency: inj.ch.Latency, WithEjection: inj.primary}
+		for _, st := range inj.streams {
+			la.Tiles = append(la.Tiles, st.ni.ID)
+		}
+		out = append(out, la)
+	}
+	return out
 }
 
 // Tick advances the whole network one cycle in four phases:

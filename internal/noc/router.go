@@ -88,6 +88,11 @@ type OutputPort struct {
 	owner   []*Packet // downstream VC ownership (nil = free)
 	depth   int
 
+	// deadVC masks flat VCs a fault took out of service: the VC allocator
+	// never grants a masked VC. Zero on the fault-free path, so the hot
+	// loop pays one integer test.
+	deadVC uint64
+
 	// Switch hold: while a packet streams, (holdPort, holdVC) identify the
 	// input VC that owns this output. holdPort == -1 means free.
 	holdPort, holdVC int
@@ -318,6 +323,21 @@ func (r *Router) UsesDateline(v VNet) bool { return r.useDateline[v] }
 
 // SetVCPolicy installs an OSCAR-style VC admission policy (nil clears).
 func (r *Router) SetVCPolicy(p VCPolicy) { r.policy = p }
+
+// SetVCFault marks (dead == true) or repairs one flat output VC on a port.
+// A dead VC is skipped by the VC allocator. The caller must ensure the VC
+// holds no packet (the fault engine applies damage on a quiescent network).
+func (r *Router) SetVCFault(port, flatVC int, dead bool) {
+	out := &r.outputs[port]
+	if dead {
+		out.deadVC |= 1 << uint(flatVC)
+	} else {
+		out.deadVC &^= 1 << uint(flatVC)
+	}
+}
+
+// VCFaultMask returns the dead-VC bitmask of an output port.
+func (r *Router) VCFaultMask(port int) uint64 { return r.outputs[port].deadVC }
 
 // EnablePowerGating turns on conventional runtime power gating with the
 // given wake-up latency and idle timeout (FTBY_PG baseline).
@@ -727,6 +747,9 @@ func (r *Router) stageVC(in *InputPort, i int, now sim.Cycle, tablesReady bool) 
 				continue
 			}
 			flat := r.vcIndex(v, k)
+			if out.deadVC&(1<<uint(flat)) != 0 {
+				continue
+			}
 			if out.owner[flat] == nil && out.credits[flat] >= f.Pkt.Size {
 				granted = flat
 				break

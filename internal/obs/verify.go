@@ -30,10 +30,14 @@ func Verify(n *noc.Network, now sim.Cycle) error {
 		return fmt.Errorf("obs: flit conservation broken: injected %d != ejected %d + in-flight %d",
 			n.TotalFlitsInjected, n.TotalFlitsEjected, inFlight)
 	}
+	// Fault-aware packet conservation: packets a fault made undeliverable
+	// are explicitly dropped-and-accounted (TotalDropped), never silently
+	// lost, so at quiescence delivered + dropped covers everything ever
+	// enqueued.
 	if inFlight == 0 && n.Quiescent() && n.PendingPackets() == 0 &&
-		n.TotalEnqueued != n.TotalDelivered {
-		return fmt.Errorf("obs: packet conservation broken at quiescence: enqueued %d != delivered %d",
-			n.TotalEnqueued, n.TotalDelivered)
+		n.TotalEnqueued != n.TotalDelivered+n.TotalDropped {
+		return fmt.Errorf("obs: packet conservation broken at quiescence: enqueued %d != delivered %d + dropped %d",
+			n.TotalEnqueued, n.TotalDelivered, n.TotalDropped)
 	}
 	if err := n.CheckCreditInvariant(); err != nil {
 		return err

@@ -44,6 +44,43 @@ func restoreWindow(r *snap.Reader) (WindowCounters, error) {
 	return c, nil
 }
 
+// SnapshotDrops writes the per-app fault-drop tallies (sorted by app ID).
+// Serialized inside the fault checkpoint section, not the machine section,
+// so pre-fault blobs keep decoding.
+func (m *Machine) SnapshotDrops(w *snap.Writer) {
+	ids := make([]int, 0, len(m.dropped))
+	for id := range m.dropped {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Int(id)
+		w.I64(m.dropped[id])
+	}
+}
+
+// RestoreDrops reads what SnapshotDrops wrote.
+func (m *Machine) RestoreDrops(r *snap.Reader) error {
+	n, err := r.Count(2)
+	if err != nil {
+		return err
+	}
+	m.dropped = make(map[int]int64, n)
+	for i := 0; i < n; i++ {
+		id, err := r.Int()
+		if err != nil {
+			return err
+		}
+		v, err := r.I64()
+		if err != nil {
+			return err
+		}
+		m.dropped[id] = v
+	}
+	return nil
+}
+
 // Snapshot writes the machine's dynamic state.
 func (m *Machine) Snapshot(w *snap.Writer) {
 	w.U64(m.nextTxn)

@@ -269,6 +269,11 @@ type Machine struct {
 	// onDeliver chains an external observer after the machine's own
 	// delivery handling.
 	onDeliver noc.DeliverFunc
+
+	// dropped tallies fault-dropped packets per application ID. Kept out
+	// of WindowCounters so the machine checkpoint section layout stays
+	// frozen; the fault section serializes it instead.
+	dropped map[int]int64
 }
 
 // Kernel operation IDs owned by this package (range 100-199).
@@ -285,10 +290,12 @@ const (
 func NewMachine(net *noc.Network, kernel *sim.Kernel, p Params) *Machine {
 	m := &Machine{
 		P: p, net: net, kernel: kernel,
-		mcs:  make(map[noc.NodeID]*mcState),
-		txns: make(map[uint64]*txn),
+		mcs:     make(map[noc.NodeID]*mcState),
+		txns:    make(map[uint64]*txn),
+		dropped: make(map[int]int64),
 	}
 	net.SetDeliverFunc(m.deliver)
+	net.SetDropFunc(m.Drop)
 	kernel.Register(m)
 	kernel.RegisterOp(opSliceRespond, func(now sim.Cycle, args [3]int64) {
 		m.sliceRespond(m.txnByID(args[0]), now)
@@ -510,6 +517,28 @@ func (m *Machine) deliver(p *noc.Packet, now sim.Cycle) {
 		m.onDeliver(p, now)
 	}
 }
+
+// Drop handles a packet a fault made undeliverable. The transaction it
+// carried (if any) is abandoned: the issuing core's outstanding slot is
+// released so it keeps issuing — lost requests cost survival rate, not a
+// wedged core. Safe to retire here because kernel descriptor events only
+// ever reference a transaction while it is NOT riding a packet
+// (opSliceRespond and opMCReply are scheduled after delivery).
+func (m *Machine) Drop(p *noc.Packet, now sim.Cycle) {
+	if p.App >= 0 {
+		m.dropped[p.App]++
+	}
+	if t, ok := p.Payload.(*txn); ok {
+		t.core.outstanding--
+		if t.core.outstanding < 0 {
+			panic(fmt.Sprintf("system: outstanding underflow at core %d on drop", t.core.tile))
+		}
+		m.retireTxn(t)
+	}
+}
+
+// DroppedPackets returns the fault-dropped packet count of one application.
+func (m *Machine) DroppedPackets(appID int) int64 { return m.dropped[appID] }
 
 // sliceRespond continues a transaction after the L2 lookup.
 func (m *Machine) sliceRespond(t *txn, now sim.Cycle) {

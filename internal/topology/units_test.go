@@ -106,6 +106,53 @@ func TestSplitDimGrouping(t *testing.T) {
 	}
 }
 
+// TestPartitionRowsEdgeWidths pins the degenerate shapes: single-row and
+// single-column grids, non-positive shard counts (clamped to one band),
+// shard counts past the row count (clamped to one band per row), and the
+// empty-grid panic.
+func TestPartitionRowsEdgeWidths(t *testing.T) {
+	for _, tc := range []struct {
+		w, h, k  int
+		wantLens []int // band heights in order
+	}{
+		{1, 1, 1, []int{1}},
+		{1, 1, 5, []int{1}},
+		{1, 8, 3, []int{2, 3, 3}},
+		{8, 1, 4, []int{1}},
+		{3, 2, 2, []int{1, 1}},
+		{8, 8, 0, []int{8}},
+		{8, 8, -2, []int{8}},
+		{2, 5, 2, []int{2, 3}},
+		{2, 5, 4, []int{1, 1, 1, 2}},
+		{2, 5, 5, []int{1, 1, 1, 1, 1}},
+	} {
+		regs := PartitionRows(tc.w, tc.h, tc.k)
+		if len(regs) != len(tc.wantLens) {
+			t.Fatalf("PartitionRows(%d,%d,%d) gave %d bands, want %d", tc.w, tc.h, tc.k, len(regs), len(tc.wantLens))
+		}
+		y := 0
+		for i, r := range regs {
+			if r.H != tc.wantLens[i] {
+				t.Errorf("PartitionRows(%d,%d,%d)[%d].H = %d, want %d", tc.w, tc.h, tc.k, i, r.H, tc.wantLens[i])
+			}
+			if r.X != 0 || r.W != tc.w || r.Y != y {
+				t.Errorf("PartitionRows(%d,%d,%d)[%d] = %v, want full-width band at Y=%d", tc.w, tc.h, tc.k, i, r, y)
+			}
+			y += r.H
+		}
+	}
+	for _, tc := range [][2]int{{0, 8}, {8, 0}, {-1, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PartitionRows(%d,%d,1) on an empty grid did not panic", tc[0], tc[1])
+				}
+			}()
+			PartitionRows(tc[0], tc[1], 1)
+		}()
+	}
+}
+
 func TestPartitionRowsCoversAndBalances(t *testing.T) {
 	for _, tc := range []struct{ w, h, k int }{
 		{8, 8, 1}, {8, 8, 2}, {8, 8, 3}, {8, 8, 8}, {8, 8, 12},

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"adaptnoc/internal/fault"
 	"adaptnoc/internal/noc"
 	"adaptnoc/internal/topology"
 	"adaptnoc/internal/traffic"
@@ -181,6 +182,19 @@ func (c Config) Validate() error {
 	for i, h := range c.RL.DQN.Hidden {
 		if h < 1 || h > 1<<12 {
 			return fieldErrf(fmt.Sprintf("rl.dqn.hidden[%d]", i), "layer size %d outside [1,4096]", h)
+		}
+	}
+	if len(c.Faults) > fault.MaxEvents {
+		return fieldErrf("faults", "schedule has %d events, limit %d", len(c.Faults), fault.MaxEvents).
+			hint("split enormous campaigns across runs")
+	}
+	for i := range c.Faults {
+		if ce := c.Faults[i].Check(ncfg.NumNodes()); ce != nil {
+			e := fieldErrf(fmt.Sprintf("faults[%d].%s", i, ce.Field), "%s", ce.Msg)
+			if ce.Hint != "" {
+				e = e.hint("%s", ce.Hint)
+			}
+			return e
 		}
 	}
 	return nil

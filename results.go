@@ -24,6 +24,10 @@ type AppResult struct {
 	DeliveredPackets int64 `json:"deliveredPackets"`
 	RetiredInstr     int64 `json:"retiredInstr"`
 
+	// DroppedPackets counts packets a fault made undeliverable. omitempty
+	// keeps fault-free Results JSON byte-identical to earlier versions.
+	DroppedPackets int64 `json:"droppedPackets,omitempty"`
+
 	// ExecTime is the completion cycle for budgeted apps (-1 otherwise).
 	ExecTime Cycle `json:"execTime"`
 
@@ -156,6 +160,7 @@ func (s *Sim) Results() Results {
 			AvgTotalLatency:  tot.AvgNetLatency() + tot.AvgQueueLatency(),
 			DeliveredPackets: tot.Delivered,
 			RetiredInstr:     tot.Retired,
+			DroppedPackets:   s.Machine.DroppedPackets(app.ID),
 			ExecTime:         app.FinishedAt(),
 			Energy:           perApp[i],
 			FinalKind:        Mesh,
@@ -203,6 +208,21 @@ func (r Results) MeanHops() float64 {
 	return h / n
 }
 
+// SurvivalRate returns the fraction of enqueued packets that survived to
+// delivery: delivered / (delivered + dropped) across apps. With no traffic
+// (or no faults) it is 1.
+func (r Results) SurvivalRate() float64 {
+	var delivered, dropped float64
+	for _, a := range r.Apps {
+		delivered += float64(a.DeliveredPackets)
+		dropped += float64(a.DroppedPackets)
+	}
+	if delivered+dropped == 0 {
+		return 1
+	}
+	return delivered / (delivered + dropped)
+}
+
 // MeanExecTime returns the mean completion cycle over budgeted apps, or -1
 // if any did not finish.
 func (r Results) MeanExecTime() float64 {
@@ -231,6 +251,9 @@ func (r Results) String() string {
 		fmt.Fprintf(&b, "  %-14s %v lat=%.1f (net %.1f + queue %.1f) hops=%.2f pkts=%d",
 			a.Profile, a.Region, a.AvgTotalLatency, a.AvgNetLatency, a.AvgQueueLatency,
 			a.AvgHops, a.DeliveredPackets)
+		if a.DroppedPackets > 0 {
+			fmt.Fprintf(&b, " drop=%d", a.DroppedPackets)
+		}
 		if a.ExecTime >= 0 {
 			fmt.Fprintf(&b, " exec=%d", a.ExecTime)
 		}

@@ -29,6 +29,10 @@ type AppSummary struct {
 	Hops     float64
 	Packets  int64
 
+	// Dropped is 0 when the line carries no drop= field (fault-free runs
+	// omit it).
+	Dropped int64
+
 	// ExecTime is -1 when the line carries no exec= field.
 	ExecTime int64
 
@@ -138,6 +142,12 @@ func parseAppLine(line string) (AppSummary, error) {
 	for i := 10; i < len(fields); i++ {
 		tok := fields[i]
 		switch {
+		case strings.HasPrefix(tok, "drop="):
+			v, perr := strconv.ParseInt(tok[len("drop="):], 10, 64)
+			if perr != nil {
+				return app, fmt.Errorf("adaptnoc: bad drop %q in %q", tok, line)
+			}
+			app.Dropped = v
 		case strings.HasPrefix(tok, "exec="):
 			v, perr := strconv.ParseInt(tok[len("exec="):], 10, 64)
 			if perr != nil {
