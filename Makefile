@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint quick check cover fuzzseeds serve-smoke fault-smoke
+.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint quick check cover fuzzseeds serve-smoke fault-smoke fleet-smoke
 
 NPROC := $(shell nproc)
 
@@ -20,6 +20,7 @@ check:
 	go test -race ./...
 	go test -run 'Fuzz' ./...
 	go run ./cmd/adaptnoc-serve -smoke
+	go run ./cmd/adaptnoc-fleet -smoke
 	$(MAKE) fault-smoke
 	$(MAKE) bench-tick-smoke
 	$(MAKE) bench-shard-smoke
@@ -48,7 +49,7 @@ fuzzseeds:
 # need the detector watching the region boundaries). It must stay clean
 # at any -parallel or -shards setting.
 race:
-	go test -race -short ./internal/runner ./internal/sim ./internal/noc ./internal/serve
+	go test -race -short ./internal/runner ./internal/sim ./internal/noc ./internal/serve ./internal/fleet
 	go test -race ./internal/exp -run DeterministicAcrossParallelism
 	go test -race -run 'TestSharded|TestFault' .
 
@@ -123,6 +124,14 @@ bench-shard-smoke:
 # over real HTTP, and verifies the cache-hit path (also part of check).
 serve-smoke:
 	go run ./cmd/adaptnoc-serve -smoke
+
+# fleet-smoke boots a coordinator plus two serve workers on loopback
+# ports, drives a small suite through the full fleet HTTP surface, and
+# verifies the merged tables byte-for-byte against a local run — then
+# resubmits the suite and verifies it completes without a single new
+# dispatch (also part of check).
+fleet-smoke:
+	go run ./cmd/adaptnoc-fleet -smoke
 
 # fault-smoke runs a small generated fault campaign end-to-end on a
 # static and an adaptive design with the invariant checker armed every

@@ -18,7 +18,8 @@
 // 18,19, area, wiring, timing, chars (latency-throughput curves),
 // ablation (design-choice ablations), switching (reconfiguration cost),
 // faults (latency + survival rate vs fault count; -faults sets the
-// counts), or "all" (default, excluding chars).
+// counts), or "all" (default). The figure list lives in exp.Units, shared
+// with the fleet coordinator so both render identical suites.
 //
 // -parallel bounds how many independent simulations run at once (0 = one
 // per CPU, 1 = serial). Results are identical at any setting; see
@@ -123,12 +124,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	want := map[string]bool{}
-	for _, f := range strings.Split(*figs, ",") {
-		want[strings.TrimSpace(f)] = true
-	}
-	all := want["all"]
-	sel := func(k string) bool { return all || want[k] }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "adaptnoc-experiments:", err)
 		os.Exit(1)
@@ -143,95 +138,37 @@ func main() {
 		t.Print(os.Stdout)
 	}
 
-	charCycles := adaptnoc.Cycle(60000)
-	if *quick {
-		charCycles = 20000
+	counts, err := parseCounts(*faultCounts)
+	if err != nil {
+		fail(err)
 	}
-
-	// Each unit regenerates one figure (or one shared batch of figures)
-	// at the parallelism carried in its Options argument.
-	type unit struct {
-		key string
-		run func(o exp.Options) ([]exp.Table, error)
+	params := exp.SuiteParams{
+		Figs:        strings.Split(*figs, ","),
+		Quick:       *quick,
+		FaultCounts: counts,
 	}
-	one := func(t exp.Table, err error) ([]exp.Table, error) {
-		return []exp.Table{t}, err
-	}
-	units := []unit{
-		{"mixed", func(o exp.Options) ([]exp.Table, error) {
-			m, err := exp.RunMixed(o, "bfs", "canneal", "ferret")
-			if err != nil {
-				return nil, err
-			}
-			var ts []exp.Table
-			if sel("7") {
-				ts = append(ts, m.Fig7())
-			}
-			if sel("10") {
-				ts = append(ts, m.Fig10())
-			}
-			if sel("11") {
-				ts = append(ts, m.Fig11())
-			}
-			if sel("12") {
-				ts = append(ts, m.Fig12())
-			}
-			if sel("13") {
-				ts = append(ts, m.Fig13())
-			}
-			return ts, nil
-		}},
-		{"8", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig8(o)) }},
-		{"9", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig9(o)) }},
-		{"14", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig14(o)) }},
-		{"15", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig15(o)) }},
-		{"16", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig16(o, *quick)) }},
-		{"17", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig17(o)) }},
-		{"18", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig18(o)) }},
-		{"19", func(o exp.Options) ([]exp.Table, error) { return one(exp.Fig19(o)) }},
-		{"switching", func(o exp.Options) ([]exp.Table, error) { return one(exp.TabSwitching(o.Parallelism)) }},
-		{"faults", func(o exp.Options) ([]exp.Table, error) {
-			counts, err := parseCounts(*faultCounts)
-			if err != nil {
-				return nil, err
-			}
-			return one(exp.RunFaults(o, counts))
-		}},
-		{"ablation", func(o exp.Options) ([]exp.Table, error) { return one(exp.Ablations(o)) }},
-		{"chars", func(o exp.Options) ([]exp.Table, error) {
-			return one(exp.CharacterizeTopologies(charCycles, o.Seed, o.Parallelism))
-		}},
-		{"area", func(exp.Options) ([]exp.Table, error) { return []exp.Table{exp.TabArea()}, nil }},
-		{"wiring", func(exp.Options) ([]exp.Table, error) { return []exp.Table{exp.TabWiring()}, nil }},
-		{"timing", func(exp.Options) ([]exp.Table, error) { return []exp.Table{exp.TabTiming()}, nil }},
-	}
-	selected := func(u unit) bool {
-		if u.key == "mixed" {
-			return sel("7") || sel("10") || sel("11") || sel("12") || sel("13")
-		}
-		return sel(u.key)
+	units, err := exp.Units(params)
+	if err != nil {
+		fail(err)
 	}
 
 	var bench benchFile
 	for _, u := range units {
-		if !selected(u) {
-			continue
-		}
 		if *benchJSON != "" {
 			serial := o
 			serial.Parallelism = 1
 			start := time.Now()
-			if _, err := u.run(serial); err != nil {
+			if _, err := u.Run(serial); err != nil {
 				fail(err)
 			}
 			serialSec := time.Since(start).Seconds()
 			start = time.Now()
-			ts, err := u.run(o)
+			ts, err := u.Run(o)
 			if err != nil {
 				fail(err)
 			}
 			parSec := time.Since(start).Seconds()
-			rec := benchUnit{Figure: u.key, SerialSec: serialSec, ParallelSec: parSec}
+			rec := benchUnit{Figure: u.Key, SerialSec: serialSec, ParallelSec: parSec}
 			if parSec > 0 {
 				rec.Speedup = serialSec / parSec
 			}
@@ -243,7 +180,7 @@ func main() {
 			}
 			continue
 		}
-		ts, err := u.run(o)
+		ts, err := u.Run(o)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"adaptnoc/internal/exp"
+	"adaptnoc/internal/fleet"
+	"adaptnoc/internal/serve"
+)
+
+// smokeManifest is the self-test suite: one remote-evaluated sweep (five
+// simulations, Fig. 19's exploration-rate sweep) plus one closed-form
+// table, so both the fleet path and the coordinator-local path render.
+func smokeManifest() fleet.Manifest {
+	return fleet.Manifest{Figs: []string{"19", "area"}, Quick: true}
+}
+
+// runSmoke drills the whole fleet surface on loopback ports: two real
+// serve daemons register over HTTP, a suite goes through POST /v1/suites,
+// and the merged output must be byte-identical to a local run of the same
+// manifest. A resubmission must then complete from the coordinator's
+// completed items without a single new dispatch.
+func runSmoke() error {
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+
+	workerURLs := make([]string, 2)
+	for i := range workerURLs {
+		srv := serve.New(serve.Options{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		workerURLs[i] = "http://" + ln.Addr().String()
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx)
+			hs.Shutdown(context.Background())
+		})
+	}
+
+	c := fleet.New(fleet.Options{
+		Lease:        2 * time.Second,
+		Poll:         50 * time.Millisecond,
+		HeartbeatTTL: 2 * time.Second,
+		JitterSeed:   1,
+	})
+	stops = append(stops, c.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: c.Handler()}
+	go hs.Serve(ln)
+	stops = append(stops, func() { hs.Shutdown(context.Background()) })
+	base := "http://" + ln.Addr().String()
+
+	for _, u := range workerURLs {
+		blob, _ := json.Marshal(map[string]string{"url": u})
+		resp, err := http.Post(base+"/v1/workers", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return fmt.Errorf("smoke: registering %s: %w", u, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("smoke: registering %s: %s", u, resp.Status)
+		}
+	}
+
+	// The reference: the exact planner this process would run locally.
+	m := smokeManifest()
+	ref, err := renderLocal(m)
+	if err != nil {
+		return fmt.Errorf("smoke: local reference: %w", err)
+	}
+
+	out, err := submitAndWait(base, m, 4*time.Minute)
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if !bytes.Equal(out, ref) {
+		return fmt.Errorf("smoke: fleet output differs from local run (%d vs %d bytes)", len(out), len(ref))
+	}
+	dispatches, err := counter(base, "adaptnoc_fleet_dispatches_total")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if dispatches == 0 {
+		return fmt.Errorf("smoke: suite completed without dispatching to workers")
+	}
+	if local, _ := counter(base, "adaptnoc_fleet_local_runs_total"); local != 0 {
+		return fmt.Errorf("smoke: %d evaluations fell back to the coordinator with workers registered", local)
+	}
+
+	// Resubmission: completed items answer instantly; dispatch count must
+	// not move.
+	out2, err := submitAndWait(base, m, time.Minute)
+	if err != nil {
+		return fmt.Errorf("smoke: resubmission: %w", err)
+	}
+	if !bytes.Equal(out2, ref) {
+		return fmt.Errorf("smoke: resubmitted suite output differs")
+	}
+	after, err := counter(base, "adaptnoc_fleet_dispatches_total")
+	if err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	if after != dispatches {
+		return fmt.Errorf("smoke: resubmission dispatched %d new jobs, want 0", after-dispatches)
+	}
+	return nil
+}
+
+// renderLocal runs the manifest's suite in-process and renders it the way
+// the coordinator does — the byte-identity reference.
+func renderLocal(m fleet.Manifest) ([]byte, error) {
+	tables, err := exp.RunSuite(m.Options(), m.Params())
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	for _, t := range tables {
+		t.Print(&buf)
+	}
+	return buf.Bytes(), nil
+}
+
+// submitAndWait posts a suite, polls it to completion, and fetches the
+// rendered output.
+func submitAndWait(base string, m fleet.Manifest, timeout time.Duration) ([]byte, error) {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/suites", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submit suite: %s: %s", resp.Status, body)
+	}
+	var info fleet.SuiteInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(timeout)
+	for info.State == fleet.SuiteRunning {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("suite %s stuck (%d/%d items)", info.ID, info.Done, info.Started)
+		}
+		time.Sleep(100 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/suites/" + info.ID)
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(body, &info); err != nil {
+			return nil, err
+		}
+	}
+	if info.State != fleet.SuiteDone {
+		return nil, fmt.Errorf("suite %s ended %s: %s", info.ID, info.State, info.Error)
+	}
+
+	resp, err = http.Get(base + "/v1/suites/" + info.ID + "/output")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch output: %s: %s", resp.Status, out)
+	}
+	return out, nil
+}
+
+// counter scrapes one counter from the coordinator's /metrics exposition.
+func counter(base, name string) (int64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}

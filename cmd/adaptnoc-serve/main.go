@@ -5,6 +5,10 @@
 //
 //	adaptnoc-serve -addr :8080 -cachedir /var/cache/adaptnoc
 //
+// With -enroll the daemon registers itself with a fleet coordinator
+// (adaptnoc-fleet) and heartbeats until shutdown; -public-url overrides
+// the advertised address when the daemon sits behind NAT or a proxy.
+//
 // Two self-driving modes exist for CI:
 //
 //	-smoke          start on a loopback port, submit one small simulation
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"adaptnoc"
+	"adaptnoc/internal/fleet"
 	"adaptnoc/internal/serve"
 )
 
@@ -46,6 +51,8 @@ func main() {
 		drainSecs  = flag.Int("drain", 60, "seconds to wait for in-flight jobs on shutdown")
 		smoke      = flag.Bool("smoke", false, "run the loopback self-test and exit")
 		benchJSON  = flag.String("benchjson", "", "measure cached-vs-uncached throughput, write JSON to this file, and exit")
+		enroll     = flag.String("enroll", "", "register with a fleet coordinator at this URL and heartbeat")
+		publicURL  = flag.String("public-url", "", "URL the coordinator should reach this daemon at (default derived from -addr)")
 	)
 	flag.Parse()
 
@@ -97,9 +104,27 @@ func main() {
 	}()
 	log.Printf("adaptnoc-serve listening on %s", ln.Addr())
 
+	// Fleet enrollment: register with the coordinator and heartbeat until
+	// shutdown, re-registering if the coordinator restarts. Failures are
+	// retried forever — a worker outliving its coordinator is normal.
+	var enrollCancel context.CancelFunc = func() {}
+	if *enroll != "" {
+		self := *publicURL
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		var ectx context.Context
+		ectx, enrollCancel = context.WithCancel(context.Background())
+		go func() {
+			log.Printf("enrolling with %s as %s", *enroll, self)
+			fleet.Enroll(ectx, *enroll, self, 5*time.Second)
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	enrollCancel()
 	log.Printf("draining (up to %ds)...", *drainSecs)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
 	defer cancel()

@@ -44,14 +44,10 @@ func Ablations(o Options) (Table, error) {
 	ms, err := mapJobs(o, variants, func(ctx context.Context, v variant) (metrics, error) {
 		cfg := o.buildConfig(adaptnoc.DesignAdaptNoC, []adaptnoc.AppSpec{spec})
 		v.apply(&cfg)
-		s, err := adaptnoc.NewSim(cfg)
+		res, err := o.evalConfig(ctx, cfg, o.Cycles, 0)
 		if err != nil {
 			return metrics{}, fmt.Errorf("exp: ablation %q: %w", v.name, err)
 		}
-		if err := s.RunContext(ctx, o.Cycles); err != nil {
-			return metrics{}, fmt.Errorf("exp: ablation %q: %w", v.name, err)
-		}
-		res := s.Results()
 		return metrics{lat: res.MeanLatency(), energy: res.Apps[0].Energy.TotalPJ()}, nil
 	})
 	if err != nil {

@@ -65,7 +65,25 @@ type Options struct {
 	// selects automatically by chip size. Like Parallelism this is an
 	// execution knob — results are byte-identical at any setting.
 	Shards int
+	// Eval, when set, replaces local execution for every simulation a
+	// driver would run: instead of NewSim + Run*, the driver hands the
+	// fully-built configuration and its run window to Eval and uses the
+	// Results it returns. Exactly one of cycles/maxCycles is non-zero —
+	// cycles for fixed-window runs, maxCycles for budgeted runs (advance
+	// until every budgeted app finishes or maxCycles elapse). Because the
+	// simulator is deterministic, any Eval that faithfully executes the
+	// configuration (another process, a serve daemon, a fleet of them)
+	// yields byte-identical tables; this is the seam the distributed
+	// experiment coordinator (internal/fleet) plugs into. Checkpoint and
+	// Shards options apply only to local execution and are ignored when
+	// Eval is set. Eval must be safe for concurrent use: drivers fan
+	// evaluations out at Options.Parallelism.
+	Eval Eval
 }
+
+// Eval evaluates one simulation configuration for a run window and returns
+// its Results (see Options.Eval).
+type Eval func(ctx context.Context, cfg adaptnoc.Config, cycles, maxCycles adaptnoc.Cycle) (adaptnoc.Results, error)
 
 // mapJobs fans the jobs over the runner pool at the options' parallelism
 // and returns results in job order. Workers receive the pool's context and
@@ -157,18 +175,23 @@ func (o Options) checkpointFile(cfg adaptnoc.Config) (string, error) {
 	return filepath.Join(o.CheckpointDir, hex.EncodeToString(sum[:16])+".ckpt"), nil
 }
 
-// runDesign executes one design for the options' window (or until budgeted
-// apps finish) and returns results. The context interrupts a run in flight
-// (within runCheckCycles kernel cycles) — pool cancellation does not wait
-// for the remaining simulation window. With CheckpointDir set the run
-// auto-checkpoints, and with Resume it continues from wherever the last
-// checkpoint stood — including from a kept final checkpoint, which skips
-// the run entirely.
-func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc.Results, error) {
-	cfg := o.buildConfig(d, apps)
+// evalConfig executes one fully-built configuration — locally, or through
+// Options.Eval when set — and returns its Results. Exactly one of
+// cycles/maxCycles must be non-zero: cycles runs a fixed window, maxCycles
+// runs until every budgeted application finishes or the cap elapses
+// (callers decide whether an unfinished run is an error). The local path
+// carries the execution knobs: Shards, and with CheckpointDir set the run
+// auto-checkpoints (content-addressed by canonical config) and Resume
+// continues from wherever the last checkpoint stood — including a kept
+// final checkpoint, which skips the run entirely. None of those knobs
+// changes what the run computes.
+func (o Options) evalConfig(ctx context.Context, cfg adaptnoc.Config, cycles, maxCycles adaptnoc.Cycle) (adaptnoc.Results, error) {
+	if o.Eval != nil {
+		return o.Eval(ctx, cfg, cycles, maxCycles)
+	}
 	ckpt, err := o.checkpointFile(cfg)
 	if err != nil {
-		return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+		return adaptnoc.Results{}, err
 	}
 	var s *adaptnoc.Sim
 	if o.Resume && ckpt != "" {
@@ -180,7 +203,7 @@ func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptn
 	}
 	if s == nil {
 		if s, err = adaptnoc.NewSim(cfg); err != nil {
-			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+			return adaptnoc.Results{}, err
 		}
 	}
 	if o.Shards != 0 {
@@ -189,10 +212,50 @@ func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptn
 			k = 0 // auto-select by chip size
 		}
 		s.SetShards(k)
-		// Release the shard workers once this design's results are taken;
+		// Release the shard workers once this run's results are taken;
 		// a fleet of finished simulations must not pin goroutines.
 		defer s.StopWorkers()
 	}
+	if maxCycles > 0 {
+		if ckpt == "" {
+			_, err = s.RunUntilFinishedContext(ctx, maxCycles)
+		} else {
+			_, err = s.RunUntilFinishedCheckpointed(ctx, maxCycles-s.Kernel.Now(), ckpt, o.CheckpointEvery)
+		}
+	} else {
+		if ckpt == "" {
+			err = s.RunContext(ctx, cycles)
+		} else {
+			err = s.RunContextCheckpointed(ctx, cycles-s.Kernel.Now(), ckpt, o.CheckpointEvery)
+		}
+	}
+	if err != nil {
+		return adaptnoc.Results{}, err
+	}
+	return s.Results(), nil
+}
+
+// unfinishedApps reports how many of cfg's budgeted applications did not
+// complete within res — the finished check for budgeted runs, computed
+// from Results so it holds for local and remote evaluation alike (an
+// unfinished budgeted app reports ExecTime -1).
+func unfinishedApps(cfg adaptnoc.Config, res adaptnoc.Results) int {
+	n := 0
+	for i, a := range cfg.Apps {
+		if a.InstrBudget > 0 && i < len(res.Apps) && res.Apps[i].ExecTime < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// runDesign executes one design for the options' window (or until budgeted
+// apps finish) and returns results. The context interrupts a run in flight
+// (within runCheckCycles kernel cycles) — pool cancellation does not wait
+// for the remaining simulation window. Execution happens through
+// evalConfig, so the checkpoint/shard knobs and the Eval hook all apply.
+func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptnoc.AppSpec) (adaptnoc.Results, error) {
+	cfg := o.buildConfig(d, apps)
 	budgeted := false
 	for _, a := range apps {
 		if a.InstrBudget > 0 {
@@ -202,29 +265,20 @@ func (o Options) runDesign(ctx context.Context, d adaptnoc.Design, apps []adaptn
 	}
 	if budgeted {
 		maxCycles := 100 * o.Cycles
-		var finished bool
-		if ckpt == "" {
-			finished, err = s.RunUntilFinishedContext(ctx, maxCycles)
-		} else {
-			finished, err = s.RunUntilFinishedCheckpointed(ctx, maxCycles-s.Kernel.Now(), ckpt, o.CheckpointEvery)
-		}
+		res, err := o.evalConfig(ctx, cfg, 0, maxCycles)
 		if err != nil {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
 		}
-		if !finished && !s.Machine.AllFinished() {
+		if unfinishedApps(cfg, res) > 0 {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v did not finish within %d cycles", d, maxCycles)
 		}
-	} else {
-		if ckpt == "" {
-			err = s.RunContext(ctx, o.Cycles)
-		} else {
-			err = s.RunContextCheckpointed(ctx, o.Cycles-s.Kernel.Now(), ckpt, o.CheckpointEvery)
-		}
-		if err != nil {
-			return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
-		}
+		return res, nil
 	}
-	return s.Results(), nil
+	res, err := o.evalConfig(ctx, cfg, o.Cycles, 0)
+	if err != nil {
+		return adaptnoc.Results{}, fmt.Errorf("exp: %v: %w", d, err)
+	}
+	return res, nil
 }
 
 // oracleStatics picks the statically best topology per application for the
@@ -254,19 +308,15 @@ func (o Options) oracleStatics(apps []adaptnoc.AppSpec) ([]adaptnoc.AppSpec, err
 		probe.Static = j.kind
 		probe.InstrBudget = 0
 		probe.ShareMCs = 0
-		s, err := adaptnoc.NewSim(adaptnoc.Config{
+		res, err := o.evalConfig(ctx, adaptnoc.Config{
 			Design:      adaptnoc.DesignAdaptNoRL,
 			Apps:        []adaptnoc.AppSpec{probe},
 			Seed:        o.Seed + uint64(j.kind),
 			EpochCycles: o.EpochCycles,
-		})
+		}, o.OracleProbeCycles, 0)
 		if err != nil {
 			return 0, err
 		}
-		if err := s.RunContext(ctx, o.OracleProbeCycles); err != nil {
-			return 0, err
-		}
-		res := s.Results()
 		a := res.Apps[0]
 		powerMW := a.Energy.TotalPJ() / (float64(res.Cycles) / 2.0) // 2 GHz
 		return powerMW * (a.AvgNetLatency + a.AvgQueueLatency), nil

@@ -44,22 +44,11 @@ func RunFaults(o Options, counts []int) (Table, error) {
 	results, err := mapJobs(o, jobs, func(ctx context.Context, j job) (adaptnoc.Results, error) {
 		cfg := o.buildConfig(j.design, apps)
 		cfg.Faults = schedules[j.count]
-		s, err := adaptnoc.NewSim(cfg)
+		res, err := o.evalConfig(ctx, cfg, o.Cycles, 0)
 		if err != nil {
 			return adaptnoc.Results{}, fmt.Errorf("exp: %v faults=%d: %w", j.design, j.count, err)
 		}
-		if o.Shards != 0 {
-			k := o.Shards
-			if k < 0 {
-				k = 0
-			}
-			s.SetShards(k)
-			defer s.StopWorkers()
-		}
-		if err := s.RunContext(ctx, o.Cycles); err != nil {
-			return adaptnoc.Results{}, fmt.Errorf("exp: %v faults=%d: %w", j.design, j.count, err)
-		}
-		return s.Results(), nil
+		return res, nil
 	})
 	if err != nil {
 		return Table{}, err

@@ -201,14 +201,7 @@ func hyperSweep(o Options, title, note string, vals []float64, refIdx int,
 		if err := apply(&cfg, v); err != nil {
 			return adaptnoc.Results{}, err
 		}
-		s, err := adaptnoc.NewSim(cfg)
-		if err != nil {
-			return adaptnoc.Results{}, err
-		}
-		if err := s.RunContext(ctx, o.Cycles); err != nil {
-			return adaptnoc.Results{}, err
-		}
-		return s.Results(), nil
+		return o.evalConfig(ctx, cfg, o.Cycles, 0)
 	})
 	if err != nil {
 		return Table{}, err

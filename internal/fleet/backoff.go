@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"adaptnoc/internal/sim"
+)
+
+// Requeue backoff shape: exponential from base to cap, with full jitter on
+// the upper half so a burst of failures (one dead worker dropping many
+// leases at once) spreads its retries instead of thundering back in step.
+const (
+	backoffBase = 250 * time.Millisecond
+	backoffCap  = 30 * time.Second
+)
+
+// jitterSource is a mutex-guarded deterministic RNG: the coordinator's
+// backoff jitter and steal decisions draw from it, so a seeded coordinator
+// retries on a reproducible schedule (tests pin the seed; production seeds
+// from the clock).
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *sim.RNG
+}
+
+func newJitterSource(seed uint64) *jitterSource {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return &jitterSource{rng: sim.NewRNG(seed)}
+}
+
+// backoff returns the wait before retry number attempt (1-based): an
+// exponential envelope with the actual wait drawn uniformly from
+// [envelope/2, envelope).
+func (j *jitterSource) backoff(attempt int) time.Duration {
+	d := backoffBase
+	for i := 1; i < attempt && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	half := int64(d / 2)
+	j.mu.Lock()
+	w := half + int64(j.rng.Uint64()%uint64(half))
+	j.mu.Unlock()
+	return time.Duration(w)
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"adaptnoc/internal/serve"
+)
+
+// ItemState is a work item's reconcile position.
+type ItemState string
+
+// Item lifecycle: pending → leased → done, with leased → pending requeues
+// on worker failure, lease loss, or backpressure, and a terminal failed
+// state for deterministic simulation errors and exhausted retries.
+const (
+	ItemPending ItemState = "pending"
+	ItemLeased  ItemState = "leased"
+	ItemDone    ItemState = "done"
+	ItemFailed  ItemState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s ItemState) Terminal() bool { return s == ItemDone || s == ItemFailed }
+
+// item is one content-addressed evaluation: a canonical serve request plus
+// everything the reconcile loop learns about it. Items are shared — every
+// suite that needs the same key waits on the same item, and exactly one
+// evaluate call drives it at a time (the driver token below).
+type item struct {
+	key string
+	req serve.Request // canonical
+
+	mu        sync.Mutex
+	state     ItemState
+	driving   bool   // a drive loop currently owns this item
+	worker    string // worker id of the current (first) lease, for display
+	attempts  int    // dispatch attempts so far
+	retries   int    // requeues after a lost lease or failed dispatch
+	stolen    int    // duplicate dispatches to idle workers
+	result    []byte // marshaled Results when done
+	errMsg    string
+	started   time.Time
+	ckptBlob  []byte // latest shadowed checkpoint, for handoff
+	ckptCycle int64
+	done      chan struct{} // closed on reaching a terminal state
+}
+
+func newItem(key string, req serve.Request) *item {
+	return &item{key: key, req: req, state: ItemPending, started: time.Now(), done: make(chan struct{})}
+}
+
+// tryDrive claims the item's driver token. One waiter at a time runs the
+// reconcile loop; the rest just block on done (and can take over if the
+// driver's suite is torn down mid-flight).
+func (it *item) tryDrive() bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.driving || it.state.Terminal() {
+		return false
+	}
+	it.driving = true
+	return true
+}
+
+// releaseDrive returns the driver token (the item may still be pending —
+// a canceled driver leaves it for the next waiter).
+func (it *item) releaseDrive() {
+	it.mu.Lock()
+	it.driving = false
+	if it.state == ItemLeased {
+		it.state = ItemPending
+		it.worker = ""
+	}
+	it.mu.Unlock()
+}
+
+// setLeased marks the item leased to a worker and counts the dispatch.
+func (it *item) setLeased(workerID string) {
+	it.mu.Lock()
+	it.state = ItemLeased
+	it.worker = workerID
+	it.attempts++
+	it.mu.Unlock()
+}
+
+// setPending requeues the item after a lost attempt.
+func (it *item) setPending() {
+	it.mu.Lock()
+	it.state = ItemPending
+	it.worker = ""
+	it.retries++
+	it.mu.Unlock()
+}
+
+// complete finishes the item exactly once; later calls (a stolen duplicate
+// finishing second) report false and change nothing.
+func (it *item) complete(result []byte) bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.state.Terminal() {
+		return false
+	}
+	it.state = ItemDone
+	it.result = result
+	it.ckptBlob = nil // spent; the result supersedes it
+	close(it.done)
+	return true
+}
+
+// fail finishes the item with an error exactly once.
+func (it *item) fail(msg string) bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.state.Terminal() {
+		return false
+	}
+	it.state = ItemFailed
+	it.errMsg = msg
+	close(it.done)
+	return true
+}
+
+// markStolen counts a duplicate dispatch.
+func (it *item) markStolen() {
+	it.mu.Lock()
+	it.stolen++
+	it.mu.Unlock()
+}
+
+// outcome returns the terminal payload: the state plus, when terminal, the
+// marshaled result or the error message.
+func (it *item) outcome() (ItemState, []byte, string) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.state, it.result, it.errMsg
+}
+
+// setCheckpoint shadows a fresher checkpoint blob for handoff.
+func (it *item) setCheckpoint(blob []byte, cycle int64) {
+	it.mu.Lock()
+	if cycle > it.ckptCycle {
+		it.ckptBlob, it.ckptCycle = blob, cycle
+	}
+	it.mu.Unlock()
+}
+
+// checkpointData returns the latest shadowed blob, or nil.
+func (it *item) checkpointData() ([]byte, int64) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.ckptBlob, it.ckptCycle
+}
+
+// snapshot returns the fields the status surfaces render.
+func (it *item) snapshot() (state ItemState, worker string, attempts, retries, stolen int) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.state, it.worker, it.attempts, it.retries, it.stolen
+}

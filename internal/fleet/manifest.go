@@ -1,0 +1,101 @@
+// Package fleet scales the experiment suite across many serve daemons: a
+// coordinator decomposes a suite manifest into content-addressed work
+// items (key = serve.RequestKey) and drives them to completion against a
+// registered set of adaptnoc-serve workers, reconcile-loop style — desired
+// state is the suite manifest, observed state is the per-key results, and
+// the loop leases, retries with jittered exponential backoff, steals work
+// from slow nodes, and ships checkpoint blobs so a dead worker's
+// half-finished job resumes on a replacement instead of recomputing.
+//
+// Byte identity is the design anchor, not an afterthought: the coordinator
+// runs the exact planner and table-assembly code the adaptnoc-experiments
+// CLI runs (exp.RunSuite), routing only the simulation evaluations through
+// the fleet via exp.Options.Eval. Determinism end-to-end — equal canonical
+// configs produce identical Results wherever they execute — makes the
+// merged table byte-identical to a local run of the same suite, including
+// runs spliced across nodes through checkpoint handoff.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adaptnoc"
+	"adaptnoc/internal/exp"
+)
+
+// Manifest is the body of POST /v1/suites: the declarative description of
+// one experiment suite, mirroring the adaptnoc-experiments flags so the
+// same selection runs identically on either surface.
+type Manifest struct {
+	// Figs selects figures exactly like the CLI's -fig (empty = "all").
+	Figs []string `json:"figs,omitempty"`
+	// Quick selects the reduced-fidelity options (the CLI's -quick).
+	Quick bool `json:"quick,omitempty"`
+	// Seed overrides the random seed (0 keeps the default).
+	Seed uint64 `json:"seed,omitempty"`
+	// FaultCounts are the fault counts for the faults unit (the CLI's
+	// -faults; nil = 0,2,4,8).
+	FaultCounts []int `json:"faultCounts,omitempty"`
+	// CharCycles overrides the chars unit's window (0 = the default).
+	CharCycles adaptnoc.Cycle `json:"charCycles,omitempty"`
+}
+
+// Params returns the suite's figure-selection half.
+func (m Manifest) Params() exp.SuiteParams {
+	return exp.SuiteParams{
+		Figs:        m.Figs,
+		Quick:       m.Quick,
+		FaultCounts: m.FaultCounts,
+		CharCycles:  m.CharCycles,
+	}
+}
+
+// Options returns the cost/seed half, derived exactly the way the CLI
+// derives it: Default or Quick options, then the seed override. Execution
+// knobs (Parallelism, Eval) are the coordinator's to set — they never
+// change what a suite computes.
+func (m Manifest) Options() exp.Options {
+	o := exp.DefaultOptions()
+	if m.Quick {
+		o = exp.QuickOptions()
+	}
+	if m.Seed != 0 {
+		o.Seed = m.Seed
+	}
+	return o
+}
+
+// Validate resolves the figure selection, surfacing unknown keys now
+// rather than mid-suite.
+func (m Manifest) Validate() error {
+	if _, err := exp.Units(m.Params()); err != nil {
+		return err
+	}
+	for i, n := range m.FaultCounts {
+		if n < 0 {
+			return fmt.Errorf("fleet: faultCounts[%d] = %d: want non-negative", i, n)
+		}
+	}
+	return nil
+}
+
+// ParseManifest strictly decodes and validates a suite manifest: unknown
+// fields and trailing garbage are errors, like serve.ParseRequest.
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("fleet: parsing manifest: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Manifest{}, fmt.Errorf("fleet: trailing data after manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,68 @@
+package serve
+
+import "sync"
+
+// handoffBytes bounds the in-memory handoff store. Gzipped checkpoint
+// blobs run tens of kilobytes, so the default holds hundreds of in-flight
+// handoffs; FIFO eviction keeps a misbehaving client from pinning memory.
+const handoffBytes = 64 << 20
+
+// handoffStore holds checkpoint blobs a coordinator ships between workers:
+// PUT /v1/checkpoints/{key} deposits the blob a dead worker left behind,
+// and the next ?resume=1 submission for the same key withdraws it and
+// restores instead of recomputing. The store is a pure optimization —
+// determinism means a missing or evicted blob only costs the fast-forward.
+type handoffStore struct {
+	mu    sync.Mutex
+	size  int64
+	blobs map[string][]byte
+	order []string // insertion order, for FIFO eviction
+}
+
+func newHandoffStore() *handoffStore {
+	return &handoffStore{blobs: make(map[string][]byte)}
+}
+
+// put deposits a blob under a request key, replacing any previous deposit
+// and evicting the oldest entries once the byte budget is exceeded.
+func (h *handoffStore) put(key string, blob []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if old, ok := h.blobs[key]; ok {
+		h.size -= int64(len(old))
+		for i, k := range h.order {
+			if k == key {
+				h.order = append(h.order[:i], h.order[i+1:]...)
+				break
+			}
+		}
+	}
+	h.blobs[key] = blob
+	h.order = append(h.order, key)
+	h.size += int64(len(blob))
+	for h.size > handoffBytes && len(h.order) > 1 {
+		oldest := h.order[0]
+		h.order = h.order[1:]
+		h.size -= int64(len(h.blobs[oldest]))
+		delete(h.blobs, oldest)
+	}
+}
+
+// take withdraws and removes the blob for a key, or returns nil.
+func (h *handoffStore) take(key string) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	blob, ok := h.blobs[key]
+	if !ok {
+		return nil
+	}
+	delete(h.blobs, key)
+	h.size -= int64(len(blob))
+	for i, k := range h.order {
+		if k == key {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	return blob
+}

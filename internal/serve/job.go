@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"time"
 )
 
 // State is a job's lifecycle position.
@@ -57,6 +58,11 @@ type JobInfo struct {
 	// job's request — a canceled job with Checkpoint set resumes from where
 	// it stopped instead of from cycle zero.
 	Checkpoint bool `json:"checkpoint,omitempty"`
+	// CheckpointCycle is the simulated clock of the job's latest in-memory
+	// snapshot (lease-scoped jobs snapshot once per progress slice; 0 means
+	// none yet). A fleet coordinator polls it to decide when to shadow-fetch
+	// GET /v1/jobs/{id}/checkpoint for handoff.
+	CheckpointCycle int64 `json:"checkpointCycle,omitempty"`
 }
 
 // job is the server-side record.
@@ -65,19 +71,23 @@ type job struct {
 	key     string
 	req     Request // canonical
 	hit     bool
-	resumed bool // created via the resume endpoint
+	resumed bool          // created via the resume endpoint or ?resume=1
+	lease   time.Duration // non-zero for lease-scoped jobs; set before admit
 	ctx     context.Context
 	cancel  context.CancelFunc
 
-	mu           sync.Mutex
-	state        State
-	seq          int64
-	errMsg       string
-	result       []byte // marshaled Results, nil unless done
-	checkpointed bool   // a mid-run checkpoint exists on disk
-	events       []Event
-	subs         []chan Event
-	done         chan struct{} // closed on reaching a terminal state
+	mu            sync.Mutex
+	state         State
+	seq           int64
+	errMsg        string
+	result        []byte // marshaled Results, nil unless done
+	checkpointed  bool   // a mid-run checkpoint exists on disk
+	snapshot      []byte // latest in-memory checkpoint (lease-scoped jobs)
+	snapshotCycle int64
+	leaseTimer    *time.Timer // cancels the job when the lease lapses
+	events        []Event
+	subs          []chan Event
+	done          chan struct{} // closed on reaching a terminal state
 }
 
 func newJob(id, key string, req Request) *job {
@@ -102,7 +112,52 @@ func (j *job) info() JobInfo {
 		ID: j.id, State: j.state, Key: j.key, Cache: cache,
 		Seq: j.seq, Error: j.errMsg, Results: j.result,
 		Resumed: j.resumed, Checkpoint: j.checkpointed,
+		CheckpointCycle: j.snapshotCycle,
 	}
+}
+
+// armLease starts the lease clock on a lease-scoped job: unless renewed,
+// the job is canceled when the lease lapses (the queue wait counts — a
+// coordinator renews from admission onward). No-op without a lease.
+func (j *job) armLease() {
+	if j.lease <= 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.leaseTimer != nil {
+		return
+	}
+	j.leaseTimer = time.AfterFunc(j.lease, j.cancel)
+}
+
+// renewLease pushes the lease deadline out by one lease interval. It
+// reports false when the job carries no lease or already ended — the
+// caller turned its back too long and must reschedule, not renew.
+func (j *job) renewLease() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.leaseTimer == nil || j.state.Terminal() {
+		return false
+	}
+	j.leaseTimer.Stop()
+	j.leaseTimer.Reset(j.lease)
+	return true
+}
+
+// setSnapshot records the latest in-memory checkpoint blob.
+func (j *job) setSnapshot(blob []byte, cycle int64) {
+	j.mu.Lock()
+	j.snapshot = blob
+	j.snapshotCycle = cycle
+	j.mu.Unlock()
+}
+
+// snapshotData returns the latest in-memory checkpoint blob, or nil.
+func (j *job) snapshotData() ([]byte, int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshot, j.snapshotCycle
 }
 
 // setRunning moves queued → running; it reports false when the job already
@@ -146,6 +201,10 @@ func (j *job) finish(state State, seq int64, result []byte, errMsg string) bool 
 	j.seq = seq
 	j.result = result
 	j.errMsg = errMsg
+	if j.leaseTimer != nil {
+		j.leaseTimer.Stop()
+		j.leaseTimer = nil
+	}
 	for _, ch := range j.subs {
 		close(ch)
 	}

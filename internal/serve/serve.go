@@ -54,14 +54,21 @@ type Options struct {
 	// cycle zero; determinism makes the spliced run's results byte-identical
 	// to an uninterrupted one.
 	CheckpointDir string
+	// JitterSeed seeds the Retry-After jitter on 429 responses (0 seeds
+	// from the clock). Tests set it for a reproducible sequence; the values
+	// themselves are uniform over 1-5 seconds either way.
+	JitterSeed uint64
 }
 
 // Server is the simulation daemon. Create with New, mount Handler on an
 // http.Server, and call Shutdown to drain.
 type Server struct {
-	opts  Options
-	cache *Cache
-	mux   *http.ServeMux
+	opts    Options
+	cache   *Cache
+	handoff *handoffStore
+	mux     *http.ServeMux
+
+	jitter atomic.Uint64 // splitmix64 state for Retry-After jitter
 
 	// admitMu serializes admission against shutdown: queue sends happen
 	// under it, so closing the queue (also under it) can never race a send.
@@ -100,10 +107,16 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		cache:   NewCache(opts.CacheBytes, opts.CacheDir),
+		handoff: newHandoffStore(),
 		queue:   make(chan *job, opts.QueueDepth),
 		jobs:    make(map[string]*job),
 		latency: sim.NewHistogram(latencyBucketMS, latencyBuckets),
 	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	s.jitter.Store(seed)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -111,8 +124,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/lease", s.handleLease)
+	s.mux.HandleFunc("PUT /v1/checkpoints/{key}", s.handlePutCheckpoint)
 	if opts.CheckpointDir != "" {
 		os.MkdirAll(opts.CheckpointDir, 0o755)
 	}
@@ -245,9 +261,19 @@ func (s *Server) saveCheckpoint(ctx context.Context, j *job, simu *adaptnoc.Sim,
 func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	ckpt := s.checkpointPath(j.key)
 	var simu *adaptnoc.Sim
-	if j.resumed && ckpt != "" {
-		if restored, err := adaptnoc.RestoreSimFromFile(ckpt); err == nil {
-			simu = restored
+	if j.resumed {
+		// Handed-off blobs (shipped from another node's snapshot via
+		// PUT /v1/checkpoints/{key}) win over this node's own disk
+		// checkpoint: the handoff is why the coordinator asked to resume.
+		if blob := s.handoff.take(j.key); blob != nil {
+			if restored, err := adaptnoc.RestoreSim(blob); err == nil {
+				simu = restored
+			}
+		}
+		if simu == nil && ckpt != "" {
+			if restored, err := adaptnoc.RestoreSimFromFile(ckpt); err == nil {
+				simu = restored
+			}
 		}
 		// A missing or unreadable checkpoint falls back to a fresh run:
 		// determinism makes restore an optimization, never a correctness
@@ -268,6 +294,15 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 			RouterSkipRate:  ts.RouterSkipRate(),
 			ChannelSkipRate: ts.ChannelSkipRate(),
 		})
+		// Lease-scoped jobs shadow their state in memory once per slice so
+		// a coordinator can fetch the latest blob for handoff even after
+		// this process dies abruptly mid-poll (the coordinator shadows it
+		// during routine job polling). Ordinary jobs skip the encode.
+		if j.lease > 0 {
+			if blob, err := simu.Checkpoint(); err == nil {
+				j.setSnapshot(blob, int64(simu.Kernel.Now()))
+			}
+		}
 	}
 	if j.req.Budgeted() {
 		for remaining := j.req.MaxCycles - simu.Kernel.Now(); remaining > 0; {
@@ -334,7 +369,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
-	s.admit(w, newJob(id, key, req))
+	j := newJob(id, key, req)
+	if lv := r.URL.Query().Get("lease"); lv != "" {
+		d, err := time.ParseDuration(lv)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("lease %q: want a positive Go duration (e.g. 30s)", lv))
+			return
+		}
+		j.lease = d
+	}
+	if r.URL.Query().Get("resume") == "1" {
+		// The job restores the handed-off (or disk) checkpoint for its key
+		// when one exists and runs only the remaining cycles; a fresh run
+		// otherwise. Results are byte-identical either way.
+		j.resumed = true
+	}
+	s.admit(w, j)
 }
 
 // admit runs the shared admission path for fresh submissions and resumes:
@@ -361,12 +411,29 @@ func (s *Server) admit(w http.ResponseWriter, j *job) {
 		s.admitMu.Unlock()
 	default:
 		s.admitMu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		// Jittered Retry-After: a fixed value would synchronize every
+		// backed-off client (a coordinator fleet most of all) into retry
+		// storms that slam the queue in lockstep.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		httpError(w, http.StatusTooManyRequests, "job queue full")
 		return
 	}
 	s.addJob(j)
+	j.armLease()
 	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// retryAfterSeconds draws a uniform 1-5 second Retry-After from the
+// server's splitmix64 jitter stream (lock-free; the atomic add is the
+// generator's state step).
+func (s *Server) retryAfterSeconds() int64 {
+	x := s.jitter.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return 1 + int64(x%5)
 }
 
 // handleResume admits a new job for a canceled job's request. When the
@@ -390,6 +457,80 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	j := newJob(id, prev.key, prev.req)
 	j.resumed = true
 	s.admit(w, j)
+}
+
+// handleLease renews a lease-scoped job's lease by one interval. 409 when
+// the job carries no lease or already ended — the client must resubmit,
+// not renew.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !j.renewLease() {
+		httpError(w, http.StatusConflict, "job has no active lease (submit with ?lease=<duration> and renew before it lapses)")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleCheckpoint serves the job's latest checkpoint blob for handoff:
+// the in-memory per-slice snapshot of a lease-scoped job when one exists,
+// else the cancel-time disk checkpoint. The X-Checkpoint-Cycle header
+// carries the blob's simulated clock.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	blob, cycle := j.snapshotData()
+	if blob == nil {
+		if p := s.checkpointPath(j.key); p != "" {
+			blob, _ = os.ReadFile(p)
+		}
+	}
+	if blob == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "no checkpoint for this job",
+			"hint":  "lease-scoped jobs (?lease=<duration>) snapshot every progress slice; canceled jobs checkpoint when the daemon runs with -checkpointdir",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Checkpoint-Cycle", fmt.Sprintf("%d", cycle))
+	w.Write(blob)
+}
+
+// maxCheckpointBytes bounds a handed-off checkpoint blob; gzipped blobs
+// run tens of kilobytes, so 32 MiB is generous headroom.
+const maxCheckpointBytes = 32 << 20
+
+// handlePutCheckpoint deposits a checkpoint blob for a request key so the
+// next ?resume=1 submission of that request restores it instead of
+// recomputing — the coordinator's handoff path when it moves a dead
+// worker's half-finished job to this node.
+func (s *Server) handlePutCheckpoint(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading checkpoint: %v", err))
+		return
+	}
+	if len(blob) == 0 {
+		httpError(w, http.StatusBadRequest, "empty checkpoint blob")
+		return
+	}
+	// Decode now, not at resume time: a corrupt blob answers 400 to the
+	// depositor instead of silently costing the replacement run its
+	// fast-forward.
+	if _, err := adaptnoc.RestoreSim(blob); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid checkpoint: %v", err))
+		return
+	}
+	s.handoff.put(key, blob)
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "bytes": len(blob)})
 }
 
 func (s *Server) addJob(j *job) {

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -679,4 +680,247 @@ func TestResumeWithoutCheckpointDir(t *testing.T) {
 	waitState(t, base, resumed.ID, serve.StateRunning, 10*time.Second)
 	cancelJob(t, base, resumed.ID)
 	waitTerminal(t, base, resumed.ID, 10*time.Second)
+}
+
+// submitQuery posts a request with extra query parameters (?lease=,
+// ?resume=1) appended to /v1/sims.
+func submitQuery(t *testing.T, base string, req serve.Request, query string) (serve.JobInfo, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sims?"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info serve.JobInfo
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(blob, &info); err != nil {
+			t.Fatalf("decoding %s: %v", blob, err)
+		}
+	}
+	return info, resp
+}
+
+// A full queue's Retry-After must be jittered — uniform over 1-5 seconds,
+// not a constant — so a fleet of backed-off coordinators cannot
+// synchronize into retry storms.
+func TestRetryAfterJittered(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1, QueueDepth: 1, JitterSeed: 7})
+	running, _ := submit(t, base, slowRequest(90))
+	waitState(t, base, running.ID, serve.StateRunning, 10*time.Second)
+	queued, _ := submit(t, base, slowRequest(91))
+
+	seen := map[string]bool{}
+	for i := 0; i < 16; i++ {
+		_, resp := submit(t, base, slowRequest(92))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("over-capacity submission %d: %s, want 429", i, resp.Status)
+		}
+		ra := resp.Header.Get("Retry-After")
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 || secs > 5 {
+			t.Fatalf("Retry-After = %q, want an integer in [1,5]", ra)
+		}
+		seen[ra] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("16 rejections all answered Retry-After %v; want jitter", seen)
+	}
+	cancelJob(t, base, queued.ID)
+	cancelJob(t, base, running.ID)
+	waitTerminal(t, base, running.ID, 10*time.Second)
+}
+
+// A lease-scoped job whose lease lapses without renewal cancels itself.
+func TestLeaseExpiryCancels(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	info, resp := submitQuery(t, base, slowRequest(93), "lease=150ms")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("lease submission: %s", resp.Status)
+	}
+	done := waitTerminal(t, base, info.ID, 30*time.Second)
+	if done.State != serve.StateCanceled {
+		t.Fatalf("lapsed lease ended %s, want canceled", done.State)
+	}
+}
+
+// Renewing a lease keeps the job alive to completion; renewing a job that
+// has no lease is a conflict, as is a malformed lease duration.
+func TestLeaseRenewal(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	req := fastRequest(94)
+	req.Cycles = 120000 // long enough that the lease must be renewed at least once
+	info, resp := submitQuery(t, base, req, "lease=1s")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("lease submission: %s", resp.Status)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getJob(t, base, info.ID)
+		if st.State.Terminal() {
+			if st.State != serve.StateDone {
+				t.Fatalf("renewed job ended %s: %s", st.State, st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		r, err := http.Post(base+"/v1/jobs/"+info.ID+"/lease", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK && r.StatusCode != http.StatusConflict {
+			t.Fatalf("renewal: %s", r.Status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	plain, _ := submit(t, base, fastRequest(95))
+	waitTerminal(t, base, plain.ID, 30*time.Second)
+	r, err := http.Post(base+"/v1/jobs/"+plain.ID+"/lease", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Errorf("renewal of a lease-less job: %s, want 409", r.Status)
+	}
+	if _, resp := submitQuery(t, base, fastRequest(96), "lease=banana"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed lease: %s, want 400", resp.Status)
+	}
+}
+
+// GET /v1/jobs/{id}/checkpoint serves a lease-scoped job's latest
+// in-memory snapshot with its simulated clock, and answers 404 with a
+// remediation hint when no checkpoint exists.
+func TestJobCheckpointEndpoint(t *testing.T) {
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+
+	// No checkpoint: 404 with a hint naming the lease mechanism.
+	plain, _ := submit(t, base, fastRequest(97))
+	waitTerminal(t, base, plain.ID, 30*time.Second)
+	resp, err := http.Get(base + "/v1/jobs/" + plain.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("checkpoint of a lease-less job: %s, want 404", resp.Status)
+	}
+	if !strings.Contains(string(blob), "hint") || !strings.Contains(string(blob), "lease") {
+		t.Errorf("404 body lacks a hint: %s", blob)
+	}
+
+	// A leased job snapshots every slice; the endpoint serves the blob.
+	leased, _ := submitQuery(t, base, slowRequest(98), "lease=120s")
+	deadline := time.Now().Add(30 * time.Second)
+	for getJob(t, base, leased.ID).CheckpointCycle == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leased job never reported a snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + leased.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint fetch: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	cyc, err := strconv.ParseInt(resp.Header.Get("X-Checkpoint-Cycle"), 10, 64)
+	if err != nil || cyc <= 0 {
+		t.Errorf("X-Checkpoint-Cycle = %q, want a positive cycle", resp.Header.Get("X-Checkpoint-Cycle"))
+	}
+	if _, err := adaptnoc.RestoreSim(blob); err != nil {
+		t.Errorf("served blob does not restore: %v", err)
+	}
+	cancelJob(t, base, leased.ID)
+	waitTerminal(t, base, leased.ID, 10*time.Second)
+}
+
+// The handoff path end to end on one daemon: snapshot a leased job, kill
+// it, deposit the blob under its key, and resume by key — the spliced
+// result must be byte-identical to an uninterrupted run.
+func TestCheckpointHandoffByteIdentical(t *testing.T) {
+	req := fastRequest(99)
+	req.Cycles = 300000
+
+	_, refBase := newTestServer(t, serve.Options{Workers: 1})
+	refInfo, _ := submit(t, refBase, req)
+	refDone := waitTerminal(t, refBase, refInfo.ID, 60*time.Second)
+	if refDone.State != serve.StateDone {
+		t.Fatalf("reference job ended %s: %s", refDone.State, refDone.Error)
+	}
+
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	leased, _ := submitQuery(t, base, req, "lease=120s")
+	deadline := time.Now().Add(30 * time.Second)
+	for getJob(t, base, leased.ID).CheckpointCycle == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leased job never reported a snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + leased.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint fetch: %s", resp.Status)
+	}
+	cancelJob(t, base, leased.ID)
+	waitTerminal(t, base, leased.ID, 10*time.Second)
+
+	put, err := http.NewRequest(http.MethodPut, base+"/v1/checkpoints/"+leased.Key, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint deposit: %s", presp.Status)
+	}
+
+	resumed, rresp := submitQuery(t, base, req, "resume=1")
+	if rresp.StatusCode != http.StatusAccepted || !resumed.Resumed {
+		t.Fatalf("resume submission: %s resumed=%v", rresp.Status, resumed.Resumed)
+	}
+	done := waitTerminal(t, base, resumed.ID, 60*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("resumed job ended %s: %s", done.State, done.Error)
+	}
+	if !bytes.Equal(done.Results, refDone.Results) {
+		t.Error("handed-off resume differs from the uninterrupted run")
+	}
+
+	// A corrupt deposit is refused at the door.
+	bad, _ := http.NewRequest(http.MethodPut, base+"/v1/checkpoints/"+leased.Key, strings.NewReader("not a checkpoint"))
+	bresp, err := http.DefaultClient.Do(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt deposit: %s, want 400", bresp.Status)
+	}
 }
