@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint quick check cover fuzzseeds serve-smoke fault-smoke fleet-smoke
+.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint bench-checkpoint-smoke quick check cover fuzzseeds serve-smoke fault-smoke fleet-smoke
 
 NPROC := $(shell nproc)
 
@@ -17,13 +17,14 @@ check:
 	go vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
-	go test -race ./...
+	go test -race -timeout 30m ./...
 	go test -run 'Fuzz' ./...
 	go run ./cmd/adaptnoc-serve -smoke
 	go run ./cmd/adaptnoc-fleet -smoke
 	$(MAKE) fault-smoke
 	$(MAKE) bench-tick-smoke
 	$(MAKE) bench-shard-smoke
+	$(MAKE) bench-checkpoint-smoke
 	$(MAKE) cover
 
 # cover runs the suite with cross-package coverage (root-package tests
@@ -146,10 +147,27 @@ fault-smoke:
 bench-serve:
 	go run ./cmd/adaptnoc-serve -benchjson BENCH_serve.json
 
-# bench-checkpoint measures checkpoint blob size, encode time, and restore
-# time per design point and records BENCH_checkpoint.json.
+# bench-checkpoint measures full-checkpoint blob size/encode/restore time
+# per design point plus a warm rolling delta chain at -checkpoint-every
+# 1000 granularity (the producer pattern serve and ChainWriter use),
+# records BENCH_checkpoint.json, and gates the steady-regime rows: a delta
+# must be at least 5x smaller and 3x faster to encode than the full
+# snapshot it chains from. The measurement also proves base + deltas
+# reconstructs the full blob byte-for-byte at the chain tip's cycle.
 bench-checkpoint:
 	go test -run TestCheckpointBenchRecord -checkpoint-benchjson BENCH_checkpoint.json .
+	go run ./cmd/adaptnoc-benchdiff -checkpoint BENCH_checkpoint.json
+
+# bench-checkpoint-smoke is the fast gate wired into check: one reduced
+# steady-regime measurement (delta encode + the base-plus-deltas restore
+# identity assertion inside the bench) plus the benchdiff checkpoint
+# parser end-to-end. Timing is meaningless at this length, so the encode
+# gate is opened; the size ratio is deterministic enough to keep armed low.
+bench-checkpoint-smoke:
+	go test -run TestCheckpointBenchRecord -checkpoint-bench-smoke \
+		-checkpoint-benchjson /tmp/adaptnoc_bench_checkpoint_smoke.json .
+	go run ./cmd/adaptnoc-benchdiff -checkpoint /tmp/adaptnoc_bench_checkpoint_smoke.json \
+		-min-delta-size-ratio 2 -min-delta-encode-speedup 0
 
 quick:
 	go run ./cmd/adaptnoc-experiments -quick

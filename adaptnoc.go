@@ -217,6 +217,11 @@ type Sim struct {
 	specs   []AppSpec
 	subnocs []*fabric.SubNoC
 	faults  *fault.Engine // nil unless Cfg.Faults is non-empty
+
+	// delta caches the sections of the most recent Checkpoint or
+	// CheckpointDelta so the next delta can skip re-encoding quiescent
+	// layers (see checkpoint.go). Nil until the first checkpoint.
+	delta *deltaCache
 }
 
 // netConfig derives the per-design microarchitecture (Section IV-A's

@@ -30,6 +30,7 @@ package adaptnoc
 // wrote it.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -39,71 +40,327 @@ import (
 	"adaptnoc/internal/snap"
 )
 
+// deltaCache remembers the sections of the most recent checkpoint so the
+// next CheckpointDelta can (a) diff against them with part-level
+// alignment and (b) skip re-encoding layers whose generation counters
+// have not moved since. It is an encoder-side cache only: dropping it
+// never changes what restores, just how much work the next delta costs.
+type deltaCache struct {
+	bodyHash  [32]byte
+	secs      []snap.DeltaSection
+	gens      sectionGens
+	gensValid bool
+
+	// Reuse pools carried from generation to generation so a steady-state
+	// delta allocates (almost) nothing: retired section buffers keyed by
+	// section name (dead once the frame diffing them was encoded), the
+	// retired joined-body buffer, and the frame encoder with its deflate
+	// state. All encoder-side only — dropping them costs speed, never
+	// correctness.
+	scratch map[string]snap.DeltaSection
+	body    []byte
+	enc     *snap.DeltaEncoder
+}
+
+// sectionGens records the generation counters of the layers whose walks
+// are worth skipping. The machine, net, and kernel sections serialize the
+// cycle counter and advance every tick, so they are always walked and
+// rely on part-level content compare instead (tracking their mutation
+// sites would put a counter bump on the hot path).
+type sectionGens struct {
+	config  []byte // canonical config JSON — immutable for a sim's lifetime
+	fabric  uint64
+	fault   uint64
+	meter   uint64
+	control uint64
+	oscar   uint64
+}
+
+// deltaDebugVerify makes checkpointSections re-walk every gen-skipped
+// section and fail loudly if the generation counter lied about
+// quiescence. Tests arm it; production leaves it off.
+var deltaDebugVerify = false
+
+func (s *Sim) currentGens(cfgJSON []byte) sectionGens {
+	g := sectionGens{config: cfgJSON}
+	if s.Fabric != nil {
+		g.fabric = s.Fabric.Gen()
+	}
+	if s.faults != nil {
+		g.fault = s.faults.Gen() + s.Machine.DropGen()
+	}
+	g.meter = s.Meter.Gen()
+	if s.Ctl != nil {
+		g.control = s.Ctl.StateGen()
+	}
+	if s.OSCAR != nil {
+		g.oscar = s.OSCAR.Gen()
+	}
+	return g
+}
+
+// checkpointSections walks the layers and returns the section list a full
+// checkpoint body consists of, in blob order. When prev carries valid
+// generation counters, sections whose generation has not moved reuse the
+// cached bytes without re-walking the layer.
+func (s *Sim) checkpointSections(prev *deltaCache) ([]snap.DeltaSection, sectionGens, error) {
+	var gens sectionGens
+	if s.Cfg.RL.SharedAgent != nil {
+		return nil, gens, fmt.Errorf("adaptnoc: a simulation with an in-process shared agent cannot be checkpointed")
+	}
+	usePrev := prev != nil && prev.gensValid
+	var cfgJSON []byte
+	if usePrev {
+		cfgJSON = prev.gens.config
+	}
+	if cfgJSON == nil {
+		var err error
+		if cfgJSON, err = json.Marshal(s.Cfg); err != nil {
+			return nil, gens, fmt.Errorf("adaptnoc: encoding config: %w", err)
+		}
+	}
+	gens = s.currentGens(cfgJSON)
+
+	var secs []snap.DeltaSection
+	cached := func(name string) *snap.DeltaSection {
+		if !usePrev {
+			return nil
+		}
+		for i := range prev.secs {
+			if prev.secs[i].Name == name {
+				return &prev.secs[i]
+			}
+		}
+		return nil
+	}
+	// add appends a section, reusing prev's encoding when the layer's
+	// generation is unchanged (clean == true).
+	add := func(name string, clean bool, build func(w *snap.Writer) error) error {
+		if c := cached(name); c != nil && clean {
+			if deltaDebugVerify {
+				var w snap.Writer
+				if err := build(&w); err != nil {
+					return err
+				}
+				if !bytes.Equal(w.Bytes(), c.Body) {
+					return fmt.Errorf("adaptnoc: section %q changed but its generation counter did not — missed mutation site", name)
+				}
+			}
+			secs = append(secs, *c)
+			return nil
+		}
+		var w snap.Writer
+		if usePrev {
+			if sc, ok := prev.scratch[name]; ok {
+				delete(prev.scratch, name)
+				w.ResetWith(sc.Body, sc.Parts)
+			}
+		}
+		if err := build(&w); err != nil {
+			return err
+		}
+		secs = append(secs, snap.DeltaSection{Name: name, Body: w.Bytes(), Parts: w.Parts()})
+		return nil
+	}
+
+	// The config section body is the raw JSON, not Writer-framed, and the
+	// config is immutable for a sim's lifetime — no walk, no diff.
+	secs = append(secs, snap.DeltaSection{Name: "config", Body: cfgJSON})
+
+	if s.Fabric != nil {
+		if err := add("fabric", usePrev && gens.fabric == prev.gens.fabric, func(w *snap.Writer) error {
+			s.Fabric.Snapshot(w)
+			return nil
+		}); err != nil {
+			return nil, gens, err
+		}
+	}
+	if s.faults != nil {
+		if err := add("fault", usePrev && gens.fault == prev.gens.fault, func(w *snap.Writer) error {
+			s.faults.Snapshot(w)
+			s.Machine.SnapshotDrops(w)
+			return nil
+		}); err != nil {
+			return nil, gens, err
+		}
+	}
+	if err := add("machine", false, func(w *snap.Writer) error {
+		s.Machine.Snapshot(w)
+		return nil
+	}); err != nil {
+		return nil, gens, err
+	}
+	if err := add("net", false, func(w *snap.Writer) error {
+		if err := s.Net.Snapshot(w, s.Machine); err != nil {
+			return fmt.Errorf("adaptnoc: snapshotting network: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, gens, err
+	}
+	if err := add("meter", usePrev && gens.meter == prev.gens.meter, func(w *snap.Writer) error {
+		s.Meter.Snapshot(w)
+		return nil
+	}); err != nil {
+		return nil, gens, err
+	}
+	switch {
+	case s.Ctl != nil:
+		if err := add("control", usePrev && gens.control == prev.gens.control, func(w *snap.Writer) error {
+			s.Ctl.Snapshot(w)
+			return s.Ctl.SnapshotPolicies(w)
+		}); err != nil {
+			return nil, gens, err
+		}
+	case s.OSCAR != nil:
+		if err := add("oscar", usePrev && gens.oscar == prev.gens.oscar, func(w *snap.Writer) error {
+			s.OSCAR.Snapshot(w)
+			return nil
+		}); err != nil {
+			return nil, gens, err
+		}
+	}
+	if err := add("kernel", false, func(w *snap.Writer) error {
+		if err := s.Kernel.Snapshot(w); err != nil {
+			return fmt.Errorf("adaptnoc: snapshotting kernel: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, gens, err
+	}
+	return secs, gens, nil
+}
+
 // Checkpoint serializes the complete simulation state. The simulation can
-// keep running afterwards; a checkpoint is a pure read.
+// keep running afterwards; a checkpoint is a pure read of the simulated
+// state (it refreshes the encoder-side delta cache as a side effect).
 //
 // Configurations carrying an in-process shared RL agent (RL.SharedAgent)
 // cannot be checkpointed: the handle has no serialized form inside the
 // blob's config, so a restore could not rebuild the sharing.
 func (s *Sim) Checkpoint() ([]byte, error) {
-	if s.Cfg.RL.SharedAgent != nil {
-		return nil, fmt.Errorf("adaptnoc: a simulation with an in-process shared agent cannot be checkpointed")
-	}
-	cfgJSON, err := json.Marshal(s.Cfg)
+	secs, gens, err := s.checkpointSections(nil)
 	if err != nil {
-		return nil, fmt.Errorf("adaptnoc: encoding config: %w", err)
+		return nil, err
 	}
-
-	w := &snap.Writer{}
-	w.Section("config", cfgJSON)
-
-	if s.Fabric != nil {
-		var fw snap.Writer
-		s.Fabric.Snapshot(&fw)
-		w.Section("fabric", fw.Bytes())
+	body := snap.JoinSections(secs)
+	d := &deltaCache{bodyHash: snap.BodyHash(body), secs: secs, gens: gens, gensValid: true, body: body}
+	if old := s.delta; old != nil {
+		d.enc = old.enc
 	}
+	s.delta = d
+	return snap.Seal(body), nil
+}
 
-	if s.faults != nil {
-		var qw snap.Writer
-		s.faults.Snapshot(&qw)
-		s.Machine.SnapshotDrops(&qw)
-		w.Section("fault", qw.Bytes())
+// CheckpointDelta serializes the simulation as a delta frame against the
+// given full base blob: only what changed since the base is encoded, and
+// quiescent layers are skipped entirely via their generation counters.
+// snap.ApplyChain(base, frame) reproduces the byte-identical blob a full
+// Checkpoint would have returned.
+//
+// The fast path requires the base to be this simulation's most recent
+// Checkpoint/CheckpointDelta (the usual rolling-chain producer pattern);
+// any other valid base still works, at the cost of a coarser, slower
+// cold diff.
+func (s *Sim) CheckpointDelta(base []byte) ([]byte, error) {
+	baseBody, err := snap.OpenBody(base)
+	if err != nil {
+		return nil, fmt.Errorf("adaptnoc: delta base: %w", err)
 	}
-
-	var mw snap.Writer
-	s.Machine.Snapshot(&mw)
-	w.Section("machine", mw.Bytes())
-
-	var nw snap.Writer
-	if err := s.Net.Snapshot(&nw, s.Machine); err != nil {
-		return nil, fmt.Errorf("adaptnoc: snapshotting network: %w", err)
-	}
-	w.Section("net", nw.Bytes())
-
-	var pw snap.Writer
-	s.Meter.Snapshot(&pw)
-	w.Section("meter", pw.Bytes())
-
-	switch {
-	case s.Ctl != nil:
-		var cw snap.Writer
-		s.Ctl.Snapshot(&cw)
-		if err := s.Ctl.SnapshotPolicies(&cw); err != nil {
-			return nil, err
+	baseHash := snap.BodyHash(baseBody)
+	prev := s.delta
+	if prev == nil || prev.bodyHash != baseHash {
+		baseSecs, err := snap.SplitSections(baseBody)
+		if err != nil {
+			return nil, fmt.Errorf("adaptnoc: delta base: %w", err)
 		}
-		w.Section("control", cw.Bytes())
-	case s.OSCAR != nil:
-		var ow snap.Writer
-		s.OSCAR.Snapshot(&ow)
-		w.Section("oscar", ow.Bytes())
+		// Cold base: no part marks and no trusted generation counters —
+		// every layer is walked and diffed at whole-section granularity.
+		prev = &deltaCache{bodyHash: baseHash, secs: baseSecs}
 	}
+	return s.checkpointDeltaAgainst(prev)
+}
 
-	var kw snap.Writer
-	if err := s.Kernel.Snapshot(&kw); err != nil {
-		return nil, fmt.Errorf("adaptnoc: snapshotting kernel: %w", err)
+// CheckpointDeltaChained encodes a delta against the state captured by
+// this simulation's most recent Checkpoint or CheckpointDelta* call —
+// the producer side of a rolling base + delta chain, where the previous
+// sealed blob is not kept around.
+func (s *Sim) CheckpointDeltaChained() ([]byte, error) {
+	if s.delta == nil {
+		return nil, fmt.Errorf("adaptnoc: no checkpoint taken yet to chain a delta onto")
 	}
-	w.Section("kernel", kw.Bytes())
-	return snap.Seal(w.Bytes()), nil
+	return s.checkpointDeltaAgainst(s.delta)
+}
+
+// CheckpointBodyHash reports the body hash of this simulation's most
+// recent Checkpoint/CheckpointDelta* — the chain tip a consumer needs to
+// name when negotiating deltas against a remote copy of the base. ok is
+// false before the first checkpoint.
+func (s *Sim) CheckpointBodyHash() (hash [32]byte, ok bool) {
+	if s.delta == nil {
+		return hash, false
+	}
+	return s.delta.bodyHash, true
+}
+
+func (s *Sim) checkpointDeltaAgainst(prev *deltaCache) ([]byte, error) {
+	secs, gens, err := s.checkpointSections(prev)
+	if err != nil {
+		return nil, err
+	}
+	body := snap.JoinSectionsInto(prev.body, secs)
+	newHash := snap.BodyHash(body)
+	if prev.enc == nil {
+		prev.enc = new(snap.DeltaEncoder)
+	}
+	frame := prev.enc.Encode(prev.secs, secs, prev.bodyHash, newHash)
+	d := &deltaCache{bodyHash: newHash, secs: secs, gens: gens, gensValid: true,
+		body: body, enc: prev.enc}
+	d.scratch = harvestSections(prev, secs)
+	s.delta = d
+	return frame, nil
+}
+
+// harvestSections collects the retired generation's buffers for the next
+// walk to reuse: once the frame diffing prev.secs against secs has been
+// encoded, any prev section whose storage the new list does not alias is
+// dead, and its capacity is exactly what the same section wants next
+// interval. Cold caches (gensValid false) wrap memory the caller may still
+// own — a split of their base blob — and donate nothing.
+func harvestSections(prev *deltaCache, secs []snap.DeltaSection) map[string]snap.DeltaSection {
+	if !prev.gensValid {
+		return nil
+	}
+	scratch := prev.scratch // entries the walk consumed were deleted
+	put := func(sc snap.DeltaSection) {
+		if scratch == nil {
+			scratch = make(map[string]snap.DeltaSection, len(prev.secs))
+		}
+		scratch[sc.Name] = sc
+	}
+	for i := range prev.secs {
+		old := &prev.secs[i]
+		// The config body aliases the cached canonical JSON, which every
+		// generation shares; empty bodies carry no storage worth keeping.
+		if old.Name == "config" || len(old.Body) == 0 {
+			continue
+		}
+		if cur := findSection(secs, old.Name); cur != nil && len(cur.Body) > 0 && &cur.Body[0] == &old.Body[0] {
+			continue // clean section: the new generation still reads these bytes
+		}
+		put(snap.DeltaSection{Name: old.Name, Body: old.Body, Parts: old.Parts})
+	}
+	return scratch
+}
+
+// findSection locates a section by name in a small blob-ordered list.
+func findSection(secs []snap.DeltaSection, name string) *snap.DeltaSection {
+	for i := range secs {
+		if secs[i].Name == name {
+			return &secs[i]
+		}
+	}
+	return nil
 }
 
 // RestoreSim rebuilds a simulation from a checkpoint blob, in this or any
@@ -202,7 +459,8 @@ func RestoreSim(blob []byte) (*Sim, error) {
 
 // WriteCheckpoint serializes the simulation and writes it to path
 // atomically (temp file + rename), so a crash mid-write never leaves a
-// torn checkpoint behind.
+// torn checkpoint behind. Any delta log a ChainWriter left beside an
+// earlier checkpoint at this path is removed: it described the old base.
 func (s *Sim) WriteCheckpoint(path string) error {
 	blob, err := s.Checkpoint()
 	if err != nil {
@@ -212,33 +470,116 @@ func (s *Sim) WriteCheckpoint(path string) error {
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Best-effort: a crash landing between the rename and this remove
+	// leaves a log whose first frame no longer matches the new base's
+	// hash, which restore detects and ignores.
+	os.Remove(deltaLogPath(path))
+	return nil
 }
 
-// RestoreSimFromFile reads a checkpoint written by WriteCheckpoint.
+// DefaultMaxChain is how many delta frames a ChainWriter appends before
+// rebasing onto a fresh full checkpoint. Restore cost grows linearly with
+// chain length while the per-save win is already maximal at length one,
+// so the default keeps worst-case recovery around a second.
+const DefaultMaxChain = 64
+
+// deltaLogPath is where a ChainWriter accumulates delta frames for the
+// base checkpoint at path.
+func deltaLogPath(path string) string { return path + ".delta" }
+
+// ChainWriter persists a rolling checkpoint as a full base blob at Path
+// plus an append-only delta log at Path+".delta". The first Save (and
+// every MaxDeltas-th after it) writes a full checkpoint and truncates the
+// log; every other Save appends one length-prefixed delta frame, which is
+// dozens of bytes to a few kilobytes where a full blob is tens of
+// kilobytes. RestoreSimFromFile understands the pair, applying the
+// longest valid prefix of the log — a torn final append (the crash the
+// log exists to survive) costs at most one save interval.
+//
+// A ChainWriter assumes it is the only checkpoint producer for its
+// simulation between its own saves; if something else takes a checkpoint
+// in between, the next Save detects the broken lineage by hash and
+// rebases onto a full checkpoint instead of appending a frame that could
+// never apply.
+type ChainWriter struct {
+	Path string
+	// MaxDeltas caps the log length before a rebase; <= 0 means
+	// DefaultMaxChain.
+	MaxDeltas int
+
+	started bool
+	deltas  int
+	tip     [32]byte // body hash of the chain tip on disk
+}
+
+// Save persists the simulation's current state: a full checkpoint on the
+// first call and at every rebase threshold, a delta frame otherwise.
+func (c *ChainWriter) Save(s *Sim) error {
+	max := c.MaxDeltas
+	if max <= 0 {
+		max = DefaultMaxChain
+	}
+	if c.started && c.deltas < max {
+		frame, err := s.CheckpointDeltaChained()
+		if err == nil {
+			base, result, herr := snap.DeltaHashes(frame)
+			if herr == nil && base == c.tip {
+				if err := snap.AppendFrame(deltaLogPath(c.Path), frame); err != nil {
+					return err
+				}
+				c.deltas++
+				c.tip = result
+				return nil
+			}
+		}
+		// No prior checkpoint in this sim, or someone else advanced the
+		// sim's delta cache since our last Save: rebase.
+	}
+	if err := s.WriteCheckpoint(c.Path); err != nil {
+		return err
+	}
+	c.started, c.deltas, c.tip = true, 0, s.delta.bodyHash
+	return nil
+}
+
+// RestoreSimFromFile reads a checkpoint written by WriteCheckpoint or a
+// ChainWriter. When a delta log sits beside the base, the longest valid
+// prefix of its frames is applied first, recovering the newest state the
+// chain intactly reaches.
 func RestoreSimFromFile(path string) (*Sim, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if frames := snap.ReadFrameLog(deltaLogPath(path)); len(frames) > 0 {
+		if tip, _, err := snap.ApplyChainPrefix(blob, frames...); err == nil {
+			blob = tip
+		}
+	}
 	return RestoreSim(blob)
 }
 
 // RunContextCheckpointed advances the simulation like RunContext but
-// writes a checkpoint to path every `every` cycles and at the end of the
-// window (every <= 0 saves only at the end). The run computes exactly
-// what RunContext computes — slicing never changes simulation behaviour.
+// persists a rolling base + delta chain at path every `every` cycles and
+// at the end of the window (every <= 0 saves only at the end; see
+// ChainWriter for the on-disk shape). The run computes exactly what
+// RunContext computes — slicing never changes simulation behaviour.
 func (s *Sim) RunContextCheckpointed(ctx context.Context, cycles Cycle, path string, every Cycle) error {
+	cw := &ChainWriter{Path: path}
 	return runner.Checkpointed(ctx, cycles, every,
 		func(ctx context.Context, slice Cycle) error { return s.RunContext(ctx, slice) },
 		nil,
-		func() error { return s.WriteCheckpoint(path) })
+		func() error { return cw.Save(s) })
 }
 
 // RunUntilFinishedCheckpointed advances like RunUntilFinishedContext with
 // the same periodic checkpointing as RunContextCheckpointed.
 func (s *Sim) RunUntilFinishedCheckpointed(ctx context.Context, maxCycles Cycle, path string, every Cycle) (bool, error) {
 	var finished bool
+	cw := &ChainWriter{Path: path}
 	err := runner.Checkpointed(ctx, maxCycles, every,
 		func(ctx context.Context, slice Cycle) error {
 			var err error
@@ -246,6 +587,6 @@ func (s *Sim) RunUntilFinishedCheckpointed(ctx context.Context, maxCycles Cycle,
 			return err
 		},
 		func() bool { return finished },
-		func() error { return s.WriteCheckpoint(path) })
+		func() error { return cw.Save(s) })
 	return finished, err
 }

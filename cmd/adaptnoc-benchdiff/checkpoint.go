@@ -1,0 +1,78 @@
+package main
+
+// Checkpoint-mode gate: instead of comparing two `go test -bench` outputs,
+// -checkpoint reads a BENCH_checkpoint.json written by TestCheckpointBenchRecord
+// and enforces the delta-chain contract on its steady-regime rows — a
+// rolling delta must be at least -min-delta-size-ratio times smaller and
+// -min-delta-encode-speedup times faster to encode than the full snapshot
+// it chains from. Active-regime rows are printed for the record but not
+// gated: under a saturated workload most component records change every
+// interval, so the delta win there is real but load-dependent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// checkpointRow mirrors the fields of a BENCH_checkpoint.json row this
+// gate reads; unknown fields are ignored so the row schema can grow.
+type checkpointRow struct {
+	Design             string  `json:"design"`
+	Regime             string  `json:"regime"`
+	Grid               string  `json:"grid"`
+	Bytes              int     `json:"bytes"`
+	EncodeSec          float64 `json:"encode_sec"`
+	DeltaBytes         int     `json:"delta_bytes"`
+	DeltaEncodeSec     float64 `json:"delta_encode_sec"`
+	DeltaSizeRatio     float64 `json:"delta_size_ratio"`
+	DeltaEncodeSpeedup float64 `json:"delta_encode_speedup"`
+}
+
+// gateCheckpoint applies the steady-row minima and reports every row. It
+// fails when any steady row misses a minimum — and when no steady row
+// exists at all, so a regenerated file cannot silently drop the gated
+// regime.
+func gateCheckpoint(path string, minSizeRatio, minEncodeSpeedup float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rows []checkpointRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	steady := 0
+	var failures []string
+	for _, r := range rows {
+		label := r.Design
+		if r.Grid != "" {
+			label += "/" + r.Grid
+		}
+		fmt.Printf("%-10s %-20s full=%6dB %7.2fms  delta=%6dB %7.2fms  size=%5.1fx encode=%4.1fx\n",
+			r.Regime, label, r.Bytes, 1000*r.EncodeSec, r.DeltaBytes, 1000*r.DeltaEncodeSec,
+			r.DeltaSizeRatio, r.DeltaEncodeSpeedup)
+		if r.Regime != "steady" {
+			continue
+		}
+		steady++
+		if r.DeltaSizeRatio < minSizeRatio {
+			failures = append(failures, fmt.Sprintf(
+				"%s: delta size ratio %.1fx below the %.1fx minimum", label, r.DeltaSizeRatio, minSizeRatio))
+		}
+		if r.DeltaEncodeSpeedup < minEncodeSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"%s: delta encode speedup %.1fx below the %.1fx minimum", label, r.DeltaEncodeSpeedup, minEncodeSpeedup))
+		}
+	}
+	if steady == 0 {
+		failures = append(failures, "no steady-regime rows found — the gated regime is missing from the file")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		return fmt.Errorf("%d checkpoint gate failure(s)", len(failures))
+	}
+	return nil
+}

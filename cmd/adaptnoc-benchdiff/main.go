@@ -19,6 +19,12 @@
 // BENCH_shard measurement (a negative -max-ns-regress is a required
 // improvement: -50 fails unless the after side is at least twice as fast).
 //
+// A second mode gates the delta-checkpoint contract: -checkpoint reads a
+// BENCH_checkpoint.json written by TestCheckpointBenchRecord and fails
+// unless every steady-regime row's rolling delta beats the full snapshot
+// by -min-delta-size-ratio on bytes and -min-delta-encode-speedup on
+// encode time (see checkpoint.go).
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkNetworkTick -benchmem -count 5 ./internal/noc > after.txt
@@ -44,8 +50,18 @@ func main() {
 		jsonPath   = flag.String("json", "", "write the comparison record to this `file` (optional)")
 		maxNs      = flag.Float64("max-ns-regress", 10, "fail when mean ns/op regresses by more than this `percent` (negative demands an improvement)")
 		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail unless the after run reports exactly 0 allocs/op")
+		ckptPath   = flag.String("checkpoint", "", "gate a BENCH_checkpoint.json `file` instead of comparing bench outputs")
+		minSize    = flag.Float64("min-delta-size-ratio", 5, "checkpoint mode: minimum full/delta size ratio on steady rows")
+		minSpeed   = flag.Float64("min-delta-encode-speedup", 3, "checkpoint mode: minimum full/delta encode speedup on steady rows")
 	)
 	flag.Parse()
+	if *ckptPath != "" {
+		if err := gateCheckpoint(*ckptPath, *minSize, *minSpeed); err != nil {
+			fatalExit(err)
+		}
+		fmt.Println("PASS")
+		return
+	}
 	if *beforePath == "" || *afterPath == "" {
 		fmt.Fprintln(os.Stderr, "adaptnoc-benchdiff: -before and -after are required")
 		flag.Usage()
@@ -128,4 +144,12 @@ func summarizeFile(path, bench string) (Summary, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "adaptnoc-benchdiff:", err)
 	os.Exit(2)
+}
+
+// fatalExit is fatal with the gate-failure exit code (1, not the usage
+// error's 2), so CI distinguishes "the contract is broken" from "the tool
+// was invoked wrong".
+func fatalExit(err error) {
+	fmt.Fprintln(os.Stderr, "adaptnoc-benchdiff:", err)
+	os.Exit(1)
 }

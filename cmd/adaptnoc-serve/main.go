@@ -48,6 +48,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 		cacheDir   = flag.String("cachedir", "", "persist results to this directory (empty = memory only)")
 		cacheBytes = flag.Int64("cachebytes", 64<<20, "in-memory result cache budget in bytes")
+		ckptBytes  = flag.Int64("checkpointbytes", 256<<20, "on-disk checkpoint directory budget in bytes (LRU eviction)")
 		drainSecs  = flag.Int("drain", 60, "seconds to wait for in-flight jobs on shutdown")
 		smoke      = flag.Bool("smoke", false, "run the loopback self-test and exit")
 		benchJSON  = flag.String("benchjson", "", "measure cached-vs-uncached throughput, write JSON to this file, and exit")
@@ -63,11 +64,12 @@ func main() {
 		ckptDir = filepath.Join(*cacheDir, "checkpoints")
 	}
 	srv := serve.New(serve.Options{
-		QueueDepth:    *queue,
-		Workers:       *workers,
-		CacheBytes:    *cacheBytes,
-		CacheDir:      *cacheDir,
-		CheckpointDir: ckptDir,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		CheckpointDir:   ckptDir,
+		CheckpointBytes: *ckptBytes,
 	})
 
 	if *smoke || *benchJSON != "" {

@@ -15,12 +15,24 @@ import (
 	"adaptnoc/internal/topology"
 )
 
+// Part-mark kinds inside the control section (delta alignment only,
+// never serialized; see snap.Part). Kinds 16+ are reserved for the rl
+// package, which writes into the same section.
+const (
+	partCtlHeader = iota
+	partCtlBinding
+	partCtlTrace
+	partCtlPolicy
+)
+
 // Snapshot writes the controller's dynamic state.
 func (c *Controller) Snapshot(w *snap.Writer) {
+	w.Mark(snap.PartKey(partCtlHeader, 0))
 	w.Int(c.epoch)
 	w.Bool(c.started)
 	w.Uvarint(uint64(len(c.bindings)))
 	for _, b := range c.bindings {
+		w.Mark(snap.PartKey(partCtlBinding, uint64(b.SubNoC.ID)))
 		w.Int(b.SubNoC.ID)
 		w.Bool(b.hasPrev)
 		if b.hasPrev {
@@ -35,6 +47,9 @@ func (c *Controller) Snapshot(w *snap.Writer) {
 		power.SnapshotBreakdown(w, b.Energy)
 		w.Uvarint(uint64(len(b.Trace)))
 		for _, t := range b.Trace {
+			// The trace is append-only, so keying records by epoch turns
+			// the whole history into copies in every delta.
+			w.Mark(snap.PartKey(partCtlTrace, uint64(b.SubNoC.ID)<<24|uint64(uint32(t.Epoch))&(1<<24-1)))
 			w.Int(t.Epoch)
 			w.Int(int(t.Kind))
 			w.Int(int(t.Chosen))
@@ -155,6 +170,7 @@ func (c *Controller) Restore(r *snap.Reader) error {
 func (c *Controller) SnapshotPolicies(w *snap.Writer) error {
 	w.Uvarint(uint64(len(c.bindings)))
 	for _, b := range c.bindings {
+		w.Mark(snap.PartKey(partCtlPolicy, uint64(b.SubNoC.ID)))
 		switch p := b.Policy.(type) {
 		case StaticPolicy:
 			w.Int(policyStatic)

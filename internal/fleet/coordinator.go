@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"adaptnoc/internal/runner"
 	"adaptnoc/internal/serve"
 	"adaptnoc/internal/sim"
+	"adaptnoc/internal/snap"
 )
 
 // Options configure a Coordinator. The zero value is usable.
@@ -69,12 +71,13 @@ type Coordinator struct {
 
 	localSem chan struct{} // bounds no-worker fallback evaluations
 
-	dispatches  atomic.Int64
-	requeues    atomic.Int64
-	steals      atomic.Int64
-	localRuns   atomic.Int64
-	handoffs    atomic.Int64
-	suitesTotal atomic.Int64
+	dispatches   atomic.Int64
+	requeues     atomic.Int64
+	steals       atomic.Int64
+	localRuns    atomic.Int64
+	handoffs     atomic.Int64
+	deltaShadows atomic.Int64
+	suitesTotal  atomic.Int64
 
 	histMu  sync.Mutex
 	latency *sim.Histogram // item wall time (first dispatch to done), ms
@@ -273,6 +276,39 @@ func (c *Coordinator) drive(ctx context.Context, it *item) {
 	}
 }
 
+// shadowCheckpoint refreshes the item's handoff copy of a running job's
+// state. When the item already holds a hash-named copy, the fetch names it
+// with ?base= and usually receives just the delta frames extending it —
+// kilobytes instead of a full blob — which it applies locally; any gap
+// (the worker rebased past our copy, a parse or apply failure) degrades to
+// one full re-fetch. Best-effort throughout: shadowing is an optimization
+// over re-running from cycle zero, never a correctness requirement.
+func (c *Coordinator) shadowCheckpoint(it *item, wk *worker, jobID string) {
+	local, _, haveHash := it.checkpointState()
+	baseHex := ""
+	if local != nil && haveHash != "" {
+		baseHex = haveHash
+	}
+	blob, cycle, format, tip, err := wk.getCheckpoint(jobID, baseHex)
+	if err != nil {
+		return
+	}
+	if format == "delta-chain" {
+		frames, perr := snap.ParseFrameLog(blob)
+		if perr == nil {
+			if applied, aerr := snap.ApplyChain(local, frames...); aerr == nil {
+				it.setCheckpoint(applied, cycle, tip)
+				c.deltaShadows.Add(1)
+				return
+			}
+		}
+		if blob, cycle, _, tip, err = wk.getCheckpoint(jobID, ""); err != nil {
+			return
+		}
+	}
+	it.setCheckpoint(blob, cycle, tip)
+}
+
 // outcome classifies one dispatch attempt.
 type outcome int
 
@@ -347,9 +383,7 @@ func (c *Coordinator) attempt(ctx context.Context, it *item, wk *worker, stealAl
 		}
 		wk.renewLease(info.ID)
 		if _, have := it.checkpointData(); cur.CheckpointCycle > have {
-			if blob, cycle, err := wk.getCheckpoint(info.ID); err == nil {
-				it.setCheckpoint(blob, cycle)
-			}
+			c.shadowCheckpoint(it, wk, info.ID)
 		}
 		if stealAllowed && !stole && c.opts.StealAfter > 0 && time.Since(start) > c.opts.StealAfter {
 			if alt := c.pickWorker(wk.id, true); alt != nil {
@@ -437,7 +471,8 @@ func (c *Coordinator) runLocal(ctx context.Context, it *item) {
 		// Canceled mid-run: shadow the state so the next driver resumes
 		// from here instead of cycle zero.
 		if blob, cerr := simu.Checkpoint(); cerr == nil {
-			it.setCheckpoint(blob, int64(simu.Kernel.Now()))
+			hash, _ := simu.CheckpointBodyHash()
+			it.setCheckpoint(blob, int64(simu.Kernel.Now()), hex.EncodeToString(hash[:]))
 		}
 		it.setPending()
 		return

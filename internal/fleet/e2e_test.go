@@ -158,6 +158,11 @@ func TestMultiNodeKillByteIdentity(t *testing.T) {
 	if n := c.handoffs.Load(); n == 0 {
 		t.Error("no checkpoint handoffs recorded — the resume path was not exercised")
 	}
+	// Repeated shadow polls of the same running job must have refreshed at
+	// least once via the ?base= delta path instead of full re-fetches.
+	if n := c.deltaShadows.Load(); n == 0 {
+		t.Error("no delta shadow refreshes recorded — every poll re-fetched the full blob")
+	}
 	if n := c.localRuns.Load(); n != 0 {
 		t.Errorf("%d evaluations fell back to the coordinator, want 0", n)
 	}

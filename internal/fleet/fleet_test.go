@@ -95,8 +95,8 @@ func TestItemLifecycle(t *testing.T) {
 		t.Fatal("tryDrive refused after release")
 	}
 
-	it.setCheckpoint([]byte("new"), 100)
-	it.setCheckpoint([]byte("stale"), 50) // older cycle must not replace
+	it.setCheckpoint([]byte("new"), 100, "aa")
+	it.setCheckpoint([]byte("stale"), 50, "bb") // older cycle must not replace
 	if blob, cycle := it.checkpointData(); string(blob) != "new" || cycle != 100 {
 		t.Fatalf("stale checkpoint replaced fresh one: %q@%d", blob, cycle)
 	}

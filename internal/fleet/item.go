@@ -43,6 +43,7 @@ type item struct {
 	started   time.Time
 	ckptBlob  []byte // latest shadowed checkpoint, for handoff
 	ckptCycle int64
+	ckptHash  string        // hex body hash of ckptBlob; names it in delta negotiation
 	done      chan struct{} // closed on reaching a terminal state
 }
 
@@ -136,11 +137,13 @@ func (it *item) outcome() (ItemState, []byte, string) {
 	return it.state, it.result, it.errMsg
 }
 
-// setCheckpoint shadows a fresher checkpoint blob for handoff.
-func (it *item) setCheckpoint(blob []byte, cycle int64) {
+// setCheckpoint shadows a fresher checkpoint blob for handoff. hash is
+// the blob's hex body hash when the shadower knows it ("" otherwise —
+// the item then re-fetches full until a hash-bearing shadow lands).
+func (it *item) setCheckpoint(blob []byte, cycle int64, hash string) {
 	it.mu.Lock()
 	if cycle > it.ckptCycle {
-		it.ckptBlob, it.ckptCycle = blob, cycle
+		it.ckptBlob, it.ckptCycle, it.ckptHash = blob, cycle, hash
 	}
 	it.mu.Unlock()
 }
@@ -150,6 +153,14 @@ func (it *item) checkpointData() ([]byte, int64) {
 	it.mu.Lock()
 	defer it.mu.Unlock()
 	return it.ckptBlob, it.ckptCycle
+}
+
+// checkpointState additionally reports the shadowed blob's body hash, the
+// token the delta-negotiation fetch names its base with.
+func (it *item) checkpointState() ([]byte, int64, string) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.ckptBlob, it.ckptCycle, it.ckptHash
 }
 
 // snapshot returns the fields the status surfaces render.

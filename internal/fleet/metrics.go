@@ -79,6 +79,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("adaptnoc_fleet_steals_total", "Duplicate dispatches to idle workers.", c.steals.Load())
 	counter("adaptnoc_fleet_local_runs_total", "Items evaluated on the coordinator (no workers).", c.localRuns.Load())
 	counter("adaptnoc_fleet_handoffs_total", "Checkpoint blobs shipped to a replacement worker.", c.handoffs.Load())
+	counter("adaptnoc_fleet_delta_shadows_total", "Checkpoint shadows refreshed via delta frames instead of full blobs.", c.deltaShadows.Load())
 	counter("adaptnoc_fleet_suites_total", "Suites accepted.", c.suitesTotal.Load())
 
 	// Item latency is recorded in milliseconds; obs exports it in the

@@ -179,24 +179,35 @@ func (w *worker) renewLease(id string) {
 	w.noteAlive()
 }
 
-// getCheckpoint fetches the job's latest snapshot blob and its simulated
-// clock for shadowing.
-func (w *worker) getCheckpoint(id string) ([]byte, int64, error) {
-	resp, err := w.client.Get(w.url + "/v1/jobs/" + id + "/checkpoint")
+// getCheckpoint fetches the job's latest state for shadowing. When
+// baseHex names a body hash the caller already holds, the worker may
+// answer with just the delta frames extending it (format "delta-chain",
+// body a snap frame log) instead of the full blob (format "full"). tipHex
+// is the fetched state's body hash — the caller's base token next time.
+func (w *worker) getCheckpoint(id, baseHex string) (blob []byte, cycle int64, format, tipHex string, err error) {
+	url := w.url + "/v1/jobs/" + id + "/checkpoint"
+	if baseHex != "" {
+		url += "?base=" + baseHex
+	}
+	resp, err := w.client.Get(url)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", "", err
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
+	blob, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", "", err
 	}
 	w.noteAlive()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("fleet: %s: checkpoint of %s: %s", w.id, id, resp.Status)
+		return nil, 0, "", "", fmt.Errorf("fleet: %s: checkpoint of %s: %s", w.id, id, resp.Status)
 	}
-	cycle, _ := strconv.ParseInt(resp.Header.Get("X-Checkpoint-Cycle"), 10, 64)
-	return blob, cycle, nil
+	cycle, _ = strconv.ParseInt(resp.Header.Get("X-Checkpoint-Cycle"), 10, 64)
+	format = resp.Header.Get("X-Checkpoint-Format")
+	if format == "" {
+		format = "full" // an older daemon that predates negotiation
+	}
+	return blob, cycle, format, resp.Header.Get("X-Checkpoint-Body-Hash"), nil
 }
 
 // putCheckpoint deposits a handed-off blob under a request key so the next

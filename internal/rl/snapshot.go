@@ -12,6 +12,20 @@ import (
 	"adaptnoc/internal/snap"
 )
 
+// Part-mark kinds for rl state (delta alignment only; the 16+ range is
+// reserved for this package when it writes into the control section —
+// see internal/core). Identical keys recur across agents and between the
+// prediction and target networks; the delta encoder pairs the leftovers
+// positionally per kind, which preserves alignment because serialization
+// order is deterministic.
+const (
+	partRLNetLayer = 16 + iota
+	partRLReplayHeader
+	partRLReplayEntry
+	partRLAgentTail
+	partRLQRow
+)
+
 // Snapshot writes the network's weights.
 func (n *Net) Snapshot(w *snap.Writer) {
 	w.Uvarint(uint64(len(n.Sizes)))
@@ -19,6 +33,7 @@ func (n *Net) Snapshot(w *snap.Writer) {
 		w.Int(s)
 	}
 	for l := range n.W {
+		w.Mark(snap.PartKey(partRLNetLayer, uint64(l)))
 		w.F64s(n.W[l])
 		w.F64s(n.B[l])
 	}
@@ -82,12 +97,14 @@ func restoreVec(r *snap.Reader) ([]float64, error) {
 
 // Snapshot writes the buffer's contents and ring position.
 func (rb *ReplayBuffer) Snapshot(w *snap.Writer) {
+	w.Mark(snap.PartKey(partRLReplayHeader, 0))
 	w.Uvarint(uint64(len(rb.buf)))
 	w.Int(rb.next)
 	w.Bool(rb.full)
 	n := rb.Len()
 	w.Uvarint(uint64(n))
 	for i := 0; i < n; i++ {
+		w.Mark(snap.PartKey(partRLReplayEntry, uint64(i)))
 		e := rb.buf[i]
 		snapshotVec(w, e.State)
 		w.Int(e.Action)
@@ -158,6 +175,7 @@ func (d *DQN) Snapshot(w *snap.Writer) {
 	d.Prediction.Snapshot(w)
 	d.target.Snapshot(w)
 	d.Replay.Snapshot(w)
+	w.Mark(snap.PartKey(partRLAgentTail, 0))
 	d.rng.Snapshot(w)
 	w.Int(d.iterations)
 	w.I64(d.Inferences)
@@ -219,9 +237,16 @@ func (t *QTable) Snapshot(w *snap.Writer) {
 	sort.Strings(keys)
 	w.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
+		h := uint64(1469598103934665603)
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= 1099511628211
+		}
+		w.Mark(snap.PartKey(partRLQRow, h))
 		w.String(k)
 		w.F64s(t.q[k])
 	}
+	w.Mark(snap.PartKey(partRLAgentTail, 1))
 	t.rng.Snapshot(w)
 }
 

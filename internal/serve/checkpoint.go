@@ -1,6 +1,15 @@
 package serve
 
-import "sync"
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // handoffBytes bounds the in-memory handoff store. Gzipped checkpoint
 // blobs run tens of kilobytes, so the default holds hundreds of in-flight
@@ -65,4 +74,174 @@ func (h *handoffStore) take(key string) []byte {
 		}
 	}
 	return blob
+}
+
+// ckptStore bounds the on-disk checkpoint directory the way Cache bounds
+// the result cache: an LRU over <dir>/<key>.ckpt files with a byte budget,
+// evicting (deleting) the least-recently-used checkpoints once exceeded.
+// Unlike the result cache the bytes live only on disk — the store tracks
+// sizes, not contents. Eviction is always safe: determinism means a lost
+// checkpoint costs a resume its fast-forward, never its result. A startup
+// sweep indexes what a previous daemon left behind (oldest-modified =
+// least-recently-used) and applies the budget immediately, so the
+// directory cannot grow without bound across restarts either.
+//
+// All methods are nil-receiver-safe no-ops, matching the daemon running
+// without a CheckpointDir.
+type ckptStore struct {
+	dir   string
+	limit int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	size  int64
+
+	evictions atomic.Int64
+}
+
+type ckptEntry struct {
+	key  string
+	size int64
+}
+
+// defaultCkptBytes is the checkpoint directory budget when Options leaves
+// it unset: room for thousands of gzipped checkpoints.
+const defaultCkptBytes = 256 << 20
+
+func newCkptStore(dir string, limit int64) *ckptStore {
+	if limit <= 0 {
+		limit = defaultCkptBytes
+	}
+	st := &ckptStore{dir: dir, limit: limit, ll: list.New(), items: make(map[string]*list.Element)}
+	os.MkdirAll(dir, 0o755)
+	st.sweep()
+	return st
+}
+
+func (st *ckptStore) path(key string) string { return filepath.Join(st.dir, key+".ckpt") }
+
+// sweep indexes the checkpoints a previous daemon left in the directory,
+// oldest modification first so the LRU order approximates their real use,
+// then enforces the budget. Stale temp files from a crashed write and
+// orphaned delta logs are removed outright.
+func (st *ckptStore) sweep() {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	var recs []struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") || strings.HasSuffix(name, ".delta") {
+			os.Remove(filepath.Join(st.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, struct {
+			key  string
+			size int64
+			mod  time.Time
+		}{strings.TrimSuffix(name, ".ckpt"), fi.Size(), fi.ModTime()})
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].mod.Before(recs[b].mod) })
+	st.mu.Lock()
+	for _, r := range recs {
+		st.items[r.key] = st.ll.PushFront(&ckptEntry{key: r.key, size: r.size})
+		st.size += r.size
+	}
+	st.evictLocked()
+	st.mu.Unlock()
+}
+
+// note records that the checkpoint for key was just (re)written, sizing it
+// from disk and evicting older checkpoints if the budget is now exceeded.
+func (st *ckptStore) note(key string) {
+	if st == nil {
+		return
+	}
+	fi, err := os.Stat(st.path(key))
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	if el, ok := st.items[key]; ok {
+		st.ll.MoveToFront(el)
+		ent := el.Value.(*ckptEntry)
+		st.size += fi.Size() - ent.size
+		ent.size = fi.Size()
+	} else {
+		st.items[key] = st.ll.PushFront(&ckptEntry{key: key, size: fi.Size()})
+		st.size += fi.Size()
+	}
+	st.evictLocked()
+	st.mu.Unlock()
+}
+
+// touch marks the checkpoint for key as recently used (a resume restored
+// it, or a handoff fetch read it).
+func (st *ckptStore) touch(key string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if el, ok := st.items[key]; ok {
+		st.ll.MoveToFront(el)
+	}
+	st.mu.Unlock()
+}
+
+// remove deletes the checkpoint for key from disk and the index (the job
+// completed; its checkpoint is spent).
+func (st *ckptStore) remove(key string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if el, ok := st.items[key]; ok {
+		st.size -= el.Value.(*ckptEntry).size
+		st.ll.Remove(el)
+		delete(st.items, key)
+	}
+	st.mu.Unlock()
+	os.Remove(st.path(key))
+}
+
+// evictLocked deletes least-recently-used checkpoints until the budget
+// holds, always keeping the newest entry. Callers hold st.mu.
+func (st *ckptStore) evictLocked() {
+	for st.size > st.limit && st.ll.Len() > 1 {
+		el := st.ll.Back()
+		ent := el.Value.(*ckptEntry)
+		st.ll.Remove(el)
+		delete(st.items, ent.key)
+		st.size -= ent.size
+		os.Remove(st.path(ent.key))
+		st.evictions.Add(1)
+	}
+}
+
+// ckptStats reports the store's entry count, tracked bytes, and lifetime
+// evictions for /metrics.
+func (st *ckptStore) stats() (entries int, bytes int64, evictions int64) {
+	if st == nil {
+		return 0, 0, 0
+	}
+	st.mu.Lock()
+	entries, bytes = st.ll.Len(), st.size
+	st.mu.Unlock()
+	return entries, bytes, st.evictions.Load()
 }

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"adaptnoc"
+	"adaptnoc/internal/snap"
 )
 
 // State is a job's lifecycle position.
@@ -76,13 +79,19 @@ type job struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 
-	mu            sync.Mutex
-	state         State
-	seq           int64
-	errMsg        string
-	result        []byte // marshaled Results, nil unless done
-	checkpointed  bool   // a mid-run checkpoint exists on disk
-	snapshot      []byte // latest in-memory checkpoint (lease-scoped jobs)
+	mu           sync.Mutex
+	state        State
+	seq          int64
+	errMsg       string
+	result       []byte // marshaled Results, nil unless done
+	checkpointed bool   // a mid-run checkpoint exists on disk
+	// Lease-scoped jobs shadow their state in memory as a rolling delta
+	// chain: a full base blob plus the frames extending it, oldest first.
+	// snapTip names the chain's endpoint by body hash so a fetcher that
+	// already holds an earlier link can ask for just the frames after it.
+	snapBase      []byte
+	snapFrames    [][]byte
+	snapTip       [32]byte
 	snapshotCycle int64
 	leaseTimer    *time.Timer // cancels the job when the lease lapses
 	events        []Event
@@ -145,19 +154,53 @@ func (j *job) renewLease() bool {
 	return true
 }
 
-// setSnapshot records the latest in-memory checkpoint blob.
-func (j *job) setSnapshot(blob []byte, cycle int64) {
+// maxShadowDeltas bounds the in-memory chain length before shadow rebases
+// onto a fresh full blob. Serving a full checkpoint applies the whole
+// chain, so the bound keeps that cost (and the chain's memory) flat while
+// still letting a polling coordinator fetch kilobyte deltas between
+// rebases.
+const maxShadowDeltas = 16
+
+// shadow records the simulation's current state in the job's rolling
+// chain: a cheap delta frame extending the previous shadow when the chain
+// lineage is intact, a full rebase otherwise (first shadow, chain at its
+// length bound, or a lineage break). Called only by the job's own worker,
+// once per progress slice.
+func (j *job) shadow(simu *adaptnoc.Sim) {
+	cycle := int64(simu.Kernel.Now())
 	j.mu.Lock()
-	j.snapshot = blob
-	j.snapshotCycle = cycle
+	haveBase, nFrames, tip := j.snapBase != nil, len(j.snapFrames), j.snapTip
+	j.mu.Unlock()
+	if haveBase && nFrames < maxShadowDeltas {
+		if frame, err := simu.CheckpointDeltaChained(); err == nil {
+			if fBase, fTip, herr := snap.DeltaHashes(frame); herr == nil && fBase == tip {
+				j.mu.Lock()
+				j.snapFrames = append(j.snapFrames, frame)
+				j.snapTip = fTip
+				j.snapshotCycle = cycle
+				j.mu.Unlock()
+				return
+			}
+		}
+	}
+	blob, err := simu.Checkpoint()
+	if err != nil {
+		return // e.g. a shared-agent config; the job just has no shadow
+	}
+	hash, _ := simu.CheckpointBodyHash()
+	j.mu.Lock()
+	j.snapBase, j.snapFrames, j.snapTip, j.snapshotCycle = blob, nil, hash, cycle
 	j.mu.Unlock()
 }
 
-// snapshotData returns the latest in-memory checkpoint blob, or nil.
-func (j *job) snapshotData() ([]byte, int64) {
+// snapshotChain returns the shadowed chain: the full base blob, the delta
+// frames extending it (oldest first), the tip's body hash, and the tip's
+// simulated clock. base is nil when no shadow exists yet. The returned
+// slices are shared with the producer but never mutated in place.
+func (j *job) snapshotChain() (base []byte, frames [][]byte, tip [32]byte, cycle int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.snapshot, j.snapshotCycle
+	return j.snapBase, j.snapFrames, j.snapTip, j.snapshotCycle
 }
 
 // setRunning moves queued → running; it reports false when the job already

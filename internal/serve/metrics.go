@@ -44,6 +44,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("adaptnoc_serve_cache_entries", "Results held in memory.", cs.Entries)
 	gauge("adaptnoc_serve_cache_bytes", "Bytes of results held in memory.", cs.Bytes)
 
+	ckptEntries, ckptBytes, ckptEvictions := s.ckpts.stats()
+	gauge("adaptnoc_serve_checkpoint_entries", "Checkpoints held in the checkpoint directory.", ckptEntries)
+	gauge("adaptnoc_serve_checkpoint_bytes", "Bytes of checkpoints held in the checkpoint directory.", ckptBytes)
+	counter("adaptnoc_serve_checkpoint_evictions_total", "Checkpoints deleted to hold the directory's byte budget.", ckptEvictions)
+
 	// Job latency is recorded in milliseconds; obs exports it in the
 	// Prometheus base unit (seconds).
 	s.histMu.Lock()

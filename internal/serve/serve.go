@@ -19,6 +19,7 @@ package serve
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"adaptnoc"
 	"adaptnoc/internal/runner"
 	"adaptnoc/internal/sim"
+	"adaptnoc/internal/snap"
 )
 
 // Options configure a Server. The zero value is usable.
@@ -54,6 +56,11 @@ type Options struct {
 	// cycle zero; determinism makes the spliced run's results byte-identical
 	// to an uninterrupted one.
 	CheckpointDir string
+	// CheckpointBytes bounds the CheckpointDir's total size (<= 0 selects
+	// 256 MiB). Least-recently-used checkpoints are deleted once the budget
+	// is exceeded; determinism makes that safe — an evicted checkpoint only
+	// costs a resume its fast-forward, never its result.
+	CheckpointBytes int64
 	// JitterSeed seeds the Retry-After jitter on 429 responses (0 seeds
 	// from the clock). Tests set it for a reproducible sequence; the values
 	// themselves are uniform over 1-5 seconds either way.
@@ -66,6 +73,7 @@ type Server struct {
 	opts    Options
 	cache   *Cache
 	handoff *handoffStore
+	ckpts   *ckptStore // nil without a CheckpointDir
 	mux     *http.ServeMux
 
 	jitter atomic.Uint64 // splitmix64 state for Retry-After jitter
@@ -130,7 +138,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/lease", s.handleLease)
 	s.mux.HandleFunc("PUT /v1/checkpoints/{key}", s.handlePutCheckpoint)
 	if opts.CheckpointDir != "" {
-		os.MkdirAll(opts.CheckpointDir, 0o755)
+		s.ckpts = newCkptStore(opts.CheckpointDir, opts.CheckpointBytes)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -246,6 +254,7 @@ func (s *Server) saveCheckpoint(ctx context.Context, j *job, simu *adaptnoc.Sim,
 		return
 	}
 	if err := simu.WriteCheckpoint(path); err == nil {
+		s.ckpts.note(j.key)
 		j.mu.Lock()
 		j.checkpointed = true
 		j.mu.Unlock()
@@ -273,6 +282,7 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		if simu == nil && ckpt != "" {
 			if restored, err := adaptnoc.RestoreSimFromFile(ckpt); err == nil {
 				simu = restored
+				s.ckpts.touch(j.key)
 			}
 		}
 		// A missing or unreadable checkpoint falls back to a fresh run:
@@ -295,13 +305,13 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 			ChannelSkipRate: ts.ChannelSkipRate(),
 		})
 		// Lease-scoped jobs shadow their state in memory once per slice so
-		// a coordinator can fetch the latest blob for handoff even after
+		// a coordinator can fetch the latest state for handoff even after
 		// this process dies abruptly mid-poll (the coordinator shadows it
-		// during routine job polling). Ordinary jobs skip the encode.
+		// during routine job polling). The shadow is a rolling delta chain:
+		// after the first full blob, a quiet slice costs a frame of dozens
+		// of bytes instead of a full re-encode. Ordinary jobs skip it all.
 		if j.lease > 0 {
-			if blob, err := simu.Checkpoint(); err == nil {
-				j.setSnapshot(blob, int64(simu.Kernel.Now()))
-			}
+			j.shadow(simu)
 		}
 	}
 	if j.req.Budgeted() {
@@ -340,7 +350,7 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		return nil, fmt.Errorf("serve: marshaling results: %w", err)
 	}
 	if ckpt != "" {
-		os.Remove(ckpt) // the result is cached now; the checkpoint is spent
+		s.ckpts.remove(j.key) // the result is cached now; the checkpoint is spent
 	}
 	return blob, nil
 }
@@ -475,31 +485,88 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.info())
 }
 
-// handleCheckpoint serves the job's latest checkpoint blob for handoff:
-// the in-memory per-slice snapshot of a lease-scoped job when one exists,
-// else the cancel-time disk checkpoint. The X-Checkpoint-Cycle header
-// carries the blob's simulated clock.
+// handleCheckpoint serves the job's latest checkpoint for handoff: the
+// in-memory chain of a lease-scoped job when one exists, else the
+// cancel-time disk checkpoint. A caller that already holds an earlier
+// link of the chain names it with ?base=<hex body hash> and receives just
+// the delta frames extending it (X-Checkpoint-Format: delta-chain, body a
+// snap frame log — possibly empty when the caller is already current)
+// instead of the full blob, so a polling coordinator's steady-state fetch
+// is kilobytes. Every response carries the simulated clock
+// (X-Checkpoint-Cycle) and the state's body hash (X-Checkpoint-Body-Hash),
+// which is the base token for the caller's next fetch.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	blob, cycle := j.snapshotData()
-	if blob == nil {
+	base, frames, tip, cycle := j.snapshotChain()
+	if base == nil {
 		if p := s.checkpointPath(j.key); p != "" {
-			blob, _ = os.ReadFile(p)
+			if blob, err := os.ReadFile(p); err == nil {
+				s.ckpts.touch(j.key)
+				writeFullCheckpoint(w, blob, 0)
+				return
+			}
 		}
-	}
-	if blob == nil {
 		writeJSON(w, http.StatusNotFound, map[string]string{
 			"error": "no checkpoint for this job",
 			"hint":  "lease-scoped jobs (?lease=<duration>) snapshot every progress slice; canceled jobs checkpoint when the daemon runs with -checkpointdir",
 		})
 		return
 	}
+	if baseHex := r.URL.Query().Get("base"); baseHex != "" {
+		if want, err := hex.DecodeString(baseHex); err == nil && len(want) == len(tip) {
+			if suffix, ok := chainSuffix(base, frames, [32]byte(want)); ok {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("X-Checkpoint-Format", "delta-chain")
+				w.Header().Set("X-Checkpoint-Cycle", fmt.Sprintf("%d", cycle))
+				w.Header().Set("X-Checkpoint-Body-Hash", hex.EncodeToString(tip[:]))
+				w.Write(snap.FrameLog(suffix))
+				return
+			}
+		}
+		// An unknown base (the chain rebased past it, or the hash is
+		// garbage) degrades to the full blob below — never an error.
+	}
+	blob, err := snap.ApplyChain(base, frames...)
+	if err != nil {
+		// The producer verifies every frame's lineage before appending, so
+		// this is unreachable short of memory corruption.
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("assembling checkpoint: %v", err))
+		return
+	}
+	writeFullCheckpoint(w, blob, cycle)
+}
+
+// chainSuffix locates the chain position whose body hash is want and
+// returns the frames after it — empty when want is the tip itself. ok is
+// false when no position matches (the caller's copy predates the chain's
+// base, so only a full blob can help them).
+func chainSuffix(base []byte, frames [][]byte, want [32]byte) ([][]byte, bool) {
+	if body, err := snap.OpenBody(base); err == nil && snap.BodyHash(body) == want {
+		return frames, true
+	}
+	for i, f := range frames {
+		if _, result, err := snap.DeltaHashes(f); err == nil && result == want {
+			return frames[i+1:], true
+		}
+	}
+	return nil, false
+}
+
+// writeFullCheckpoint writes a complete checkpoint blob with the headers
+// the delta negotiation relies on; the body hash seeds the caller's next
+// ?base= fetch.
+func writeFullCheckpoint(w http.ResponseWriter, blob []byte, cycle int64) {
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Checkpoint-Format", "full")
 	w.Header().Set("X-Checkpoint-Cycle", fmt.Sprintf("%d", cycle))
+	if body, err := snap.OpenBody(blob); err == nil {
+		hash := snap.BodyHash(body)
+		w.Header().Set("X-Checkpoint-Body-Hash", hex.EncodeToString(hash[:]))
+	}
 	w.Write(blob)
 }
 

@@ -3,6 +3,7 @@ package serve_test
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 
 	"adaptnoc"
 	"adaptnoc/internal/serve"
+	"adaptnoc/internal/snap"
 )
 
 // newTestServer starts a daemon behind httptest and registers a drain on
@@ -922,5 +924,160 @@ func TestCheckpointHandoffByteIdentical(t *testing.T) {
 	bresp.Body.Close()
 	if bresp.StatusCode != http.StatusBadRequest {
 		t.Errorf("corrupt deposit: %s, want 400", bresp.Status)
+	}
+}
+
+// The checkpoint endpoint's delta negotiation: a caller naming a chain
+// position it already holds (?base=<hex body hash>) receives only the
+// delta frames extending it, and applying them locally reproduces the
+// byte-identical full blob. Determinism lets the test mint a valid base
+// token without racing the worker: a local run of the same config to a
+// slice boundary produces the exact bytes (hence hash) the server's chain
+// holds at that cycle.
+func TestCheckpointDeltaNegotiation(t *testing.T) {
+	req := fastRequest(41)
+	req.Cycles = 8000 // 8 slices: full base at 1000, seven frames after
+
+	_, base := newTestServer(t, serve.Options{Workers: 1})
+	leased, _ := submitQuery(t, base, req, "lease=120s")
+	done := waitTerminal(t, base, leased.ID, 60*time.Second)
+	if done.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+
+	fetch := func(query string) ([]byte, string, string, string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/jobs/" + leased.ID + "/checkpoint" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("checkpoint fetch %q: %s", query, resp.Status)
+		}
+		return blob, resp.Header.Get("X-Checkpoint-Format"),
+			resp.Header.Get("X-Checkpoint-Body-Hash"), resp.Header.Get("X-Checkpoint-Cycle")
+	}
+
+	// Baseline: the full blob, its hash, and its clock.
+	full, format, tipHex, cycle := fetch("")
+	if format != "full" || tipHex == "" || cycle != "8000" {
+		t.Fatalf("full fetch: format=%q hash=%q cycle=%q", format, tipHex, cycle)
+	}
+	if _, err := adaptnoc.RestoreSim(full); err != nil {
+		t.Fatalf("full blob does not restore: %v", err)
+	}
+
+	// Mint a mid-chain base token by running the same config locally to a
+	// slice boundary — byte-determinism makes the hashes coincide.
+	simu, err := adaptnoc.NewSim(req.Canonical().Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simu.Run(3000)
+	local, err := simu.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := snap.OpenBody(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localHash := snap.BodyHash(body)
+
+	blob, format, gotTip, cycle := fetch("?base=" + hex.EncodeToString(localHash[:]))
+	if format != "delta-chain" {
+		t.Fatalf("mid-chain base answered format %q, want delta-chain", format)
+	}
+	if gotTip != tipHex || cycle != "8000" {
+		t.Errorf("delta fetch: hash=%q cycle=%q, want %q/8000", gotTip, cycle, tipHex)
+	}
+	frames, err := snap.ParseFrameLog(blob)
+	if err != nil {
+		t.Fatalf("delta-chain body does not parse: %v", err)
+	}
+	if len(frames) != 5 {
+		t.Errorf("suffix after cycle 3000 carries %d frames, want 5", len(frames))
+	}
+	// Under saturated traffic each frame still re-encodes the churning
+	// packet state, so the honest size claim here is per-frame (the
+	// steady-state >=5x shrink is benched by make bench-checkpoint); what
+	// the negotiation always saves is shipping the suffix instead of one
+	// full blob per poll.
+	if len(blob) >= len(frames)*len(full) {
+		t.Errorf("delta suffix (%d bytes over %d frames) not smaller than refetching full blobs (%d bytes each)",
+			len(blob), len(frames), len(full))
+	}
+	applied, err := snap.ApplyChain(local, frames...)
+	if err != nil {
+		t.Fatalf("applying fetched chain: %v", err)
+	}
+	if !bytes.Equal(applied, full) {
+		t.Error("local base + fetched deltas differs from the full blob")
+	}
+
+	// A caller already at the tip gets an empty chain.
+	blob, format, _, _ = fetch("?base=" + tipHex)
+	if format != "delta-chain" || len(blob) != 0 {
+		t.Errorf("tip base: format=%q body=%d bytes, want delta-chain/empty", format, len(blob))
+	}
+
+	// An unknown or garbage base degrades to the full blob, never an error.
+	blob, format, _, _ = fetch("?base=" + strings.Repeat("ab", 32))
+	if format != "full" || !bytes.Equal(blob, full) {
+		t.Errorf("unknown base: format=%q, want the full blob again", format)
+	}
+	blob, format, _, _ = fetch("?base=zzzz")
+	if format != "full" || !bytes.Equal(blob, full) {
+		t.Errorf("garbage base: format=%q, want the full blob again", format)
+	}
+}
+
+// The checkpoint directory honors its byte budget: checkpoints beyond it
+// are evicted least-recently-used at runtime, and a restart sweeps
+// pre-existing files down to the budget.
+func TestCheckpointDirBudget(t *testing.T) {
+	dir := t.TempDir()
+	req := slowRequest(42)
+
+	// One canceled job to learn the checkpoint size and prove persistence.
+	_, base := newTestServer(t, serve.Options{Workers: 1, CheckpointDir: dir})
+	info, _ := submit(t, base, req)
+	deadline := time.Now().Add(30 * time.Second)
+	for len(getJob(t, base, info.ID).Results) == 0 && getJob(t, base, info.ID).State == serve.StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let it run a little before canceling
+	cancelJob(t, base, info.ID)
+	canceled := waitTerminal(t, base, info.ID, 30*time.Second)
+	if canceled.State != serve.StateCanceled || !canceled.Checkpoint {
+		t.Fatalf("setup job: state=%s checkpoint=%v", canceled.State, canceled.Checkpoint)
+	}
+	fi, err := os.Stat(filepath.Join(dir, info.Key+".ckpt"))
+	if err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	// Plant extra fake checkpoints, then restart with a budget that only
+	// fits one: the startup sweep must evict the oldest down to the budget.
+	old := filepath.Join(dir, strings.Repeat("0", 8)+".ckpt")
+	os.WriteFile(old, make([]byte, fi.Size()), 0o644)
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(old, past, past)
+	os.WriteFile(filepath.Join(dir, "stale.ckpt.tmp"), []byte("torn"), 0o644)
+
+	newTestServer(t, serve.Options{Workers: 1, CheckpointDir: dir, CheckpointBytes: fi.Size() + 1})
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Error("startup sweep kept the oldest checkpoint past the budget")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stale.ckpt.tmp")); !os.IsNotExist(err) {
+		t.Error("startup sweep kept a torn temp file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, info.Key+".ckpt")); err != nil {
+		t.Errorf("startup sweep evicted the newest checkpoint: %v", err)
 	}
 }

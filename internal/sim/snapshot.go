@@ -123,10 +123,16 @@ func (k *Kernel) Snapshot(w *snap.Writer) error {
 			return fmt.Errorf("sim: pending closure event at cycle %d cannot be checkpointed", ev.at)
 		}
 	}
+	// Part-mark kinds inside the kernel section (delta alignment only):
+	// kind 0 is the clock header, kind 1 keys each event by its sequence
+	// number, which is stable for an event that merely survives between
+	// two snapshots and pairs positionally when it reschedules.
+	w.Mark(snap.PartKey(0, 0))
 	w.I64(int64(k.now))
 	w.I64(k.seq)
 	w.Uvarint(uint64(len(evs)))
 	for _, ev := range evs {
+		w.Mark(snap.PartKey(1, uint64(ev.seq)))
 		w.I64(int64(ev.at))
 		w.I64(ev.seq)
 		w.U32(uint32(ev.op))

@@ -1,0 +1,79 @@
+package snap
+
+// Append-only frame logs: the on-disk companion of a delta chain. A log
+// is a sequence of uvarint-length-prefixed records appended beside a full
+// base blob; appending is the only write, so a crash can damage at most
+// the final record, and the reader treats a torn tail as end-of-log
+// rather than an error. Which records are *valid* is not the log's
+// problem — every delta frame names its base by content hash, so applying
+// the chain (ApplyChainPrefix) rejects records that survived a crash but
+// describe a superseded base.
+
+import (
+	"encoding/binary"
+	"os"
+)
+
+// AppendFrame appends one length-prefixed record to the log at path,
+// creating it if needed. The record is written with a single Write call
+// to keep the torn-tail window as small as the OS allows.
+func AppendFrame(path string, frame []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+	rec := make([]byte, 0, n+len(frame))
+	rec = append(append(rec, hdr[:n]...), frame...)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFrameLog parses the log at path into records, stopping silently at
+// the first torn record. A missing or empty log yields nil.
+func ReadFrameLog(path string) [][]byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	r := NewReader(data)
+	var frames [][]byte
+	for r.Len() > 0 {
+		f, err := r.Bytes0()
+		if err != nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// FrameLog serializes records in the log's length-prefixed format — the
+// wire shape a checkpoint endpoint ships a delta chain in.
+func FrameLog(frames [][]byte) []byte {
+	var w Writer
+	for _, f := range frames {
+		w.Bytes0(f)
+	}
+	return w.Bytes()
+}
+
+// ParseFrameLog is the strict inverse of FrameLog: unlike ReadFrameLog it
+// rejects a torn tail, because on the wire truncation means a damaged
+// response, not a survivable crash artifact.
+func ParseFrameLog(data []byte) ([][]byte, error) {
+	r := NewReader(data)
+	var frames [][]byte
+	for r.Len() > 0 {
+		f, err := r.Bytes0()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}

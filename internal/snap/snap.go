@@ -56,8 +56,32 @@ func (e *ErrCorrupt) Error() string {
 // Writer appends primitive values to a growing buffer. The zero value is
 // ready to use.
 type Writer struct {
-	buf []byte
+	buf   []byte
+	parts []Part
 }
+
+// Part is a delta-alignment mark: a stable key recorded at a byte offset.
+// Layers call Mark at the start of each self-contained component record
+// (a packet, a router, a transaction) so the delta encoder can line up
+// the same component across two snapshots even when unrelated components
+// were inserted or removed between them. Parts are an in-memory aid for
+// EncodeDelta only — they are never serialized into a blob, so marking is
+// free to evolve without a format change.
+type Part struct {
+	Key uint64
+	Off int
+}
+
+// PartKey builds a Part key from a component kind and a stable identity.
+// The kind occupies the top byte so identities from different component
+// types inside one section can never collide.
+func PartKey(kind uint8, id uint64) uint64 { return uint64(kind)<<56 | id&(1<<56-1) }
+
+// Mark records a part boundary at the current write position.
+func (w *Writer) Mark(key uint64) { w.parts = append(w.parts, Part{Key: key, Off: len(w.buf)}) }
+
+// Parts returns the marks recorded so far, in write order.
+func (w *Writer) Parts() []Part { return w.parts }
 
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
@@ -95,6 +119,21 @@ func (w *Writer) Bool(v bool) {
 // F64 appends a float64 by its IEEE-754 bit pattern, preserving the exact
 // value including negative zero and NaN payloads.
 func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Raw appends bytes verbatim, with no framing. It exists for encoders that
+// cache a component's previous serialization and splice it back in when
+// the component is known unchanged — the bytes must be exactly what the
+// ordinary encoding calls would have produced.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reset empties the writer, keeping its backing storage for reuse.
+func (w *Writer) Reset() { w.buf, w.parts = w.buf[:0], w.parts[:0] }
+
+// ResetWith empties the writer and adopts the given slices' backing
+// storage. Periodic snapshot producers hand a retired generation's buffers
+// back this way so a steady-state walk allocates nothing; the caller must
+// no longer read through the donated slices.
+func (w *Writer) ResetWith(buf []byte, parts []Part) { w.buf, w.parts = buf[:0], parts[:0] }
 
 // Bytes0 appends a length-prefixed byte string.
 func (w *Writer) Bytes0(b []byte) {

@@ -81,18 +81,31 @@ func (m *Machine) RestoreDrops(r *snap.Reader) error {
 	return nil
 }
 
+// Part-mark kinds inside the machine section (delta alignment only, never
+// serialized; see snap.Part).
+const (
+	partMachHeader = iota
+	partMachApp
+	partMachCore
+	partMachMC
+	partMachTxn
+)
+
 // Snapshot writes the machine's dynamic state.
 func (m *Machine) Snapshot(w *snap.Writer) {
+	w.Mark(snap.PartKey(partMachHeader, 0))
 	w.U64(m.nextTxn)
 
 	w.Uvarint(uint64(len(m.apps)))
 	for _, a := range m.apps {
+		w.Mark(snap.PartKey(partMachApp, uint64(a.ID)))
 		w.I64(int64(a.finishedAt))
 		snapshotWindow(w, a.win)
 		snapshotWindow(w, a.total)
 		a.rng.Snapshot(w)
 		w.Uvarint(uint64(len(a.cores)))
-		for _, c := range a.cores {
+		for ci, c := range a.cores {
+			w.Mark(snap.PartKey(partMachCore, uint64(a.ID)<<16|uint64(ci)))
 			w.I64(c.retired)
 			w.Int(c.phaseIdx)
 			w.I64(c.phaseInstr)
@@ -112,6 +125,7 @@ func (m *Machine) Snapshot(w *snap.Writer) {
 	w.Uvarint(uint64(len(tiles)))
 	for _, t := range tiles {
 		mc := m.mcs[noc.NodeID(t)]
+		w.Mark(snap.PartKey(partMachMC, uint64(t)))
 		w.Int(t)
 		w.I64(int64(mc.busyUntil))
 		w.Int(mc.queueLen)
@@ -127,6 +141,7 @@ func (m *Machine) Snapshot(w *snap.Writer) {
 	w.Uvarint(uint64(len(ids)))
 	for _, id := range ids {
 		t := m.txns[id]
+		w.Mark(snap.PartKey(partMachTxn, id))
 		w.U64(t.id)
 		w.Int(t.app.ID)
 		w.Int(coreIndex(t.app, t.core))

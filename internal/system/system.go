@@ -270,6 +270,9 @@ type Machine struct {
 	// delivery handling.
 	onDeliver noc.DeliverFunc
 
+	// dropGen counts drop-tally mutations for delta-checkpoint skipping.
+	dropGen uint64
+
 	// dropped tallies fault-dropped packets per application ID. Kept out
 	// of WindowCounters so the machine checkpoint section layout stays
 	// frozen; the fault section serializes it instead.
@@ -526,6 +529,7 @@ func (m *Machine) deliver(p *noc.Packet, now sim.Cycle) {
 // (opSliceRespond and opMCReply are scheduled after delivery).
 func (m *Machine) Drop(p *noc.Packet, now sim.Cycle) {
 	if p.App >= 0 {
+		m.dropGen++
 		m.dropped[p.App]++
 	}
 	if t, ok := p.Payload.(*txn); ok {
@@ -536,6 +540,9 @@ func (m *Machine) Drop(p *noc.Packet, now sim.Cycle) {
 		m.retireTxn(t)
 	}
 }
+
+// DropGen returns the drop-tally generation counter.
+func (m *Machine) DropGen() uint64 { return m.dropGen }
 
 // DroppedPackets returns the fault-dropped packet count of one application.
 func (m *Machine) DroppedPackets(appID int) int64 { return m.dropped[appID] }

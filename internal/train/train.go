@@ -128,6 +128,7 @@ func Train(o Options) (*rl.DQN, error) {
 	if every <= 0 {
 		every = 1
 	}
+	ckpt := &chain{path: o.CheckpointPath}
 
 	// The loop is driven by a single global episode counter so a resumed
 	// run lands on the identical curriculum entry, seed, and epsilon the
@@ -156,14 +157,14 @@ func Train(o Options) (*rl.DQN, error) {
 				n, total, ep.Profile, ep.Region, agent.Cfg.Epsilon, agent.Replay.Len(), td)
 		}
 		if o.CheckpointPath != "" && n-saved >= every {
-			if err := saveCheckpoint(o.CheckpointPath, agent, n); err != nil {
+			if err := ckpt.save(agent, n); err != nil {
 				return nil, fmt.Errorf("train: checkpointing: %w", err)
 			}
 			saved = n
 		}
 	}
 	if o.CheckpointPath != "" && n > saved {
-		if err := saveCheckpoint(o.CheckpointPath, agent, n); err != nil {
+		if err := ckpt.save(agent, n); err != nil {
 			return nil, fmt.Errorf("train: checkpointing: %w", err)
 		}
 	}
