@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint bench-checkpoint-smoke quick check cover fuzzseeds serve-smoke fault-smoke fleet-smoke
+.PHONY: build test race bench bench-serve bench-tick bench-tick-smoke bench-shard bench-shard-smoke bench-checkpoint bench-checkpoint-smoke bench-trace quick check cover fuzzseeds serve-smoke fault-smoke fleet-smoke trace-smoke
 
 NPROC := $(shell nproc)
 
@@ -22,6 +22,7 @@ check:
 	go run ./cmd/adaptnoc-serve -smoke
 	go run ./cmd/adaptnoc-fleet -smoke
 	$(MAKE) fault-smoke
+	$(MAKE) trace-smoke
 	$(MAKE) bench-tick-smoke
 	$(MAKE) bench-shard-smoke
 	$(MAKE) bench-checkpoint-smoke
@@ -141,6 +142,37 @@ fleet-smoke:
 fault-smoke:
 	go run ./cmd/adaptnoc-sim -design baseline -cycles 20000 -epoch 10000 -faults 3 -verify 1 >/dev/null
 	go run ./cmd/adaptnoc-sim -design adapt-noc -cycles 20000 -epoch 10000 -faults 3 -verify 1 >/dev/null
+
+# trace-smoke proves the record→replay pipeline end-to-end through the
+# CLI (also part of check): capture a baseline run into a dependency
+# trace, replay it serially and with four tick shards, and require the
+# two replays' results JSON to be byte-identical.
+trace-smoke:
+	go run ./cmd/adaptnoc-sim -design baseline -cycles 8000 -epoch 4000 \
+		-record-trace /tmp/adaptnoc_trace_smoke.trc >/dev/null
+	go run ./cmd/adaptnoc-sim -trace /tmp/adaptnoc_trace_smoke.trc -json \
+		> /tmp/adaptnoc_trace_replay_serial.json
+	go run ./cmd/adaptnoc-sim -trace /tmp/adaptnoc_trace_smoke.trc -shards 4 -json \
+		> /tmp/adaptnoc_trace_replay_sharded.json
+	cmp /tmp/adaptnoc_trace_replay_serial.json /tmp/adaptnoc_trace_replay_sharded.json
+	@echo "trace-smoke: shard-identical replay OK"
+
+# bench-trace records the trace-replay comparison in BENCH_trace.json:
+# the "before" column is the live synthetic mixed run the recorder
+# captures and the "after" column the same traffic replayed from the
+# recorded dependency graph. Replay carries the dependency bookkeeping on
+# top of the same network simulation, so it is gated to stay within 2x of
+# the live run. Each replay iteration also decodes the trace blob into
+# per-node dependency state, so allocs/op is legitimately higher than the
+# live run's — the gate allows that setup cost an explicit headroom
+# instead of demanding alloc parity.
+bench-trace:
+	go test -run '^$$' -bench 'BenchmarkTrace(LiveRun|Replay)$$' -benchmem -count 3 \
+		. | tee /tmp/adaptnoc_bench_trace.txt
+	go run ./cmd/adaptnoc-benchdiff -bench BenchmarkTraceLiveRun \
+		-after-bench BenchmarkTraceReplay \
+		-before /tmp/adaptnoc_bench_trace.txt -after /tmp/adaptnoc_bench_trace.txt \
+		-max-ns-regress 100 -max-allocs-regress 200000 -json BENCH_trace.json
 
 # bench-serve measures one uncached simulation against repeated cached
 # submissions of the identical request and records BENCH_serve.json.

@@ -103,10 +103,25 @@ func (d Design) String() string {
 	}
 }
 
-// AppSpec describes one application to map onto the chip.
+// AppSpec describes one application to map onto the chip. A spec is
+// either synthetic — Profile names a phase model — or replayed: exactly
+// one of Profile and Trace/TraceData must be set.
 type AppSpec struct {
 	// Profile names a benchmark from internal/traffic (Table II).
-	Profile string `json:"profile"`
+	Profile string `json:"profile,omitempty"`
+	// Trace names an ADNOCTRC dependency-trace file (adaptnoc-sim
+	// -record-trace) to replay instead of a synthetic profile. It is a
+	// client-side convenience: NewSim inlines the file's bytes into
+	// TraceData, and the serving API rejects the path form — a server
+	// never reads its own filesystem on a client's behalf.
+	Trace string `json:"trace,omitempty"`
+	// TraceData is the trace blob itself (base64 in JSON). It lives inside
+	// the config, so it travels through the serving API, enters the
+	// content-addressed cache key, and keeps checkpoints self-contained.
+	TraceData []byte `json:"traceData,omitempty"`
+	// TraceApp selects which of the trace's recorded applications this
+	// spec replays (a recording of an n-app chip holds n streams).
+	TraceApp int `json:"traceApp,omitempty"`
 	// Region is the tile rectangle the application occupies.
 	Region Region `json:"region"`
 	// MCTiles host the region's memory controllers — the paper provisions
@@ -216,7 +231,8 @@ type Sim struct {
 	binds   []*core.Binding
 	specs   []AppSpec
 	subnocs []*fabric.SubNoC
-	faults  *fault.Engine // nil unless Cfg.Faults is non-empty
+	faults  *fault.Engine     // nil unless Cfg.Faults is non-empty
+	rec     *traffic.Recorder // nil unless RecordTrace armed it
 
 	// delta caches the sections of the most recent Checkpoint or
 	// CheckpointDelta so the next delta can skip re-encoding quiescent
@@ -367,6 +383,11 @@ func NewSim(cfg Config) (*Sim, error) {
 	if cfg.VCsPerVNet > 0 {
 		ncfg.VCsPerVNet = cfg.VCsPerVNet
 	}
+	// traces[i] is the recorded stream spec i replays (nil for synthetic
+	// apps). Resolving also inlines path-named files into cfg.Apps so the
+	// config stored on the Sim — and in every checkpoint taken from it —
+	// is self-contained.
+	traces := make([]*traffic.TraceApp, len(cfg.Apps))
 	for i := range cfg.Apps {
 		a := &cfg.Apps[i]
 		for _, mc := range a.MCTiles {
@@ -374,8 +395,14 @@ func NewSim(cfg Config) (*Sim, error) {
 				return nil, fmt.Errorf("adaptnoc: app %d MC tile %d outside region %v", i, mc, a.Region)
 			}
 		}
-		if _, ok := traffic.ByName(a.Profile); !ok {
-			return nil, fmt.Errorf("adaptnoc: unknown profile %q", a.Profile)
+		if a.Trace != "" || len(a.TraceData) > 0 {
+			ta, err := resolveTraceSpec(a, ncfg.Width, ncfg.Height)
+			if err != nil {
+				return nil, fmt.Errorf("adaptnoc: app %d: %w", i, err)
+			}
+			traces[i] = ta
+		} else if err := CheckProfile(a.Profile); err != nil {
+			return nil, err
 		}
 		for j := 0; j < i; j++ {
 			if a.Region.Overlaps(cfg.Apps[j].Region) {
@@ -422,7 +449,6 @@ func NewSim(cfg Config) (*Sim, error) {
 	// tree's depth.
 	var subnocs []*fabric.SubNoC
 	for i, spec := range cfg.Apps {
-		prof, _ := traffic.ByName(spec.Profile)
 		if s.Fabric != nil {
 			primary := centralMC(spec, ncfg.Width)
 			var extras []noc.NodeID
@@ -437,8 +463,18 @@ func NewSim(cfg Config) (*Sim, error) {
 			}
 			subnocs = append(subnocs, sn)
 		}
-		app := system.NewApp(i, prof, spec.Region.Tiles(ncfg.Width),
-			spec.MCTiles, spec.InstrBudget, rng.Split(uint64(1000+i)))
+		// Every app draws its RNG split, used or not, so adding a trace
+		// spec never shifts a neighbouring profile app's random stream.
+		appRNG := rng.Split(uint64(1000 + i))
+		var app *system.App
+		if ta := traces[i]; ta != nil {
+			src := traffic.NewTraceSource(ta, spec.Region.X, spec.Region.Y, ncfg.Width)
+			app = system.NewSourceApp(i, ta.Profile, src, spec.Region.Tiles(ncfg.Width), spec.MCTiles)
+		} else {
+			prof, _ := traffic.ByName(spec.Profile)
+			app = system.NewApp(i, prof, spec.Region.Tiles(ncfg.Width),
+				spec.MCTiles, spec.InstrBudget, appRNG)
+		}
 		s.apps = append(s.apps, app)
 		s.Machine.AddApp(app)
 	}

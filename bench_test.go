@@ -359,3 +359,83 @@ func BenchmarkTabSwitching(b *testing.B) {
 		}
 	}
 }
+
+// Trace record/replay microbenchmarks. BenchmarkTraceLiveRun is the
+// "before" column of BENCH_trace.json (the synthetic mixed workload the
+// recorder captures) and BenchmarkTraceReplay the "after" column (the
+// same traffic re-driven from the recorded dependency graph), so the
+// recorded JSON shows what replay costs relative to the live run.
+const traceBenchCycles = 4000
+
+func traceBenchConfig() adaptnoc.Config {
+	return adaptnoc.Config{
+		Design:      adaptnoc.DesignBaseline,
+		Apps:        adaptnoc.DefaultMixed(0),
+		Seed:        2021,
+		EpochCycles: 4000,
+	}
+}
+
+var (
+	traceBlobOnce sync.Once
+	traceBlobData []byte
+	traceBlobErr  error
+)
+
+// traceBenchBlob records the live run once and caches the blob.
+func traceBenchBlob(b *testing.B) []byte {
+	b.Helper()
+	traceBlobOnce.Do(func() {
+		s, err := adaptnoc.NewSim(traceBenchConfig())
+		if err != nil {
+			traceBlobErr = err
+			return
+		}
+		if traceBlobErr = s.RecordTrace(); traceBlobErr != nil {
+			return
+		}
+		s.Run(traceBenchCycles)
+		tr, err := s.FinishTrace()
+		if err != nil {
+			traceBlobErr = err
+			return
+		}
+		traceBlobData, traceBlobErr = adaptnoc.EncodeTrace(tr)
+	})
+	if traceBlobErr != nil {
+		b.Fatal(traceBlobErr)
+	}
+	return traceBlobData
+}
+
+func BenchmarkTraceLiveRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := adaptnoc.NewSim(traceBenchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run(traceBenchCycles)
+	}
+}
+
+func BenchmarkTraceReplay(b *testing.B) {
+	blob := traceBenchBlob(b)
+	apps, w, h, err := adaptnoc.TraceWorkload(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := adaptnoc.NewSim(adaptnoc.Config{
+			Design: adaptnoc.DesignBaseline, Width: w, Height: h,
+			Apps: apps, Seed: 2021, EpochCycles: 4000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.RunUntilFinished(traceBenchCycles * 10) {
+			b.Fatal("replay did not drain")
+		}
+	}
+}

@@ -16,6 +16,8 @@ package adaptnoc
 //	           channel validation sees the damaged wiring
 //	machine  — cores, apps, MCs, transaction table; restored before the
 //	           network so packet payloads can resolve transaction IDs
+//	source   — per-app workload-source state (phase positions and RNG
+//	           streams, or trace dependency bitmaps)
 //	net      — packets, routers, channels, NIs
 //	meter    — energy account
 //	control  — epoch controller + RL agents (Adapt designs)
@@ -186,6 +188,14 @@ func (s *Sim) checkpointSections(prev *deltaCache) ([]snap.DeltaSection, section
 	}
 	if err := add("machine", false, func(w *snap.Writer) error {
 		s.Machine.Snapshot(w)
+		return nil
+	}); err != nil {
+		return nil, gens, err
+	}
+	// The workload sources advance every tick alongside the machine, so
+	// the section is always walked; part-level diffing keeps deltas small.
+	if err := add("source", false, func(w *snap.Writer) error {
+		s.Machine.SnapshotSources(w)
 		return nil
 	}); err != nil {
 		return nil, gens, err
@@ -423,6 +433,9 @@ func RestoreSim(blob []byte) (*Sim, error) {
 		}
 	}
 	if err := restore("machine", s.Machine.Restore); err != nil {
+		return nil, err
+	}
+	if err := restore("source", s.Machine.RestoreSources); err != nil {
 		return nil, err
 	}
 	if err := restore("net", func(sr *snap.Reader) error {

@@ -1,7 +1,8 @@
 // Command adaptnoc-benchdiff compares two `go test -bench` text outputs and
 // gates performance regressions: it fails (exit 1) when the after run is
 // slower than the before run by more than -max-ns-regress percent on mean
-// ns/op, or when allocs/op regressed at all. With -require-zero-allocs it
+// ns/op, or when allocs/op regressed by more than -max-allocs-regress
+// (default 0: any regression fails). With -require-zero-allocs it
 // additionally demands the after run reports exactly 0 allocs/op, which is
 // the steady-state contract of the simulator's arena allocator.
 //
@@ -49,6 +50,7 @@ func main() {
 		afterPath  = flag.String("after", "", "`file` with the candidate go test -bench output")
 		jsonPath   = flag.String("json", "", "write the comparison record to this `file` (optional)")
 		maxNs      = flag.Float64("max-ns-regress", 10, "fail when mean ns/op regresses by more than this `percent` (negative demands an improvement)")
+		maxAllocs  = flag.Int64("max-allocs-regress", 0, "fail when allocs/op regresses by more than this `count` (default: any regression fails)")
 		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail unless the after run reports exactly 0 allocs/op")
 		ckptPath   = flag.String("checkpoint", "", "gate a BENCH_checkpoint.json `file` instead of comparing bench outputs")
 		minSize    = flag.Float64("min-delta-size-ratio", 5, "checkpoint mode: minimum full/delta size ratio on steady rows")
@@ -89,7 +91,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cmp := compare(bench, before, after, *maxNs, *zeroAllocs)
+		cmp := compare(bench, before, after, *maxNs, *maxAllocs, *zeroAllocs)
 		if afterName != bench {
 			cmp.AfterBench = afterName
 		}

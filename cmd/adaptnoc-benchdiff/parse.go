@@ -36,6 +36,7 @@ type Comparison struct {
 	NsDeltaPercent   float64  `json:"ns_delta_percent"` // negative = faster
 	AllocsDelta      int64    `json:"allocs_delta"`
 	MaxNsRegressPct  float64  `json:"max_ns_regress_percent"`
+	MaxAllocsRegress int64    `json:"max_allocs_regress,omitempty"`
 	RequireZeroAlloc bool     `json:"require_zero_allocs"`
 	Pass             bool     `json:"pass"`
 	Failures         []string `json:"failures,omitempty"`
@@ -119,12 +120,13 @@ func Summarize(runs []Run) Summary {
 }
 
 // compare applies the gates and assembles the JSON record.
-func compare(bench string, before, after Summary, maxNsRegressPct float64, requireZeroAllocs bool) Comparison {
+func compare(bench string, before, after Summary, maxNsRegressPct float64, maxAllocsRegress int64, requireZeroAllocs bool) Comparison {
 	c := Comparison{
 		Bench:            bench,
 		Before:           before,
 		After:            after,
 		MaxNsRegressPct:  maxNsRegressPct,
+		MaxAllocsRegress: maxAllocsRegress,
 		RequireZeroAlloc: requireZeroAllocs,
 		AllocsDelta:      after.AllocsPerOp - before.AllocsPerOp,
 		Pass:             true,
@@ -138,10 +140,13 @@ func compare(bench string, before, after Summary, maxNsRegressPct float64, requi
 			"ns/op regressed %.1f%% (mean %.0f -> %.0f), limit %.1f%%",
 			c.NsDeltaPercent, before.NsPerOpMean, after.NsPerOpMean, maxNsRegressPct))
 	}
-	if after.AllocsPerOp > before.AllocsPerOp {
+	if after.AllocsPerOp > before.AllocsPerOp+maxAllocsRegress {
 		c.Pass = false
-		c.Failures = append(c.Failures, fmt.Sprintf(
-			"allocs/op regressed %d -> %d", before.AllocsPerOp, after.AllocsPerOp))
+		msg := fmt.Sprintf("allocs/op regressed %d -> %d", before.AllocsPerOp, after.AllocsPerOp)
+		if maxAllocsRegress > 0 {
+			msg += fmt.Sprintf(", allowance %d", maxAllocsRegress)
+		}
+		c.Failures = append(c.Failures, msg)
 	}
 	if requireZeroAllocs && after.AllocsPerOp != 0 {
 		c.Pass = false

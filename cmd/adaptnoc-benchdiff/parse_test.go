@@ -84,18 +84,21 @@ func TestSummarizeTakesMeanMinAndWorstAllocs(t *testing.T) {
 func TestCompareGates(t *testing.T) {
 	base := Summary{Runs: 5, NsPerOpMean: 14000, NsPerOpMin: 13500, AllocsPerOp: 12}
 	for _, tc := range []struct {
-		name  string
-		after Summary
-		zero  bool
-		pass  bool
+		name      string
+		after     Summary
+		maxAllocs int64
+		zero      bool
+		pass      bool
 	}{
-		{"improved to zero allocs", Summary{NsPerOpMean: 10500, NsPerOpMin: 10300, AllocsPerOp: 0}, true, true},
-		{"slower beyond limit", Summary{NsPerOpMean: 16000, AllocsPerOp: 0}, false, false},
-		{"within noise", Summary{NsPerOpMean: 14500, AllocsPerOp: 12}, false, true},
-		{"alloc regression", Summary{NsPerOpMean: 13000, AllocsPerOp: 13}, false, false},
-		{"nonzero with zero required", Summary{NsPerOpMean: 13000, AllocsPerOp: 12}, true, false},
+		{"improved to zero allocs", Summary{NsPerOpMean: 10500, NsPerOpMin: 10300, AllocsPerOp: 0}, 0, true, true},
+		{"slower beyond limit", Summary{NsPerOpMean: 16000, AllocsPerOp: 0}, 0, false, false},
+		{"within noise", Summary{NsPerOpMean: 14500, AllocsPerOp: 12}, 0, false, true},
+		{"alloc regression", Summary{NsPerOpMean: 13000, AllocsPerOp: 13}, 0, false, false},
+		{"alloc regression within allowance", Summary{NsPerOpMean: 13000, AllocsPerOp: 13}, 1, false, true},
+		{"alloc regression beyond allowance", Summary{NsPerOpMean: 13000, AllocsPerOp: 20}, 5, false, false},
+		{"nonzero with zero required", Summary{NsPerOpMean: 13000, AllocsPerOp: 12}, 0, true, false},
 	} {
-		c := compare("BenchmarkNetworkTick", base, tc.after, 10, tc.zero)
+		c := compare("BenchmarkNetworkTick", base, tc.after, 10, tc.maxAllocs, tc.zero)
 		if c.Pass != tc.pass {
 			t.Errorf("%s: pass = %v, want %v (failures: %v)", tc.name, c.Pass, tc.pass, c.Failures)
 		}
@@ -107,11 +110,11 @@ func TestCompareNegativeLimitDemandsImprovement(t *testing.T) {
 	// at least 2x faster, not merely no slower.
 	base := Summary{Runs: 3, NsPerOpMean: 240000, NsPerOpMin: 230000}
 	fast := Summary{Runs: 3, NsPerOpMean: 70000, NsPerOpMin: 69000}
-	if c := compare("BenchmarkNetworkTickSharded/32x32/shards=1", base, fast, -50, false); !c.Pass {
+	if c := compare("BenchmarkNetworkTickSharded/32x32/shards=1", base, fast, -50, 0, false); !c.Pass {
 		t.Errorf("2x+ speedup rejected: %v", c.Failures)
 	}
 	slow := Summary{Runs: 3, NsPerOpMean: 180000, NsPerOpMin: 175000}
-	if c := compare("BenchmarkNetworkTickSharded/32x32/shards=1", base, slow, -50, false); c.Pass {
+	if c := compare("BenchmarkNetworkTickSharded/32x32/shards=1", base, slow, -50, 0, false); c.Pass {
 		t.Error("25% speedup passed a gate demanding 50%")
 	}
 }

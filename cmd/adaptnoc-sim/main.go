@@ -6,7 +6,8 @@
 //	adaptnoc-sim [-design name] [-gpu profile] [-cpu1 profile] [-cpu2 profile]
 //	             [-apps "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh"]
 //	             [-cycles N | -budget N] [-epoch N] [-seed N] [-share N]
-//	             [-trace out.json] [-traceformat chrome|ring] [-tracecap N]
+//	             [-record-trace out.trc] [-trace file.trc]
+//	             [-flittrace out.json] [-traceformat chrome|ring] [-tracecap N]
 //	             [-hist] [-verify N] [-pprof addr]
 //	             [-epochtrace] [-stats] [-layout] [-json]
 //	             [-checkpoint file] [-checkpoint-every N] [-resume file]
@@ -19,6 +20,15 @@
 // remaining cycles; the results are byte-identical to an uninterrupted
 // run.
 //
+// -record-trace captures the run into an ADNOCTRC dependency trace:
+// every packet with the inter-packet dependencies and compute gaps that
+// produced it. -trace replays such a file in place of the synthetic
+// workload — the recorded placements rebuild the app regions, the run
+// advances until the trace drains, and replay self-paces (a slower
+// fabric delays dependents instead of injecting an impossible schedule).
+// Recording assumes a cycle-0 start, so -record-trace cannot combine
+// with -resume.
+//
 // -faults injects a fault campaign: an integer generates that many seeded
 // random link/router/VC failures over the run window (-fault-seed pins
 // the campaign independently of the traffic seed), anything else is read
@@ -30,11 +40,11 @@
 // Designs: baseline, oscar, shortcut, ftby, ftby-pg, adapt-norl, adapt-noc.
 // Topologies for -apps: mesh, cmesh, torus, tree, torus+tree.
 //
-// -trace captures every flit's lifecycle. The default chrome format loads
-// directly into Perfetto (ui.perfetto.dev) or chrome://tracing; the ring
-// format is a compact fixed-record binary that keeps only the most recent
-// -tracecap events. -hist prints per-vnet latency percentiles and the
-// busiest routers/links. -verify N runs the flit-conservation and
+// -flittrace captures every flit's lifecycle. The default chrome format
+// loads directly into Perfetto (ui.perfetto.dev) or chrome://tracing; the
+// ring format is a compact fixed-record binary that keeps only the most
+// recent -tracecap events. -hist prints per-vnet latency percentiles and
+// the busiest routers/links. -verify N runs the flit-conservation and
 // credit-balance invariant checker every N cycles.
 package main
 
@@ -86,8 +96,10 @@ func main() {
 	seed := flag.Uint64("seed", 2021, "random seed")
 	share := flag.Int("share", 0, "foreign MCs shared to the GPU application")
 	appsFlag := flag.String("apps", "", `explicit workload, e.g. "bfs:0,0,4,8:tree; canneal:4,0,4,4:cmesh" (overrides -gpu/-cpu1/-cpu2)`)
-	traceFile := flag.String("trace", "", "write a flit-level trace to this file")
-	traceFormat := flag.String("traceformat", "chrome", "trace format: chrome (Perfetto JSON) or ring (binary ring buffer)")
+	traceFile := flag.String("flittrace", "", "write a flit-level observability trace to this file")
+	replayTrace := flag.String("trace", "", "replay an ADNOCTRC dependency trace (recorded with -record-trace) in place of the synthetic workload")
+	recordTrace := flag.String("record-trace", "", "record the run into an ADNOCTRC dependency-trace file")
+	traceFormat := flag.String("traceformat", "chrome", "flit-trace format: chrome (Perfetto JSON) or ring (binary ring buffer)")
 	traceCap := flag.Int("tracecap", 0, "max trace events kept (0 = format default)")
 	hist := flag.Bool("hist", false, "print per-vnet latency histograms and hotspot counters")
 	verifyEvery := flag.Int64("verify", 0, "run the invariant checker every N cycles (0 = off)")
@@ -125,6 +137,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adaptnoc-sim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
+	if *recordTrace != "" && *resumeFrom != "" {
+		fmt.Fprintln(os.Stderr, "adaptnoc-sim: -record-trace needs a cycle-0 start and cannot combine with -resume")
+		os.Exit(1)
+	}
 	var s *adaptnoc.Sim
 	var apps []adaptnoc.AppSpec
 	if *resumeFrom != "" {
@@ -162,14 +178,37 @@ func main() {
 		if h == 0 {
 			h = 8
 		}
-		if w != 8 || h != 8 {
+		gridW, gridH := *width, *height
+		if *replayTrace != "" {
+			data, rerr := os.ReadFile(*replayTrace)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim: -trace:", rerr)
+				os.Exit(1)
+			}
+			var tw, th int
+			apps, tw, th, err = adaptnoc.TraceWorkload(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
+			// The recorded grid sizes the replay chip unless -width/-height
+			// explicitly picks a (larger) one.
+			if gridW == 0 {
+				gridW = tw
+			}
+			if gridH == 0 {
+				gridH = th
+			}
+			w, h = gridW, gridH
+		} else if w != 8 || h != 8 {
 			// Larger chips tile the three-app mapping per 8×8 quadrant.
 			apps = adaptnoc.TiledMixed(w, h, *budget)
+			apps[0].ShareMCs = *share
 		} else {
 			apps = adaptnoc.MixedWorkload(*gpu, *cpu1, *cpu2, *budget)
+			apps[0].ShareMCs = *share
 		}
-		apps[0].ShareMCs = *share
-		if *appsFlag != "" {
+		if *appsFlag != "" && *replayTrace == "" {
 			apps, err = adaptnoc.ParseAppSpecs(*appsFlag)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
@@ -182,8 +221,8 @@ func main() {
 		cfg := adaptnoc.Config{
 			Design:      d,
 			Apps:        apps,
-			Width:       *width,
-			Height:      *height,
+			Width:       gridW,
+			Height:      gridH,
 			Seed:        *seed,
 			EpochCycles: *epoch,
 		}
@@ -205,6 +244,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
 			os.Exit(1)
+		}
+		if *recordTrace != "" {
+			if err := s.RecordTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -251,11 +296,13 @@ func main() {
 		s.Net.SetVerifier(*verifyEvery, obs.Verify)
 	}
 
-	budgeted := *budget > 0
+	// A trace replay is finite like a budgeted run: it ends when the
+	// recorded stream drains, with -cycles scaling the safety cap.
+	budgeted := *budget > 0 || *replayTrace != ""
 	if *resumeFrom != "" {
 		budgeted = false
 		for _, a := range apps {
-			if a.InstrBudget > 0 {
+			if a.InstrBudget > 0 || len(a.TraceData) > 0 || a.Trace != "" {
 				budgeted = true
 				break
 			}
@@ -308,6 +355,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
 			os.Exit(1)
 		}
+	}
+	if *recordTrace != "" {
+		tr, err := s.FinishTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
+		blob, err := adaptnoc.EncodeTrace(tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*recordTrace, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptnoc-sim:", err)
+			os.Exit(1)
+		}
+		n := 0
+		for _, a := range tr.Apps {
+			n += len(a.Nodes)
+		}
+		fmt.Fprintf(os.Stderr, "adaptnoc-sim: recorded %d packets across %d apps to %s (%d bytes)\n",
+			n, len(tr.Apps), *recordTrace, len(blob))
 	}
 	if metrics != nil {
 		fmt.Println()

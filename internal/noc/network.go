@@ -452,16 +452,29 @@ func (n *Network) Enqueue(p *Packet, now sim.Cycle) {
 // component, or a pruned-to-fixpoint static table), so a valid source
 // entry implies a complete path.
 func (n *Network) routable(p *Packet) bool {
-	src, dst := n.attach[p.Src], n.attach[p.Dst]
-	if src < 0 || dst < 0 {
+	return n.routableTo(p.Src, p.Dst, p.VNet)
+}
+
+func (n *Network) routableTo(src, dst NodeID, v VNet) bool {
+	s, d := n.attach[src], n.attach[dst]
+	if s < 0 || d < 0 {
 		return false
 	}
-	tbl := n.routers[src].Table(p.VNet)
+	tbl := n.routers[s].Table(v)
 	if tbl == nil {
 		return false
 	}
-	_, ok := tbl.Lookup(p.Dst)
+	_, ok := tbl.Lookup(dst)
 	return ok
+}
+
+// Deliverable reports whether an Enqueue of a src→dst packet on vnet v
+// would be accepted rather than fault-dropped: with no armed fault guard
+// every packet queues; under a guard the damaged topology must hold a
+// route. Traffic sources consult this so a packet doomed to drop at
+// injection never occupies an outstanding-request slot.
+func (n *Network) Deliverable(src, dst NodeID, v VNet) bool {
+	return !n.faultGuard || n.routableTo(src, dst, v)
 }
 
 // dropPacket accounts for and recycles a packet a fault made

@@ -31,10 +31,11 @@ const (
 )
 
 // Budgeted reports whether the request runs to application completion
-// (some app has an instruction budget) rather than for a fixed window.
+// rather than for a fixed window: some app has an instruction budget, or
+// replays a finite dependency trace.
 func (r Request) Budgeted() bool {
 	for _, a := range r.Config.Apps {
-		if a.InstrBudget > 0 {
+		if a.InstrBudget > 0 || a.Trace != "" || len(a.TraceData) > 0 {
 			return true
 		}
 	}
@@ -75,6 +76,18 @@ func (r Request) Validate() error {
 	}
 	if r.Config.RL.SharedAgent != nil {
 		return &adaptnoc.FieldError{Field: "rl", Msg: "in-process shared agent cannot be served"}
+	}
+	for i, a := range r.Config.Apps {
+		// A trace must arrive inline: the server never reads server-side
+		// paths on a client's behalf, and only inline bytes enter the
+		// content-addressed cache key.
+		if a.Trace != "" {
+			return &adaptnoc.FieldError{
+				Field: fmt.Sprintf("config.apps[%d].trace", i),
+				Msg:   "trace file paths cannot be served",
+				Hint:  "inline the trace bytes as traceData",
+			}
+		}
 	}
 	if err := r.Config.Validate(); err != nil {
 		if fe, ok := err.(*adaptnoc.FieldError); ok {

@@ -1,10 +1,13 @@
 package system
 
 // Checkpoint support: the machine's dynamic state is the per-core
-// execution position (retired/phase/MLP window), the per-app epoch and
-// lifetime counters, the memory-controller queues, and the outstanding
-// transaction table. Everything else (tile sets, thresholds, hot slice)
-// is a pure function of the configuration and is rebuilt by NewApp.
+// outstanding-request windows, the per-app epoch and lifetime counters,
+// the memory-controller queues, and the outstanding transaction table.
+// The workload-side execution position (retired/phase/RNG for profiles,
+// the dependency bitmaps for traces) lives in the sources and is
+// serialized through SnapshotSources into its own checkpoint section.
+// Everything else (tile sets, thresholds, hot slice) is a pure function
+// of the configuration and is rebuilt by NewApp.
 
 import (
 	"fmt"
@@ -13,6 +16,7 @@ import (
 	"adaptnoc/internal/noc"
 	"adaptnoc/internal/sim"
 	"adaptnoc/internal/snap"
+	"adaptnoc/internal/traffic"
 )
 
 func snapshotWindow(w *snap.Writer, c WindowCounters) {
@@ -102,17 +106,10 @@ func (m *Machine) Snapshot(w *snap.Writer) {
 		w.I64(int64(a.finishedAt))
 		snapshotWindow(w, a.win)
 		snapshotWindow(w, a.total)
-		a.rng.Snapshot(w)
 		w.Uvarint(uint64(len(a.cores)))
 		for ci, c := range a.cores {
 			w.Mark(snap.PartKey(partMachCore, uint64(a.ID)<<16|uint64(ci)))
-			w.I64(c.retired)
-			w.Int(c.phaseIdx)
-			w.I64(c.phaseInstr)
-			w.F64(c.ipcAcc)
 			w.Int(c.outstanding)
-			w.I64(c.stallCycles)
-			c.rng.Snapshot(w)
 		}
 	}
 
@@ -189,9 +186,6 @@ func (m *Machine) Restore(r *snap.Reader) error {
 		if a.total, err = restoreWindow(r); err != nil {
 			return err
 		}
-		if err := a.rng.Restore(r); err != nil {
-			return err
-		}
 		nCores, err := r.Count(1)
 		if err != nil {
 			return err
@@ -201,28 +195,7 @@ func (m *Machine) Restore(r *snap.Reader) error {
 				nCores, a.ID, len(a.cores))
 		}
 		for _, c := range a.cores {
-			if c.retired, err = r.I64(); err != nil {
-				return err
-			}
-			if c.phaseIdx, err = r.Int(); err != nil {
-				return err
-			}
-			if c.phaseIdx < 0 || c.phaseIdx >= len(a.Profile.Phases) {
-				return fmt.Errorf("system: phase index %d out of range", c.phaseIdx)
-			}
-			if c.phaseInstr, err = r.I64(); err != nil {
-				return err
-			}
-			if c.ipcAcc, err = r.F64(); err != nil {
-				return err
-			}
 			if c.outstanding, err = r.Int(); err != nil {
-				return err
-			}
-			if c.stallCycles, err = r.I64(); err != nil {
-				return err
-			}
-			if err := c.rng.Restore(r); err != nil {
 				return err
 			}
 		}
@@ -311,13 +284,43 @@ func (m *Machine) Restore(r *snap.Reader) error {
 	return nil
 }
 
+// SnapshotSources writes every application's workload-source state; it
+// fills the checkpoint's "source" section.
+func (m *Machine) SnapshotSources(w *snap.Writer) {
+	w.Uvarint(uint64(len(m.apps)))
+	for _, a := range m.apps {
+		w.Mark(snap.PartKey(traffic.PartSrcApp, uint64(a.ID)))
+		a.src.Snapshot(w)
+	}
+}
+
+// RestoreSources reads what SnapshotSources wrote onto identically
+// constructed applications.
+func (m *Machine) RestoreSources(r *snap.Reader) error {
+	n, err := r.Count(1)
+	if err != nil {
+		return err
+	}
+	if n != len(m.apps) {
+		return fmt.Errorf("system: checkpoint has %d sources, machine has %d apps", n, len(m.apps))
+	}
+	for _, a := range m.apps {
+		if err := a.src.Restore(r); err != nil {
+			return fmt.Errorf("system: source of app %d: %w", a.ID, err)
+		}
+	}
+	return nil
+}
+
 // Payload codec: packets carry either nothing, a fire-and-forget
-// coherence marker, or a transaction handle. The network's snapshot
-// delegates payload bytes to its owner through this pair.
+// coherence marker, a transaction handle, or a trace-replay node index.
+// The network's snapshot delegates payload bytes to its owner through
+// this pair.
 const (
 	payloadNil = iota
 	payloadCoh
 	payloadTxn
+	payloadTrace
 )
 
 // EncodePayload implements noc.PayloadCodec.
@@ -330,6 +333,9 @@ func (m *Machine) EncodePayload(w *snap.Writer, payload any) error {
 	case *txn:
 		w.Int(payloadTxn)
 		w.U64(t.id)
+	case traceRef:
+		w.Int(payloadTrace)
+		w.U64(uint64(t))
 	default:
 		return fmt.Errorf("system: unserializable payload %T", payload)
 	}
@@ -358,6 +364,12 @@ func (m *Machine) DecodePayload(r *snap.Reader) (any, error) {
 			return nil, fmt.Errorf("system: packet references unknown transaction %d", id)
 		}
 		return t, nil
+	case payloadTrace:
+		ref, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		return traceRef(ref), nil
 	}
 	return nil, fmt.Errorf("system: unknown payload kind %d", kind)
 }

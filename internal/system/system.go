@@ -1,10 +1,11 @@
 // Package system is the closed-loop heterogeneous machine model that
-// replaces the paper's gem5-GPU full-system simulation: CPU and GPU cores
-// retire instructions according to a traffic.Profile, miss in their L1s,
-// query distributed shared L2 slices over the request virtual network,
-// spill to memory controllers on L2 misses, and stall when their
-// memory-level parallelism window fills — so NoC latency feeds back into
-// execution time exactly as in the paper's Fig. 10 experiment.
+// replaces the paper's gem5-GPU full-system simulation: cores produce
+// instruction/memory behaviour through a traffic.Source (synthetic phase
+// machines or recorded dependency traces), miss in their L1s, query
+// distributed shared L2 slices over the request virtual network, spill to
+// memory controllers on L2 misses, and stall when their memory-level
+// parallelism window fills — so NoC latency feeds back into execution
+// time exactly as in the paper's Fig. 10 experiment.
 package system
 
 import (
@@ -53,13 +54,16 @@ const (
 // cohMsg marks a fire-and-forget coherence message.
 type cohMsg struct{}
 
+// traceRef is the payload of a trace-replay packet: the node index handed
+// back to the source's Retirer when the packet leaves the network.
+type traceRef uint64
+
 // WindowCounters are the per-epoch instruction/cache observations feeding
-// the RL state (Table I).
+// the RL state (Table I). The embedded traffic.Stats block is the portion
+// the workload source produces; the packet and latency counters are
+// machine-owned.
 type WindowCounters struct {
-	Retired   int64
-	L1DMisses int64
-	L1IMisses int64
-	L2Misses  int64 // L2 -> memory controller accesses
+	traffic.Stats
 
 	CoherencePackets int64
 	DataPackets      int64
@@ -95,23 +99,19 @@ func (w WindowCounters) AvgHops() float64 {
 	return float64(w.HopSum) / float64(w.Delivered)
 }
 
-// core is one CPU or GPU core.
+// core is one CPU or GPU core's machine-side state; everything about what
+// the core executes lives in the application's Source.
 type core struct {
-	app  *App
-	tile noc.NodeID
-	rng  *sim.RNG
-
-	retired     int64
-	phaseIdx    int
-	phaseInstr  int64
-	ipcAcc      float64
+	app         *App
+	tile        noc.NodeID
 	outstanding int
-	stallCycles int64
 }
 
 // App is one running application instance mapped onto a set of tiles.
 type App struct {
-	ID      int
+	ID int
+	// Profile is the synthetic profile driving a phase-sourced app; for
+	// trace-driven apps only Name is set (the recorded label).
 	Profile traffic.Profile
 	// Tiles are all tiles of the application's region.
 	Tiles []noc.NodeID
@@ -122,43 +122,67 @@ type App struct {
 	// (Section II-C.2); ForeignFrac of off-chip accesses go there.
 	ForeignMCs  []noc.NodeID
 	ForeignFrac float64
-	// InstrBudget is per core; 0 means run forever (latency experiments).
+	// InstrBudget is per core; 0 means run forever (latency experiments)
+	// or, for trace-driven apps, until the trace drains.
 	InstrBudget int64
 
-	cores      []*core
-	l2Tiles    []noc.NodeID
-	hotSlice   noc.NodeID // home of hotspot-skewed accesses (never an MC)
-	thresholds []phaseThresholds
-	finishedAt sim.Cycle
-	win        WindowCounters
-	total      WindowCounters
-	rng        *sim.RNG
+	cores   []*core
+	layout  *traffic.Layout
+	src     traffic.Source
+	retirer traffic.Retirer // src's Retirer side, nil if none
+	finite  bool
+	// deliverable is the machine's fault-guard routability query, wired
+	// by AddApp (nil until then; see Deliverable).
+	deliverable func(from, to noc.NodeID) bool
+	finishedAt  sim.Cycle
+	win         WindowCounters
+	total       WindowCounters
 }
 
-// NewApp builds an application over its tiles. Cores run on every tile
-// except the MC tiles; every tile hosts an L2 slice.
+// NewApp builds a profile-driven application over its tiles. Cores run on
+// every tile except the MC tiles; every tile hosts an L2 slice.
 func NewApp(id int, prof traffic.Profile, tiles []noc.NodeID, mcTiles []noc.NodeID, budget int64, rng *sim.RNG) *App {
-	if len(tiles) == 0 {
-		panic("system: app with no tiles")
-	}
 	if len(prof.Phases) == 0 {
 		panic("system: profile with no phases")
 	}
+	a := newAppShell(id, tiles, mcTiles)
+	a.Profile = prof
+	a.InstrBudget = budget
+	a.attachSource(traffic.NewPhaseSource(prof, budget, a.layout, rng))
+	return a
+}
+
+// NewSourceApp builds an application driven by an externally constructed
+// Source (trace replay). label names the workload in results tables.
+func NewSourceApp(id int, label string, src traffic.Source, tiles []noc.NodeID, mcTiles []noc.NodeID) *App {
+	a := newAppShell(id, tiles, mcTiles)
+	a.Profile = traffic.Profile{Name: label}
+	a.attachSource(src)
+	return a
+}
+
+// newAppShell builds the machine-side tile geometry shared by every
+// source kind.
+func newAppShell(id int, tiles []noc.NodeID, mcTiles []noc.NodeID) *App {
+	if len(tiles) == 0 {
+		panic("system: app with no tiles")
+	}
 	a := &App{
-		ID: id, Profile: prof,
-		Tiles:       append([]noc.NodeID(nil), tiles...),
-		MCTiles:     append([]noc.NodeID(nil), mcTiles...),
-		InstrBudget: budget, finishedAt: -1,
-		rng: rng,
+		ID:         id,
+		Tiles:      append([]noc.NodeID(nil), tiles...),
+		MCTiles:    append([]noc.NodeID(nil), mcTiles...),
+		layout:     &traffic.Layout{},
+		finishedAt: -1,
 	}
 	isMC := make(map[noc.NodeID]bool)
 	for _, m := range mcTiles {
 		isMC[m] = true
 	}
 	for _, t := range tiles {
-		a.l2Tiles = append(a.l2Tiles, t)
+		a.layout.L2Tiles = append(a.layout.L2Tiles, t)
 		if !isMC[t] {
-			a.cores = append(a.cores, &core{app: a, tile: t, rng: rng.Split(uint64(t))})
+			a.cores = append(a.cores, &core{app: a, tile: t})
+			a.layout.CoreTiles = append(a.layout.CoreTiles, t)
 		}
 	}
 	if len(a.cores) == 0 {
@@ -166,51 +190,52 @@ func NewApp(id int, prof traffic.Profile, tiles []noc.NodeID, mcTiles []noc.Node
 	}
 	// The hotspot home slice must not share a tile with a memory
 	// controller: one NI cannot source both flows.
-	a.hotSlice = a.cores[len(a.cores)/2].tile
-	for _, ph := range prof.Phases {
-		a.thresholds = append(a.thresholds, makeThresholds(ph))
-	}
+	a.layout.HotSlice = a.cores[len(a.cores)/2].tile
+	a.layout.MCTiles = a.MCTiles
 	return a
 }
 
-// phaseThresholds pre-scales a phase's per-instruction event rates to
-// 21-bit integer thresholds so one Uint64 draw decides the L1I miss,
-// coherence message, and L1D access events together (hot path).
-type phaseThresholds struct {
-	l1i, coh, mem uint32
+// attachSource binds the source to the app's machine-side view.
+func (a *App) attachSource(src traffic.Source) {
+	a.src = src
+	a.retirer, _ = src.(traffic.Retirer)
+	a.finite = src.Finite()
+	src.Bind(a)
 }
 
-const thresholdBits = 21
+// Outstanding implements traffic.View.
+func (a *App) Outstanding(core int) int { return a.cores[core].outstanding }
 
-func makeThresholds(ph traffic.Phase) phaseThresholds {
-	scale := func(p float64) uint32 {
-		if p < 0 {
-			p = 0
-		}
-		if p > 1 {
-			p = 1
-		}
-		return uint32(p * float64(uint64(1)<<thresholdBits))
-	}
-	return phaseThresholds{
-		l1i: scale(ph.L1IMissRate),
-		coh: scale(ph.CoherencePerKInstr / 1000.0),
-		mem: scale(ph.MemFrac),
-	}
+// Deliverable implements traffic.View: it asks the machine's network
+// whether a from→to request injection would survive the fault guard. An
+// unregistered app (unit tests drive sources without a machine) reports
+// everything deliverable.
+func (a *App) Deliverable(from, to noc.NodeID) bool {
+	return a.deliverable == nil || a.deliverable(from, to)
 }
+
+// Stats implements traffic.View.
+func (a *App) Stats() (win, total *traffic.Stats) { return &a.win.Stats, &a.total.Stats }
+
+// Source returns the app's workload source.
+func (a *App) Source() traffic.Source { return a.src }
 
 // SetMCs replaces the app's own memory-controller set.
-func (a *App) SetMCs(mcs []noc.NodeID) { a.MCTiles = append([]noc.NodeID(nil), mcs...) }
+func (a *App) SetMCs(mcs []noc.NodeID) {
+	a.MCTiles = append([]noc.NodeID(nil), mcs...)
+	a.layout.MCTiles = a.MCTiles
+}
 
 // SetForeignMCs configures shared foreign controllers and the fraction of
 // off-chip accesses directed to them.
 func (a *App) SetForeignMCs(mcs []noc.NodeID, frac float64) {
 	a.ForeignMCs = append([]noc.NodeID(nil), mcs...)
 	a.ForeignFrac = frac
+	a.layout.ForeignMCs = a.ForeignMCs
+	a.layout.ForeignFrac = frac
 }
 
-// Finished reports whether every core has retired its budget and drained
-// its outstanding requests.
+// Finished reports whether the workload has fully completed and drained.
 func (a *App) Finished() bool { return a.finishedAt >= 0 }
 
 // FinishedAt returns the completion cycle (-1 if still running).
@@ -226,23 +251,12 @@ func (a *App) TakeWindow() WindowCounters {
 // Totals returns lifetime counters (never reset).
 func (a *App) Totals() WindowCounters { return a.total }
 
-// Progress returns mean retired instructions per core.
-func (a *App) Progress() float64 {
-	var s int64
-	for _, c := range a.cores {
-		s += c.retired
-	}
-	return float64(s) / float64(len(a.cores))
-}
+// Progress returns the source's completion indicator (profile apps: mean
+// retired instructions per core; trace apps: retired packets).
+func (a *App) Progress() float64 { return a.src.Progress() }
 
 // StallCycles returns cumulative full-window stall cycles across cores.
-func (a *App) StallCycles() int64 {
-	var s int64
-	for _, c := range a.cores {
-		s += c.stallCycles
-	}
-	return s
-}
+func (a *App) StallCycles() int64 { return a.src.StallCycles() }
 
 // mcState is one memory controller's service queue.
 type mcState struct {
@@ -269,6 +283,9 @@ type Machine struct {
 	// onDeliver chains an external observer after the machine's own
 	// delivery handling.
 	onDeliver noc.DeliverFunc
+
+	// rec, when set, captures every injection into a dependency trace.
+	rec *traffic.Recorder
 
 	// dropGen counts drop-tally mutations for delta-checkpoint skipping.
 	dropGen uint64
@@ -336,8 +353,16 @@ func (m *Machine) retireTxn(t *txn) { delete(m.txns, t.id) }
 // SetObserver installs an extra packet-delivery observer.
 func (m *Machine) SetObserver(fn noc.DeliverFunc) { m.onDeliver = fn }
 
+// SetRecorder attaches a dependency-trace recorder. It must be wired
+// before the first cycle of a fresh run (recorded gaps are absolute from
+// cycle 0).
+func (m *Machine) SetRecorder(rec *traffic.Recorder) { m.rec = rec }
+
 // AddApp registers an application; its MCs get service state.
 func (m *Machine) AddApp(a *App) {
+	a.deliverable = func(from, to noc.NodeID) bool {
+		return m.net.Deliverable(from, to, noc.VNetRequest)
+	}
 	m.apps = append(m.apps, a)
 	for _, mc := range a.MCTiles {
 		if m.mcs[mc] == nil {
@@ -359,130 +384,91 @@ func (m *Machine) RemoveApp(a *App) {
 // Apps returns the registered applications.
 func (m *Machine) Apps() []*App { return m.apps }
 
-// AllFinished reports whether every app with a budget has completed.
+// AllFinished reports whether every finite app has completed.
 func (m *Machine) AllFinished() bool {
 	for _, a := range m.apps {
-		if a.InstrBudget > 0 && !a.Finished() {
+		if a.finite && !a.Finished() {
 			return false
 		}
 	}
 	return true
 }
 
-// Tick advances every core one cycle.
+// Tick advances every application one cycle: the source simulates its
+// cores, then the buffered injection events apply in issue order.
 func (m *Machine) Tick(now sim.Cycle) {
 	for _, a := range m.apps {
-		if a.InstrBudget > 0 && a.Finished() {
+		if a.finite && a.Finished() {
 			continue
 		}
-		done := a.InstrBudget > 0
-		for _, c := range a.cores {
-			m.tickCore(a, c, now)
-			if done && (c.retired < a.InstrBudget || c.outstanding > 0) {
-				done = false
+		done := a.src.Advance(now)
+		for {
+			ev, ok := a.src.NextEvent()
+			if !ok {
+				break
 			}
+			m.applyEvent(a, ev, now)
 		}
-		if done && a.finishedAt < 0 {
+		if a.finite && done && a.finishedAt < 0 {
 			a.finishedAt = now
 		}
 	}
 }
 
-// tickCore retires instructions and issues memory traffic for one core.
-func (m *Machine) tickCore(a *App, c *core, now sim.Cycle) {
-	if c.outstanding >= a.Profile.MLP {
-		c.stallCycles++
-		return
-	}
-	if a.InstrBudget > 0 && c.retired >= a.InstrBudget {
-		return
-	}
-	c.ipcAcc += a.Profile.IPC
-	n := int(c.ipcAcc)
-	c.ipcAcc -= float64(n)
-	const mask = (uint64(1) << thresholdBits) - 1
-	for i := 0; i < n; i++ {
-		ph := a.Profile.Phases[c.phaseIdx]
-		th := a.thresholds[c.phaseIdx]
-		c.retired++
-		a.win.Retired++
-		a.total.Retired++
-		c.phaseInstr++
-		if c.phaseInstr >= ph.Instructions {
-			c.phaseInstr = 0
-			c.phaseIdx = (c.phaseIdx + 1) % len(a.Profile.Phases)
+// applyEvent turns one source event into machine activity.
+func (m *Machine) applyEvent(a *App, ev traffic.Event, now sim.Cycle) {
+	switch ev.Kind {
+	case traffic.EvCoherence:
+		src, dst := a.cores[ev.Core].tile, a.cores[ev.Peer].tile
+		p := m.net.NewPacket(src, dst, noc.ClassCoherence, noc.VNetRequest, a.ID)
+		p.Payload = cohMsg{}
+		m.net.Enqueue(p, now)
+		a.win.CoherencePackets++
+		a.total.CoherencePackets++
+		if m.rec != nil {
+			m.rec.Coherence(a.ID, src, dst, now, a.total.Stats)
 		}
 
-		// One draw decides the three independent per-instruction events
-		// (disjoint 21-bit fields).
-		u := c.rng.Uint64()
-		if uint32(u&mask) < th.l1i {
-			a.win.L1IMisses++
-			a.total.L1IMisses++
+	case traffic.EvMem:
+		c := a.cores[ev.Core]
+		t := m.newTxn(&txn{app: a, core: c, slice: ev.Slice, mc: ev.MC, needsMC: ev.NeedsMC})
+		c.outstanding++
+		if m.rec != nil {
+			m.rec.TxnStart(a.ID, ev.Core, t.id)
 		}
-		if uint32((u>>thresholdBits)&mask) < th.coh {
-			m.sendCoherence(a, c, now)
+		if ev.Slice == c.tile {
+			// Local slice: no request traffic; resolve after the L2 lookup.
+			m.kernel.AfterOp(sim.Cycle(m.P.L2LatencyCycles), opSliceRespond, int64(t.id), 0, 0)
+			return
 		}
-		if uint32((u>>(2*thresholdBits))&mask) < th.mem && c.rng.Bernoulli(ph.L1MissRate) {
-			a.win.L1DMisses++
-			a.total.L1DMisses++
-			m.issueMemAccess(a, c, ph, now)
-			if c.outstanding >= a.Profile.MLP {
-				break
-			}
+		p := m.net.NewPacket(c.tile, ev.Slice, noc.ClassCoherence, noc.VNetRequest, a.ID)
+		p.Payload = t
+		m.net.Enqueue(p, now)
+		a.win.CoherencePackets++
+		a.total.CoherencePackets++
+		if m.rec != nil {
+			m.rec.TxnSend(t.id, c.tile, ev.Slice, false, now, a.total.Stats)
 		}
-	}
-}
 
-// sendCoherence emits a fire-and-forget control message to a peer core.
-func (m *Machine) sendCoherence(a *App, c *core, now sim.Cycle) {
-	if len(a.cores) < 2 {
-		return
-	}
-	peer := a.cores[c.rng.Intn(len(a.cores))]
-	if peer == c {
-		return
-	}
-	p := m.net.NewPacket(c.tile, peer.tile, noc.ClassCoherence, noc.VNetRequest, a.ID)
-	p.Payload = cohMsg{}
-	m.net.Enqueue(p, now)
-	a.win.CoherencePackets++
-	a.total.CoherencePackets++
-}
-
-// issueMemAccess starts an L1-miss transaction: request to the home L2
-// slice, optionally forwarded to a memory controller, data reply back.
-func (m *Machine) issueMemAccess(a *App, c *core, ph traffic.Phase, now sim.Cycle) {
-	slice := m.pickSlice(a, c, ph)
-	t := m.newTxn(&txn{app: a, core: c, slice: slice, needsMC: c.rng.Bernoulli(ph.L2MissRate)})
-	if t.needsMC {
-		if len(a.ForeignMCs) > 0 && c.rng.Bernoulli(a.ForeignFrac) {
-			t.mc = a.ForeignMCs[c.rng.Intn(len(a.ForeignMCs))]
+	case traffic.EvPacket:
+		class, vnet := noc.ClassCoherence, noc.VNetRequest
+		if ev.Data {
+			class, vnet = noc.ClassData, noc.VNetReply
+		}
+		p := m.net.NewPacket(ev.Src, ev.Dst, class, vnet, a.ID)
+		p.Payload = traceRef(ev.Ref)
+		m.net.Enqueue(p, now)
+		if ev.Data {
+			a.win.DataPackets++
+			a.total.DataPackets++
 		} else {
-			t.mc = a.MCTiles[c.rng.Intn(len(a.MCTiles))]
+			a.win.CoherencePackets++
+			a.total.CoherencePackets++
 		}
-		a.win.L2Misses++
-		a.total.L2Misses++
+		if m.rec != nil {
+			m.rec.Packet(a.ID, ev.Src, ev.Dst, ev.Data, now, a.total.Stats)
+		}
 	}
-	c.outstanding++
-	if slice == c.tile {
-		// Local slice: no request traffic; resolve after the L2 lookup.
-		m.kernel.AfterOp(sim.Cycle(m.P.L2LatencyCycles), opSliceRespond, int64(t.id), 0, 0)
-		return
-	}
-	p := m.net.NewPacket(c.tile, slice, noc.ClassCoherence, noc.VNetRequest, a.ID)
-	p.Payload = t
-	m.net.Enqueue(p, now)
-	a.win.CoherencePackets++
-	a.total.CoherencePackets++
-}
-
-// pickSlice maps an access to its home L2 slice (hotspot-skewed striping).
-func (m *Machine) pickSlice(a *App, c *core, ph traffic.Phase) noc.NodeID {
-	if ph.Hotspot > 0 && c.rng.Bernoulli(ph.Hotspot) {
-		return a.hotSlice
-	}
-	return a.l2Tiles[c.rng.Intn(len(a.l2Tiles))]
 }
 
 // deliver dispatches arriving packets to the memory-hierarchy agents.
@@ -501,17 +487,27 @@ func (m *Machine) deliver(p *noc.Packet, now sim.Cycle) {
 	}
 	switch t := p.Payload.(type) {
 	case *txn:
+		if m.rec != nil {
+			m.rec.TxnPacketDone(t.id, now)
+		}
 		switch {
 		case p.VNet == noc.VNetReply:
 			t.core.outstanding--
 			if t.core.outstanding < 0 {
 				panic(fmt.Sprintf("system: outstanding underflow at core %d", t.core.tile))
 			}
+			if m.rec != nil {
+				m.rec.TxnEnd(t.id, now)
+			}
 			m.retireTxn(t)
 		case t.stage == stageToSlice:
 			m.kernel.AfterOp(sim.Cycle(m.P.L2LatencyCycles), opSliceRespond, int64(t.id), 0, 0)
 		default: // stageToMC
 			m.mcService(t, now)
+		}
+	case traceRef:
+		if a := m.appByID(p.App); a != nil && a.retirer != nil {
+			a.retirer.Retire(uint64(t), now)
 		}
 	case cohMsg:
 		// Fire-and-forget coherence message: nothing further.
@@ -526,18 +522,29 @@ func (m *Machine) deliver(p *noc.Packet, now sim.Cycle) {
 // released so it keeps issuing — lost requests cost survival rate, not a
 // wedged core. Safe to retire here because kernel descriptor events only
 // ever reference a transaction while it is NOT riding a packet
-// (opSliceRespond and opMCReply are scheduled after delivery).
+// (opSliceRespond and opMCReply are scheduled after delivery). A dropped
+// trace packet still retires its node so dependents release — a faulty
+// fabric degrades a replay instead of deadlocking it.
 func (m *Machine) Drop(p *noc.Packet, now sim.Cycle) {
 	if p.App >= 0 {
 		m.dropGen++
 		m.dropped[p.App]++
 	}
-	if t, ok := p.Payload.(*txn); ok {
+	switch t := p.Payload.(type) {
+	case *txn:
 		t.core.outstanding--
 		if t.core.outstanding < 0 {
 			panic(fmt.Sprintf("system: outstanding underflow at core %d on drop", t.core.tile))
 		}
+		if m.rec != nil {
+			m.rec.TxnPacketDone(t.id, now)
+			m.rec.TxnEnd(t.id, now)
+		}
 		m.retireTxn(t)
+	case traceRef:
+		if a := m.appByID(p.App); a != nil && a.retirer != nil {
+			a.retirer.Retire(uint64(t), now)
+		}
 	}
 }
 
@@ -560,6 +567,9 @@ func (m *Machine) sliceRespond(t *txn, now sim.Cycle) {
 		m.net.Enqueue(p, now)
 		t.app.win.CoherencePackets++
 		t.app.total.CoherencePackets++
+		if m.rec != nil {
+			m.rec.TxnSend(t.id, t.slice, t.mc, false, now, t.app.total.Stats)
+		}
 		return
 	}
 	m.replyData(t, t.slice, now)
@@ -587,6 +597,9 @@ func (m *Machine) mcService(t *txn, now sim.Cycle) {
 func (m *Machine) replyData(t *txn, from noc.NodeID, now sim.Cycle) {
 	if from == t.core.tile {
 		t.core.outstanding--
+		if m.rec != nil {
+			m.rec.TxnEnd(t.id, now)
+		}
 		m.retireTxn(t)
 		return
 	}
@@ -595,6 +608,9 @@ func (m *Machine) replyData(t *txn, from noc.NodeID, now sim.Cycle) {
 	m.net.Enqueue(p, now)
 	t.app.win.DataPackets++
 	t.app.total.DataPackets++
+	if m.rec != nil {
+		m.rec.TxnSend(t.id, from, t.core.tile, true, now, t.app.total.Stats)
+	}
 }
 
 func (m *Machine) appByID(id int) *App {

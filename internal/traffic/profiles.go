@@ -155,21 +155,35 @@ func GPUProfiles() []Profile {
 	}
 }
 
+// The suite is static, and ByName sits on per-request validation paths
+// (config parsing, the serving API), so the lookup table is built once at
+// package init instead of rebuilding the profile slices on every call.
+// The indexed profiles are shared — callers must treat them as read-only.
+var (
+	allProfiles  = append(CPUProfiles(), GPUProfiles()...)
+	profileIndex = func() map[string]int {
+		m := make(map[string]int, len(allProfiles))
+		for i, p := range allProfiles {
+			m[p.Name] = i
+		}
+		return m
+	}()
+)
+
 // ByName finds a profile in the combined suite.
 func ByName(name string) (Profile, bool) {
-	for _, p := range append(CPUProfiles(), GPUProfiles()...) {
-		if p.Name == name {
-			return p, true
-		}
+	i, ok := profileIndex[name]
+	if !ok {
+		return Profile{}, false
 	}
-	return Profile{}, false
+	return allProfiles[i], true
 }
 
 // Names lists the suite for CLI help.
 func Names() []string {
-	var out []string
-	for _, p := range append(CPUProfiles(), GPUProfiles()...) {
-		out = append(out, p.Name)
+	out := make([]string, len(allProfiles))
+	for i, p := range allProfiles {
+		out[i] = p.Name
 	}
 	return out
 }

@@ -95,13 +95,19 @@ func (c Config) Validate() error {
 	ncfg := netConfig(c.Design, c.Width, c.Height)
 	for i, a := range c.Apps {
 		f := func(sub string) string { return fmt.Sprintf("apps[%d].%s", i, sub) }
-		if a.Profile == "" {
+		hasTrace := a.Trace != "" || len(a.TraceData) > 0
+		switch {
+		case hasTrace && a.Profile != "":
+			return fieldErrf(f("profile"), "both profile %q and a trace set", a.Profile).
+				hint("a spec is either synthetic (profile) or replayed (trace/traceData)")
+		case !hasTrace && a.Profile == "":
 			return fieldErrf(f("profile"), "missing profile").
-				hint("pick a benchmark name from adaptnoc-sim -profiles")
-		}
-		if _, ok := traffic.ByName(a.Profile); !ok {
-			return fieldErrf(f("profile"), "unknown profile %q", a.Profile).
-				hint("pick a benchmark name from adaptnoc-sim -profiles")
+				hint("pick a benchmark name from adaptnoc-sim -profiles, or replay a trace")
+		case !hasTrace:
+			if err := CheckProfile(a.Profile); err != nil {
+				return fieldErrf(f("profile"), "unknown profile %q", a.Profile).
+					hint("pick a benchmark name from adaptnoc-sim -profiles")
+			}
 		}
 		r := a.Region
 		if r.W <= 0 || r.H <= 0 {
@@ -120,6 +126,39 @@ func (c Config) Validate() error {
 			if !r.Contains(noc.CoordOf(mc, ncfg.Width)) {
 				return fieldErrf(fmt.Sprintf("apps[%d].mcTiles[%d]", i, j), "MC tile %d outside region %v", mc, r).
 					hint("every MC must sit on one of its own app's tiles")
+			}
+		}
+		if hasTrace {
+			if a.InstrBudget != 0 {
+				return fieldErrf(f("instrBudget"), "trace replay takes no instruction budget").
+					hint("drop instrBudget; the trace itself bounds the run")
+			}
+			if a.TraceApp < 0 {
+				return fieldErrf(f("traceApp"), "negative trace app index %d", a.TraceApp).
+					hint("recorded apps are indexed 0..n-1 in recording order")
+			}
+			// The path form defers decoding to NewSim (only the submitting
+			// client can read the file); inline data validates here so a
+			// daemon can refuse a bad blob before committing a worker.
+			if len(a.TraceData) > 0 {
+				tr, err := traffic.DecodeTrace(a.TraceData)
+				if err != nil {
+					return fieldErrf(f("traceData"), "%v", err).
+						hint("re-record with adaptnoc-sim -record-trace; blobs are not hand-editable")
+				}
+				if a.TraceApp >= len(tr.Apps) {
+					return fieldErrf(f("traceApp"), "trace has %d recorded apps, index %d", len(tr.Apps), a.TraceApp).
+						hint("recorded apps are indexed 0..n-1 in recording order")
+				}
+				ta := &tr.Apps[a.TraceApp]
+				if ta.W != r.W || ta.H != r.H {
+					return fieldErrf(f("region"), "region %dx%d does not match the recorded %dx%d", r.W, r.H, ta.W, ta.H).
+						hint("a replay may move the recorded region but not resize it")
+				}
+				if err := ta.FitsGrid(ncfg.Width, ncfg.Height); err != nil {
+					return fieldErrf(f("traceData"), "%v", err).
+						hint("replay on a chip at least as large as the recording")
+				}
 			}
 		}
 		if a.InstrBudget < 0 {

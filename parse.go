@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-
-	"adaptnoc/internal/traffic"
 )
 
 // ParseAppSpecs parses a compact workload description, one application per
@@ -29,8 +27,8 @@ func ParseAppSpecs(s string) ([]AppSpec, error) {
 			return nil, fmt.Errorf("adaptnoc: app entry %q: want profile:X,Y,W,H[:topology]", entry)
 		}
 		profile := strings.TrimSpace(parts[0])
-		if _, ok := traffic.ByName(profile); !ok {
-			return nil, fmt.Errorf("adaptnoc: unknown profile %q (see adaptnoc-sim -profiles)", profile)
+		if err := CheckProfile(profile); err != nil {
+			return nil, err
 		}
 		dims := strings.Split(parts[1], ",")
 		if len(dims) != 4 {

@@ -152,7 +152,10 @@ func (s *Sim) Results() Results {
 	for i, app := range s.apps {
 		tot := app.Totals()
 		ar := AppResult{
-			Profile:          s.specs[i].Profile,
+			// The app's label, not the spec's Profile field: a trace-driven
+			// spec has no Profile, but its app carries the recorded name, so
+			// replay rows merge into the same results tables.
+			Profile:          app.Profile.Name,
 			Region:           s.specs[i].Region,
 			AvgNetLatency:    tot.AvgNetLatency(),
 			AvgQueueLatency:  tot.AvgQueueLatency(),

@@ -1,0 +1,141 @@
+package adaptnoc
+
+// Dependency-trace record & replay façade over internal/traffic: any live
+// run can be captured into a compact ADNOCTRC blob (RecordTrace /
+// FinishTrace), and a recorded stream replays through AppSpec.Trace /
+// AppSpec.TraceData in place of a synthetic profile. Replay self-paces —
+// each recorded packet injects a fixed gap after its recorded
+// dependencies retire on the replaying fabric — so the same trace probes
+// different designs, and the replay checkpoints, resumes, and shards like
+// any other workload.
+
+import (
+	"fmt"
+	"os"
+
+	"adaptnoc/internal/noc"
+	"adaptnoc/internal/traffic"
+)
+
+// Re-exported trace types (see internal/traffic for the format).
+type (
+	// Trace is a decoded dependency trace: one recorded stream per app.
+	Trace = traffic.Trace
+	// TraceApp is one application's recorded stream.
+	TraceApp = traffic.TraceApp
+)
+
+// EncodeTrace serializes a trace into the versioned ADNOCTRC format. The
+// encoding is deterministic, so trace content is content-addressable
+// wherever configs are.
+func EncodeTrace(t *Trace) ([]byte, error) { return traffic.EncodeTrace(t) }
+
+// DecodeTrace parses and validates an ADNOCTRC blob. It is safe on
+// adversarial input: every count is bounds-checked before allocation.
+func DecodeTrace(blob []byte) (*Trace, error) { return traffic.DecodeTrace(blob) }
+
+// CheckProfile is the one profile-existence check every configuration
+// entry path (the -apps parser, NewSim, Config.Validate) shares, so the
+// error reads identically everywhere.
+func CheckProfile(name string) error {
+	if _, ok := traffic.ByName(name); !ok {
+		return fmt.Errorf("adaptnoc: unknown profile %q (see adaptnoc-sim -profiles)", name)
+	}
+	return nil
+}
+
+// resolveTraceSpec validates one replay spec and returns the recorded
+// stream it names, inlining a path-named file into spec.TraceData as a
+// side effect (the spec is part of the config NewSim stores, which makes
+// checkpoints taken from the sim self-contained).
+func resolveTraceSpec(spec *AppSpec, gridW, gridH int) (*traffic.TraceApp, error) {
+	if spec.Profile != "" {
+		return nil, fmt.Errorf("both profile %q and a trace set; a spec is one or the other", spec.Profile)
+	}
+	if spec.InstrBudget != 0 {
+		return nil, fmt.Errorf("trace replay takes no instruction budget (the trace itself bounds the run)")
+	}
+	if len(spec.TraceData) == 0 {
+		data, err := os.ReadFile(spec.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("reading trace: %w", err)
+		}
+		spec.TraceData = data
+	}
+	spec.Trace = ""
+	tr, err := traffic.DecodeTrace(spec.TraceData)
+	if err != nil {
+		return nil, err
+	}
+	if spec.TraceApp < 0 || spec.TraceApp >= len(tr.Apps) {
+		return nil, fmt.Errorf("trace has %d recorded apps, index %d", len(tr.Apps), spec.TraceApp)
+	}
+	ta := &tr.Apps[spec.TraceApp]
+	if ta.W != spec.Region.W || ta.H != spec.Region.H {
+		return nil, fmt.Errorf("region %dx%d does not match the recorded %dx%d (a replay may move the region but not resize it)",
+			spec.Region.W, spec.Region.H, ta.W, ta.H)
+	}
+	if err := ta.FitsGrid(gridW, gridH); err != nil {
+		return nil, err
+	}
+	return ta, nil
+}
+
+// TraceWorkload derives replay AppSpecs from a trace's own recorded
+// placements: every recorded application replays in its original position
+// with its original memory controllers. It returns the specs plus the
+// recorded grid dimensions (the chip the placements assume).
+func TraceWorkload(data []byte) ([]AppSpec, int, int, error) {
+	tr, err := traffic.DecodeTrace(data)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	specs := make([]AppSpec, 0, len(tr.Apps))
+	for i := range tr.Apps {
+		a := &tr.Apps[i]
+		var mcs []NodeID
+		for _, mc := range a.MCs {
+			rx, ry := int(mc)%a.W, int(mc)/a.W
+			mcs = append(mcs, NodeID((a.Y+ry)*tr.GridW+(a.X+rx)))
+		}
+		specs = append(specs, AppSpec{
+			Region:    Region{X: a.X, Y: a.Y, W: a.W, H: a.H},
+			MCTiles:   mcs,
+			TraceData: data,
+			TraceApp:  i,
+		})
+	}
+	return specs, tr.GridW, tr.GridH, nil
+}
+
+// RecordTrace starts capturing this run into a dependency trace. It must
+// be called before the first cycle of a fresh simulation — recorded
+// release gaps are absolute from cycle 0, so a resumed run cannot be
+// recorded. Collect the result with FinishTrace after running.
+func (s *Sim) RecordTrace() error {
+	if s.Kernel.Now() != 0 {
+		return fmt.Errorf("adaptnoc: recording must start at cycle 0, not %d", s.Kernel.Now())
+	}
+	if s.rec != nil {
+		return fmt.Errorf("adaptnoc: already recording")
+	}
+	rec := traffic.NewRecorder(s.Net.Cfg.Width, s.Net.Cfg.Height)
+	for i, spec := range s.specs {
+		rec.AddApp(i, s.apps[i].Profile.Name,
+			spec.Region.X, spec.Region.Y, spec.Region.W, spec.Region.H,
+			append([]noc.NodeID(nil), spec.MCTiles...))
+	}
+	s.Machine.SetRecorder(rec)
+	s.rec = rec
+	return nil
+}
+
+// FinishTrace assembles the recording started by RecordTrace into a
+// validated trace. The simulation may keep running, but packets still in
+// flight stay unrecorded tails: call it after the run window ends.
+func (s *Sim) FinishTrace() (*Trace, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("adaptnoc: RecordTrace was never called")
+	}
+	return s.rec.Finish()
+}
